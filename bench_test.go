@@ -1,0 +1,413 @@
+package cadel
+
+// Benchmarks regenerating the paper's evaluation (Sect. 5) and the ablations
+// called out in DESIGN.md.
+//
+//	E1a  BenchmarkDeviceRetrievalByName*    — 50 virtual UPnP devices, retrieve by
+//	     friendly name (paper: <= 10 ms)
+//	E1b  BenchmarkDeviceRetrievalByService* — same, by service name (paper: <= 10 ms)
+//	E2a  BenchmarkExtractSameDeviceRules    — 10,000 registered rules, extract the
+//	     100 targeting one device (paper: <= 10 ms)
+//	E2b  BenchmarkConflictFeasibility100    — conjoin the new rule's 2 inequalities
+//	     with each of the 100 extracted rules' 2 → 100 feasibility checks of 4
+//	     inequalities (paper: ~0.2 ms)
+//
+// Ablations: indexed vs scan extraction, simplex vs interval feasibility,
+// warm-cache vs cold-network retrieval, DNF cost, parse/compile cost, engine
+// evaluation cost.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/interval"
+	"repro/internal/lang"
+	"repro/internal/registry"
+	"repro/internal/simplex"
+	"repro/internal/upnp"
+	"repro/internal/vocab"
+)
+
+// ---- E1: device retrieval over the UPnP network ----
+
+// uniqueSvc is carried by exactly one of the 50 devices so service searches
+// have a single answer.
+const uniqueSvc = "urn:cadel-home:service:Unique:1"
+
+func benchNetwork(b *testing.B, n int) (*upnp.ControlPoint, string) {
+	b.Helper()
+	network := upnp.NewNetwork()
+	host, err := upnp.NewDeviceHost(network)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = host.Close() })
+	target := ""
+	for i := 0; i < n; i++ {
+		unit := device.NewLight(fmt.Sprintf("bench light %d", i), i, "hall")
+		if i == n/2 {
+			unit.Dev.Services = append(unit.Dev.Services,
+				upnp.NewService("urn:cadel-home:serviceId:Unique", uniqueSvc))
+			target = unit.Dev.UDN
+		}
+		if err := unit.Publish(host); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cp, err := upnp.NewControlPoint(network)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = cp.Close() })
+	// Prime the cache so warm benches and Forget-based cold benches have a
+	// stable starting point.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(cp.Devices()) < n && time.Now().Before(deadline) {
+		cp.Search(upnp.TargetAll, 100*time.Millisecond)
+	}
+	if len(cp.Devices()) < n {
+		b.Fatalf("primed only %d/%d devices", len(cp.Devices()), n)
+	}
+	return cp, target
+}
+
+// BenchmarkDeviceRetrievalByNameCold is E1a: every iteration evicts the
+// target and re-retrieves it over SSDP + HTTP (search, response, description
+// fetch).
+func BenchmarkDeviceRetrievalByNameCold(b *testing.B) {
+	cp, target := benchNetwork(b, 50)
+	name := fmt.Sprintf("bench light %d", 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp.Forget(target)
+		if _, err := cp.FindByName(name, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceRetrievalByNameWarm resolves against the control point's
+// device table (the CyberLink-style getDevice path).
+func BenchmarkDeviceRetrievalByNameWarm(b *testing.B) {
+	cp, _ := benchNetwork(b, 50)
+	name := fmt.Sprintf("bench light %d", 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.FindByName(name, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceRetrievalByServiceCold is E1b.
+func BenchmarkDeviceRetrievalByServiceCold(b *testing.B) {
+	cp, target := benchNetwork(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp.Forget(target)
+		if _, err := cp.FindByService(uniqueSvc, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceRetrievalByServiceWarm is the cached variant of E1b.
+func BenchmarkDeviceRetrievalByServiceWarm(b *testing.B) {
+	cp, _ := benchNetwork(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cp.FindByService(uniqueSvc, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E2: conflict detection over the rule database ----
+
+// paperRuleDB builds the paper's workload: total rules, sameDevice of which
+// target "air conditioner", each condition a conjunction of two
+// inequalities.
+func paperRuleDB(b *testing.B, total, sameDevice int) *registry.DB {
+	b.Helper()
+	db := registry.New()
+	for i := 0; i < total; i++ {
+		deviceName := fmt.Sprintf("device-%d", i%((total/sameDevice)+1))
+		if i < sameDevice {
+			deviceName = "air conditioner"
+		}
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  fmt.Sprintf("user%d", i%5),
+			Device: core.DeviceRef{Name: deviceName},
+			Action: core.Action{
+				Verb: "turn-on",
+				Settings: map[string]core.Value{
+					"temperature": {IsNumber: true, Number: float64(20 + i%10)},
+				},
+			},
+			Cond: &core.And{Terms: []core.Condition{
+				&core.Compare{Var: "temperature", Op: simplex.GT, Value: float64(20 + i%10)},
+				&core.Compare{Var: "humidity", Op: simplex.GT, Value: float64(50 + i%20)},
+			}},
+		}
+		if err := db.Add(rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func newPaperRule() *core.Rule {
+	return &core.Rule{
+		ID:     "new",
+		Owner:  "newuser",
+		Device: core.DeviceRef{Name: "air conditioner"},
+		Action: core.Action{
+			Verb:     "turn-on",
+			Settings: map[string]core.Value{"temperature": {IsNumber: true, Number: 19}},
+		},
+		Cond: &core.And{Terms: []core.Condition{
+			&core.Compare{Var: "temperature", Op: simplex.GT, Value: 26},
+			&core.Compare{Var: "humidity", Op: simplex.GT, Value: 65},
+		}},
+	}
+}
+
+// BenchmarkExtractSameDeviceRules is E2a: indexed extraction of the 100
+// same-device rules out of 10,000.
+func BenchmarkExtractSameDeviceRules(b *testing.B) {
+	db := paperRuleDB(b, 10000, 100)
+	ref := core.DeviceRef{Name: "air conditioner"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := db.SameDevice(ref); len(got) != 100 {
+			b.Fatalf("extracted %d rules", len(got))
+		}
+	}
+}
+
+// BenchmarkExtractSameDeviceScan is the unindexed ablation of E2a.
+func BenchmarkExtractSameDeviceScan(b *testing.B) {
+	db := paperRuleDB(b, 10000, 100)
+	ref := core.DeviceRef{Name: "air conditioner"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := db.SameDeviceScan(ref); len(got) != 100 {
+			b.Fatalf("extracted %d rules", len(got))
+		}
+	}
+}
+
+// BenchmarkConflictFeasibility100 is E2b: the new rule against 100
+// candidates — 100 feasibility checks of 4 inequalities via the simplex
+// method, as in the paper's prototype.
+func BenchmarkConflictFeasibility100(b *testing.B) {
+	db := paperRuleDB(b, 10000, 100)
+	candidates := db.SameDevice(core.DeviceRef{Name: "air conditioner"})
+	if len(candidates) != 100 {
+		b.Fatalf("candidates = %d", len(candidates))
+	}
+	newRule := newPaperRule()
+	var checker conflict.Checker
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.FindConflicts(newRule, candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConflictFeasibility100Interval is the interval-propagation
+// ablation of E2b.
+func BenchmarkConflictFeasibility100Interval(b *testing.B) {
+	db := paperRuleDB(b, 10000, 100)
+	candidates := db.SameDevice(core.DeviceRef{Name: "air conditioner"})
+	newRule := newPaperRule()
+	checker := conflict.Checker{UseIntervalFastPath: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.FindConflicts(newRule, candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistrationEndToEnd measures the whole paper flow per new rule:
+// extraction plus conflict detection over the 10k-rule database.
+func BenchmarkRegistrationEndToEnd(b *testing.B) {
+	db := paperRuleDB(b, 10000, 100)
+	newRule := newPaperRule()
+	var checker conflict.Checker
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		candidates := db.SameDevice(newRule.Device)
+		if _, err := checker.FindConflicts(newRule, candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- micro-benchmarks of the underlying solvers ----
+
+func fourInequalities() []simplex.Constraint {
+	return []simplex.Constraint{
+		simplex.Bound("temperature", simplex.GT, 26),
+		simplex.Bound("humidity", simplex.GT, 65),
+		simplex.Bound("temperature", simplex.GT, 22),
+		simplex.Bound("humidity", simplex.GT, 55),
+	}
+}
+
+// BenchmarkFeasibilitySimplex4 solves one 4-inequality system (the paper's
+// unit operation; it reports 0.2 ms for 100 of them).
+func BenchmarkFeasibilitySimplex4(b *testing.B) {
+	cs := fourInequalities()
+	for i := 0; i < b.N; i++ {
+		res, err := simplex.Feasible(cs)
+		if err != nil || !res.Feasible {
+			b.Fatal("expected feasible")
+		}
+	}
+}
+
+// BenchmarkFeasibilityInterval4 is the interval ablation of the same check.
+func BenchmarkFeasibilityInterval4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		box := interval.NewBox()
+		box.Constrain("temperature", interval.GreaterThan(26))
+		box.Constrain("humidity", interval.GreaterThan(65))
+		box.Constrain("temperature", interval.GreaterThan(22))
+		box.Constrain("humidity", interval.GreaterThan(55))
+		if !box.Feasible() {
+			b.Fatal("expected feasible")
+		}
+	}
+}
+
+// BenchmarkDNF normalises a 3-level and/or condition (DNF cost ablation).
+func BenchmarkDNF(b *testing.B) {
+	cond := &core.And{Terms: []core.Condition{
+		&core.Or{Terms: []core.Condition{
+			&core.Compare{Var: "a", Op: simplex.GT, Value: 1},
+			&core.Compare{Var: "b", Op: simplex.GT, Value: 2},
+		}},
+		&core.Or{Terms: []core.Condition{
+			&core.Compare{Var: "c", Op: simplex.GT, Value: 3},
+			&core.And{Terms: []core.Condition{
+				&core.Compare{Var: "d", Op: simplex.GT, Value: 4},
+				&core.Compare{Var: "e", Op: simplex.GT, Value: 5},
+			}},
+		}},
+		&core.Compare{Var: "f", Op: simplex.LT, Value: 6},
+	}}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ToDNF(cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- language front end ----
+
+func benchLexicon(b *testing.B) *vocab.Lexicon {
+	b.Helper()
+	lex := vocab.Default()
+	if err := lex.DefineCondWord("hot and stuffy",
+		"humidity is higher than 60 percent and temperature is higher than 28 degrees", "tom"); err != nil {
+		b.Fatal(err)
+	}
+	return lex
+}
+
+const benchRuleSrc = "If humidity is higher than 80 percent and temperature is higher than " +
+	"28 degrees, turn on the air conditioner with 25 degrees of temperature setting."
+
+// BenchmarkParseRule measures the CADEL parser on the paper's example rule 1.
+func BenchmarkParseRule(b *testing.B) {
+	lex := benchLexicon(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Parse(benchRuleSrc, lex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileRule measures AST-to-rule-object compilation, including
+// user-word expansion.
+func BenchmarkCompileRule(b *testing.B) {
+	lex := benchLexicon(b)
+	cmd, err := lang.Parse("If hot and stuffy, turn on the air conditioner "+
+		"with 25 degrees of temperature setting.", lex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	def := cmd.(*lang.RuleDef)
+	compiler := core.NewCompiler(lex)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.CompileRule(def, "r", "tom"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- execution engine ----
+
+// BenchmarkEngineEvaluate measures one full evaluation pass over 100 rules
+// (the engine's unit of work per sensor event).
+func BenchmarkEngineEvaluate(b *testing.B) {
+	db := registry.New()
+	for i := 0; i < 100; i++ {
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  "u",
+			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
+			Action: core.Action{Verb: "turn-on"},
+			Cond: &core.And{Terms: []core.Condition{
+				&core.Compare{Var: "temperature", Op: simplex.GT, Value: float64(20 + i%15)},
+				&core.Presence{Person: "tom", Place: "living room"},
+			}},
+		}
+		if err := db.Add(rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+	now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
+	e := engine.New(db, conflict.NewTable(), func() time.Time { return now }, nil)
+	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
+		map[string]string{"presence-tom": "living room"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "living room",
+			map[string]string{"temperature": fmt.Sprintf("%d", 10+i%30)})
+	}
+}
+
+// BenchmarkRegistryAdd measures rule insertion with index maintenance.
+func BenchmarkRegistryAdd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := registry.New()
+		rules := make([]*core.Rule, 1000)
+		for j := range rules {
+			rules[j] = &core.Rule{
+				ID:     fmt.Sprintf("r%d", j),
+				Owner:  "u",
+				Device: core.DeviceRef{Name: fmt.Sprintf("d%d", j%50)},
+				Action: core.Action{Verb: "turn-on"},
+				Cond:   &core.Compare{Var: "temperature", Op: simplex.GT, Value: 20},
+			}
+		}
+		b.StartTimer()
+		for _, r := range rules {
+			if err := db.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

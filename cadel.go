@@ -1,0 +1,463 @@
+// Package cadel is the public API of the CADEL home server — a
+// reproduction of "Framework and Rule-based Language for Facilitating
+// Context-aware Computing using Information Appliances" (Nishigaki et al.,
+// ICDCS 2005).
+//
+// A Server ties the framework's five modules together (Fig. 3 of the
+// paper): the rule description support module (lexicon + lookup service),
+// the CADEL rule database, the consistency & conflict check module, the
+// rule execution module, and the UPnP communication interface.
+//
+// Typical use:
+//
+//	network := cadel.NewNetwork()
+//	hm, _ := home.New(network, home.DefaultConfig())   // virtual appliances
+//	srv, _ := cadel.NewServer(network, cadel.WithClock(hm.Clock.Now))
+//	defer srv.Close()
+//	srv.RegisterUser("tom")
+//	srv.DiscoverDevices(500 * time.Millisecond)
+//	res, _ := srv.Submit("If hot and stuffy, turn on the air conditioner "+
+//	    "with 25 degrees of temperature setting.", "tom")
+package cadel
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/lang"
+	"repro/internal/lookup"
+	"repro/internal/registry"
+	"repro/internal/upnp"
+	"repro/internal/vocab"
+)
+
+// Re-exported building blocks so applications only import this package.
+type (
+	// Network is the simulated LAN segment devices and the server share.
+	Network = upnp.Network
+	// Rule is a compiled CADEL rule object.
+	Rule = core.Rule
+	// DeviceRef identifies a rule's target device.
+	DeviceRef = core.DeviceRef
+	// Context is the world snapshot conditions are evaluated against.
+	Context = core.Context
+	// Conflict pairs a new rule with an existing rule it can clash with.
+	Conflict = conflict.Conflict
+	// Fired is one dispatched action in the execution log.
+	Fired = engine.Fired
+	// Query selects devices in the lookup service.
+	Query = lookup.Query
+	// RemoteDevice is a discovered UPnP device.
+	RemoteDevice = upnp.RemoteDevice
+)
+
+// NewNetwork creates a LAN segment.
+func NewNetwork() *Network { return upnp.NewNetwork() }
+
+// Errors reported by the server.
+var (
+	// ErrInconsistent marks a rule whose condition can never hold; the
+	// server refuses it so the user can fix the condition (Sect. 4.4).
+	ErrInconsistent = errors.New("cadel: rule condition can never hold")
+	// ErrUnknownUser marks a submission by an unregistered user.
+	ErrUnknownUser = errors.New("cadel: unknown user")
+	// ErrForbidden marks a rule whose owner lacks the privilege for the
+	// target device and action (the paper's future-work security check).
+	ErrForbidden = errors.New("cadel: user may not perform this action on this device")
+)
+
+// SubmitResult reports the outcome of registering a CADEL command.
+type SubmitResult struct {
+	// Rule is the registered rule object; nil for CondDef/ConfDef commands.
+	Rule *Rule
+	// DefinedWord is the new word for CondDef/ConfDef commands.
+	DefinedWord string
+	// Conflicts lists existing rules the new rule can conflict with. The
+	// rule is registered regardless; the caller should present the list and
+	// record a priority order (Fig. 7), e.g. via SetPriority.
+	Conflicts []Conflict
+}
+
+// Option configures a Server.
+type Option interface{ apply(*options) }
+
+type options struct {
+	now      func() time.Time
+	eventTTL time.Duration
+	onFire   func(Fired)
+	interval bool
+	perms    *auth.Store
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithClock supplies the time source (e.g. a simulation clock).
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(o *options) { o.now = now })
+}
+
+// WithEventTTL sets how long arrival events ("alan got home from work")
+// stay part of the context.
+func WithEventTTL(ttl time.Duration) Option {
+	return optionFunc(func(o *options) { o.eventTTL = ttl })
+}
+
+// WithOnFire installs a callback invoked after every dispatched action.
+func WithOnFire(fn func(Fired)) Option {
+	return optionFunc(func(o *options) { o.onFire = fn })
+}
+
+// WithIntervalFastPath enables interval propagation instead of the simplex
+// method for single-variable feasibility checks (an ablation of the paper's
+// design; results are identical, see the benchmarks).
+func WithIntervalFastPath() Option {
+	return optionFunc(func(o *options) { o.interval = true })
+}
+
+// WithPermissions installs a privilege store (the paper's future-work
+// security mechanism): rule submissions are rejected when the owner lacks
+// permission for the target device and action.
+func WithPermissions(store *auth.Store) Option {
+	return optionFunc(func(o *options) { o.perms = store })
+}
+
+// Server is the CADEL home server.
+type Server struct {
+	lex        *vocab.Lexicon
+	compiler   *core.Compiler
+	db         *registry.DB
+	priorities *conflict.Table
+	checker    conflict.Checker
+	engine     *engine.Engine
+	cp         *upnp.ControlPoint
+	lookup     *lookup.Service
+	perms      *auth.Store
+	now        func() time.Time
+
+	mu      sync.Mutex
+	users   []string
+	unsubs  []func() error
+	ruleSeq atomic.Uint64
+}
+
+// NewServer starts a home server on the network.
+func NewServer(network *Network, opts ...Option) (*Server, error) {
+	o := options{now: time.Now, eventTTL: 4 * time.Hour}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	cp, err := upnp.NewControlPoint(network)
+	if err != nil {
+		return nil, err
+	}
+	lex := vocab.Default()
+	s := &Server{
+		lex:        lex,
+		compiler:   core.NewCompiler(lex),
+		db:         registry.New(),
+		priorities: conflict.NewTable(),
+		checker:    conflict.Checker{UseIntervalFastPath: o.interval},
+		cp:         cp,
+		lookup:     lookup.New(lex),
+		perms:      o.perms,
+		now:        o.now,
+	}
+	engineOpts := []engine.Option{engine.WithEventTTL(o.eventTTL)}
+	if o.onFire != nil {
+		engineOpts = append(engineOpts, engine.WithOnFire(o.onFire))
+	}
+	s.engine = engine.New(s.db, s.priorities, o.now, s.dispatch, engineOpts...)
+	return s, nil
+}
+
+// Close stops the server and its subscriptions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	unsubs := s.unsubs
+	s.unsubs = nil
+	s.mu.Unlock()
+	for _, u := range unsubs {
+		_ = u()
+	}
+	return s.cp.Close()
+}
+
+// ---- users ----
+
+// RegisterUser adds a home user with optional favourite keywords (used by
+// "my favorite movie is on air").
+func (s *Server) RegisterUser(name string, favorites ...string) error {
+	name = vocab.Normalize(name)
+	if name == "" {
+		return errors.New("cadel: empty user name")
+	}
+	if err := s.lex.Add(vocab.Entry{Phrase: name, Kind: vocab.KindPerson}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.users = append(s.users, name)
+	users := append([]string(nil), s.users...)
+	s.mu.Unlock()
+	s.engine.SetUsers(users)
+	if len(favorites) > 0 {
+		s.engine.SetFavorites(name, favorites)
+	}
+	return nil
+}
+
+// Users returns the registered users.
+func (s *Server) Users() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.users...)
+}
+
+func (s *Server) isUser(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range s.users {
+		if u == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- devices ----
+
+// DiscoverDevices searches the network and subscribes to the events of every
+// discovered device. It returns the number of known devices.
+func (s *Server) DiscoverDevices(window time.Duration) (int, error) {
+	devices := s.cp.Search(upnp.TargetAll, window)
+	var firstErr error
+	for _, rd := range devices {
+		if err := s.watch(rd); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return len(devices), firstErr
+}
+
+// watch subscribes to all services of a device and feeds events to the
+// engine.
+func (s *Server) watch(rd *upnp.RemoteDevice) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, svc := range rd.Services {
+		rd := rd
+		cancel, err := s.cp.Subscribe(rd, svc.ServiceType, func(vars map[string]string) {
+			s.engine.HandleDeviceEvent(rd.DeviceType, rd.FriendlyName, rd.Location, vars)
+		})
+		if err != nil {
+			return fmt.Errorf("cadel: watch %s/%s: %w", rd.FriendlyName, svc.ServiceType, err)
+		}
+		s.unsubs = append(s.unsubs, cancel)
+	}
+	return nil
+}
+
+// Devices returns the discovered devices.
+func (s *Server) Devices() []*RemoteDevice { return s.cp.Devices() }
+
+// FindDevice retrieves one device by friendly name over the network
+// (the paper's E1a operation).
+func (s *Server) FindDevice(name string, window time.Duration) (*RemoteDevice, error) {
+	return s.cp.FindByName(name, window)
+}
+
+// Find runs a lookup query over the discovered devices (Figs. 5-6).
+func (s *Server) Find(q Query) []*RemoteDevice {
+	return s.lookup.Find(s.cp.Devices(), q)
+}
+
+// AllowedVerbs lists the actions a device accepts.
+func (s *Server) AllowedVerbs(rd *RemoteDevice) []string { return s.lookup.AllowedVerbs(rd) }
+
+// WordsFor lists user-defined words involving the device's sensors.
+func (s *Server) WordsFor(rd *RemoteDevice) []string { return s.lookup.WordsFor(rd) }
+
+// ---- rule registration ----
+
+// Submit parses and registers one CADEL command for the owner: a rule
+// definition, a condition-word definition or a configuration-word
+// definition. Rule submissions run the consistency check (inconsistent rules
+// are rejected with ErrInconsistent) and the conflict check (conflicting
+// rules are registered and reported so the user can set a priority order).
+func (s *Server) Submit(source, owner string) (*SubmitResult, error) {
+	owner = vocab.Normalize(owner)
+	if !s.isUser(owner) {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, owner)
+	}
+	cmd, err := lang.Parse(source, s.lex)
+	if err != nil {
+		return nil, err
+	}
+	switch c := cmd.(type) {
+	case *lang.CondDef:
+		exprSource := c.Expr.String()
+		// Validate the definition compiles before registering the word.
+		if _, err := s.compiler.CompileCondExpr(c.Expr, owner); err != nil {
+			return nil, err
+		}
+		if err := s.lex.DefineCondWord(c.Name, exprSource, owner); err != nil {
+			return nil, err
+		}
+		return &SubmitResult{DefinedWord: vocab.Normalize(c.Name)}, nil
+	case *lang.ConfDef:
+		parts := make([]string, len(c.Confs))
+		for i, item := range c.Confs {
+			parts[i] = item.String()
+		}
+		confSource := joinAnd(parts)
+		if err := s.lex.DefineConfWord(c.Name, confSource, owner); err != nil {
+			return nil, err
+		}
+		return &SubmitResult{DefinedWord: vocab.Normalize(c.Name)}, nil
+	case *lang.RuleDef:
+		id := fmt.Sprintf("%s-%s", owner, strconv.FormatUint(s.ruleSeq.Add(1), 10))
+		rule, err := s.compiler.CompileRule(c, id, owner)
+		if err != nil {
+			return nil, err
+		}
+		if s.perms != nil && !s.perms.Allowed(owner, rule.Device, rule.Action.Verb) {
+			return nil, fmt.Errorf("%w: %s on %s by %s", ErrForbidden, rule.Action.Verb, rule.Device, owner)
+		}
+		ok, err := s.checker.Consistent(rule)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrInconsistent, rule.Cond)
+		}
+		candidates := s.db.SameDevice(rule.Device)
+		conflicts, err := s.checker.FindConflicts(rule, candidates)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.db.Add(rule); err != nil {
+			return nil, err
+		}
+		s.engine.Tick()
+		return &SubmitResult{Rule: rule, Conflicts: conflicts}, nil
+	default:
+		return nil, fmt.Errorf("cadel: unsupported command %T", cmd)
+	}
+}
+
+func joinAnd(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " and "
+		}
+		out += p
+	}
+	return out
+}
+
+// RemoveRule deletes a rule by id.
+func (s *Server) RemoveRule(id string) error { return s.db.Remove(id) }
+
+// Rules returns all registered rules in registration order.
+func (s *Server) Rules() []*Rule { return s.db.All() }
+
+// RulesByOwner returns one user's rules.
+func (s *Server) RulesByOwner(owner string) []*Rule {
+	return s.db.ByOwner(vocab.Normalize(owner))
+}
+
+// ExportRules serializes the rule database (Sect. 4.3(iv)).
+func (s *Server) ExportRules() ([]byte, error) { return s.db.Export() }
+
+// ImportRules loads rules exported by ExportRules, recompiling their CADEL
+// sources against this server's lexicon.
+func (s *Server) ImportRules(data []byte) (int, error) {
+	n, err := s.db.Import(data, func(source, id, owner string) (*core.Rule, error) {
+		cmd, err := lang.Parse(source, s.lex)
+		if err != nil {
+			return nil, err
+		}
+		def, ok := cmd.(*lang.RuleDef)
+		if !ok {
+			return nil, fmt.Errorf("cadel: import: %q is not a rule", source)
+		}
+		return s.compiler.CompileRule(def, id, owner)
+	})
+	if n > 0 {
+		s.engine.Tick()
+	}
+	return n, err
+}
+
+// SetPriority records a priority order for a device: users listed highest
+// first, optionally attached to a context written in CADEL condition syntax
+// ("alan got home from work"). An empty context makes it the device's
+// default order (Sect. 3.2, Fig. 7).
+func (s *Server) SetPriority(ref DeviceRef, users []string, contextSource string) error {
+	order := conflict.Order{Device: ref, ContextSource: contextSource}
+	for _, u := range users {
+		order.Users = append(order.Users, vocab.Normalize(u))
+	}
+	if contextSource != "" {
+		expr, err := lang.ParseCondExpr(contextSource, s.lex)
+		if err != nil {
+			return fmt.Errorf("cadel: priority context: %w", err)
+		}
+		cond, err := s.compiler.CompileCondExpr(expr, "")
+		if err != nil {
+			return fmt.Errorf("cadel: priority context: %w", err)
+		}
+		order.Context = cond
+	}
+	s.priorities.Set(order)
+	s.engine.Tick()
+	return nil
+}
+
+// PriorityOrders returns the orders applying to a device, contextual orders
+// first.
+func (s *Server) PriorityOrders(ref DeviceRef) []conflict.Order {
+	return s.priorities.OrdersFor(ref)
+}
+
+// ---- runtime ----
+
+// Tick re-evaluates all rules at the current clock time. Call it after
+// advancing a simulation clock.
+func (s *Server) Tick() { s.engine.Tick() }
+
+// Log returns the executed-action log.
+func (s *Server) Log() []Fired { return s.engine.Log() }
+
+// Snapshot returns a copy of the current context.
+func (s *Server) Snapshot() *Context { return s.engine.Context() }
+
+// dispatch routes a rule action to the matching discovered device.
+func (s *Server) dispatch(ref core.DeviceRef, action core.Action) error {
+	var target *upnp.RemoteDevice
+	for _, rd := range s.cp.Devices() {
+		if rd.FriendlyName != ref.Name {
+			continue
+		}
+		if ref.Location != "" && rd.Location != "" && rd.Location != ref.Location {
+			continue
+		}
+		target = rd
+		break
+	}
+	if target == nil {
+		return fmt.Errorf("cadel: no discovered device matches %s", ref)
+	}
+	return device.ApplyAction(s.cp, target, action)
+}

@@ -1,0 +1,141 @@
+// Command cadelc is the CADEL rule compiler and checker: it parses a CADEL
+// command, prints its normalized form, the compiled condition tree, the
+// device action, the sensor variables it reads, and the consistency verdict.
+//
+//	cadelc "If humidity is higher than 80 percent, turn on the fan."
+//	echo "At night, if entrance door is unlocked for 1 hour, turn on the alarm." | cadelc
+//	cadelc -owner alan -users tom,alan "If i am in the living room, turn on the tv."
+//	cadelc -word 'hot and stuffy=humidity is over 60 percent and temperature is over 28 degrees' \
+//	       "If hot and stuffy, turn on the air conditioner."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/vocab"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("cadelc", flag.ContinueOnError)
+	owner := fs.String("owner", "user", "rule owner")
+	users := fs.String("users", "tom,alan,emily", "comma-separated known users")
+	var words wordFlags
+	fs.Var(&words, "word", "user word definition name=condition (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lex := vocab.Default()
+	for _, u := range strings.Split(*users, ",") {
+		u = vocab.Normalize(u)
+		if u == "" {
+			continue
+		}
+		if err := lex.Add(vocab.Entry{Phrase: u, Kind: vocab.KindPerson}); err != nil {
+			return err
+		}
+	}
+	if name := vocab.Normalize(*owner); name != "" {
+		if _, ok := lex.Lookup(vocab.KindPerson, name); !ok {
+			if err := lex.Add(vocab.Entry{Phrase: name, Kind: vocab.KindPerson}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range words {
+		if err := lex.DefineCondWord(w.name, w.def, *owner); err != nil {
+			return err
+		}
+	}
+
+	source := strings.Join(fs.Args(), " ")
+	if strings.TrimSpace(source) == "" {
+		sc := bufio.NewScanner(os.Stdin)
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		source = strings.Join(lines, " ")
+	}
+	if strings.TrimSpace(source) == "" {
+		return fmt.Errorf("cadelc: no CADEL input (argument or stdin)")
+	}
+
+	cmd, err := lang.Parse(source, lex)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "normalized : %s\n", cmd)
+
+	compiler := core.NewCompiler(lex)
+	switch c := cmd.(type) {
+	case *lang.CondDef:
+		cond, err := compiler.CompileCondExpr(c.Expr, *owner)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "kind       : condition word definition\n")
+		fmt.Fprintf(out, "word       : %s\n", c.Name)
+		fmt.Fprintf(out, "condition  : %s\n", cond)
+		fmt.Fprintf(out, "variables  : %s\n", strings.Join(cond.Vars(nil), ", "))
+	case *lang.ConfDef:
+		fmt.Fprintf(out, "kind       : configuration word definition\n")
+		fmt.Fprintf(out, "word       : %s\n", c.Name)
+	case *lang.RuleDef:
+		rule, err := compiler.CompileRule(c, "cli-1", vocab.Normalize(*owner))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "kind       : rule\n")
+		fmt.Fprintf(out, "device     : %s\n", rule.Device)
+		fmt.Fprintf(out, "action     : %s\n", rule.Action)
+		fmt.Fprintf(out, "condition  : %s\n", rule.Cond)
+		fmt.Fprintf(out, "variables  : %s\n", strings.Join(rule.Vars(), ", "))
+		var checker conflict.Checker
+		ok, err := checker.Consistent(rule)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Fprintf(out, "consistency: satisfiable\n")
+		} else {
+			fmt.Fprintf(out, "consistency: NEVER HOLDS — fix the condition\n")
+		}
+	}
+	return nil
+}
+
+type wordDef struct{ name, def string }
+
+type wordFlags []wordDef
+
+func (w *wordFlags) String() string {
+	parts := make([]string, len(*w))
+	for i, d := range *w {
+		parts[i] = d.name
+	}
+	return strings.Join(parts, ",")
+}
+
+func (w *wordFlags) Set(value string) error {
+	name, def, ok := strings.Cut(value, "=")
+	if !ok {
+		return fmt.Errorf("want name=definition, got %q", value)
+	}
+	*w = append(*w, wordDef{name: strings.TrimSpace(name), def: strings.TrimSpace(def)})
+	return nil
+}

@@ -1,0 +1,295 @@
+// Command homeserver runs the CADEL home server against the simulated home
+// as an interactive shell: type CADEL commands to register rules and words,
+// and colon-commands to drive the simulation.
+//
+//	$ homeserver
+//	cadel> If hot and stuffy, turn on the air conditioner at the living room.
+//	cadel> :arrive tom living room return-home
+//	cadel> :climate living room 27 66
+//	cadel> :tick 30m
+//	cadel> :log
+//
+// Colon commands:
+//
+//	:users                          list registered users
+//	:user NAME [favorite...]        register a user
+//	:owner NAME                     set the submitting user
+//	:devices                        list discovered devices
+//	:find KEY=VALUE ...             lookup query (name=, location=, sensor=, verb=, word=, keyword=)
+//	:verbs DEVICE                   allowed actions of a device
+//	:arrive USER ROOM [EVENT]       user arrives
+//	:leave USER                     user leaves home
+//	:climate ROOM TEMP HUMID        override a room's climate
+//	:dark ROOM on|off               override a room's darkness
+//	:priority DEVICE u1>u2>... [CTX]  set a priority order
+//	:tick DURATION                  advance the simulation clock (e.g. 30m)
+//	:rules | :log | :export | :quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	cadel "repro"
+	"repro/internal/home"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	httpAddr := flag.String("http", "", "also serve the JSON API for interface devices (e.g. :8080)")
+	flag.Parse()
+
+	network := cadel.NewNetwork()
+	hm, err := home.New(network, home.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hm.Close() }()
+
+	srv, err := cadel.NewServer(network,
+		cadel.WithClock(hm.Clock.Now),
+		cadel.WithEventTTL(6*time.Hour),
+		cadel.WithOnFire(func(f cadel.Fired) { fmt.Println("! " + f.String()) }),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	for _, u := range []string{"tom", "alan"} {
+		if err := srv.RegisterUser(u); err != nil {
+			return err
+		}
+	}
+	if err := srv.RegisterUser("emily", "roman holiday"); err != nil {
+		return err
+	}
+	n, err := srv.DiscoverDevices(700 * time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if *httpAddr != "" {
+		api := &http.Server{Addr: *httpAddr, Handler: httpapi.New(srv)}
+		go func() {
+			if err := api.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("http api: %v", err)
+			}
+		}()
+		defer func() { _ = api.Close() }()
+		fmt.Printf("interface-device API on http://%s/api/\n", *httpAddr)
+	}
+	fmt.Printf("cadel home server — %d devices discovered, users: %s\n",
+		n, strings.Join(srv.Users(), ", "))
+	fmt.Printf("clock: %s — type CADEL or :help\n", hm.Clock.Now().Format("15:04"))
+
+	owner := "tom"
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("cadel> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":exit":
+			return nil
+		case strings.HasPrefix(line, ":"):
+			if err := colon(hm, srv, &owner, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			res, err := srv.Submit(line, owner)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case res.DefinedWord != "":
+				fmt.Printf("defined word %q\n", res.DefinedWord)
+			default:
+				fmt.Printf("registered rule %s\n", res.Rule.ID)
+				for _, c := range res.Conflicts {
+					fmt.Printf("  conflicts with %s (owner %s) — set a :priority\n",
+						c.Existing.ID, c.Existing.Owner)
+				}
+			}
+		}
+		fmt.Print("cadel> ")
+	}
+	return sc.Err()
+}
+
+func colon(hm *home.Home, srv *cadel.Server, owner *string, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":help":
+		fmt.Println("commands: :users :user :owner :devices :find :verbs :arrive :leave :climate :dark :priority :tick :rules :log :export :quit")
+		return nil
+	case ":users":
+		fmt.Println(strings.Join(srv.Users(), ", "))
+		return nil
+	case ":user":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: :user NAME [favorite...]")
+		}
+		return srv.RegisterUser(fields[1], fields[2:]...)
+	case ":owner":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: :owner NAME")
+		}
+		*owner = fields[1]
+		return nil
+	case ":devices":
+		devs := srv.Devices()
+		sort.Slice(devs, func(i, j int) bool { return devs[i].FriendlyName < devs[j].FriendlyName })
+		for _, d := range devs {
+			fmt.Printf("  %-20s %-12s %s\n", d.FriendlyName, d.Location, d.DeviceType)
+		}
+		return nil
+	case ":find":
+		var q cadel.Query
+		for _, kv := range fields[1:] {
+			key, value, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("want key=value, got %q", kv)
+			}
+			value = strings.ReplaceAll(value, "_", " ")
+			switch key {
+			case "name":
+				q.Name = value
+			case "location":
+				q.Location = value
+			case "sensor":
+				q.SensorType = value
+			case "verb":
+				q.Verb = value
+			case "word":
+				q.Word = value
+			case "keyword":
+				q.Keyword = value
+			default:
+				return fmt.Errorf("unknown query key %q", key)
+			}
+		}
+		for _, d := range srv.Find(q) {
+			fmt.Printf("  %-20s %-12s words: %s\n",
+				d.FriendlyName, d.Location, strings.Join(srv.WordsFor(d), ", "))
+		}
+		return nil
+	case ":verbs":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: :verbs DEVICE")
+		}
+		name := strings.Join(fields[1:], " ")
+		rd, err := srv.FindDevice(name, time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(srv.AllowedVerbs(rd), ", "))
+		return nil
+	case ":arrive":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: :arrive USER ROOM... [EVENT]")
+		}
+		event := "return-home"
+		roomWords := fields[2:]
+		if last := roomWords[len(roomWords)-1]; strings.Contains(last, "-") {
+			event = last
+			roomWords = roomWords[:len(roomWords)-1]
+		}
+		return hm.Arrive(fields[1], strings.Join(roomWords, " "), event)
+	case ":leave":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: :leave USER")
+		}
+		return hm.Leave(fields[1])
+	case ":climate":
+		if len(fields) < 4 {
+			return fmt.Errorf("usage: :climate ROOM... TEMP HUMID")
+		}
+		temp, err1 := strconv.ParseFloat(fields[len(fields)-2], 64)
+		humid, err2 := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad numbers in %q", line)
+		}
+		room := strings.Join(fields[1:len(fields)-2], " ")
+		if err := hm.SetClimate(room, temp, humid); err != nil {
+			return err
+		}
+		srv.Tick()
+		return nil
+	case ":dark":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: :dark ROOM... on|off")
+		}
+		on := fields[len(fields)-1] == "on"
+		room := strings.Join(fields[1:len(fields)-1], " ")
+		if err := hm.SetDark(room, on); err != nil {
+			return err
+		}
+		srv.Tick()
+		return nil
+	case ":priority":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: :priority DEVICE u1>u2>... [CONTEXT...]")
+		}
+		// The users argument is the first field containing '>'.
+		idx := -1
+		for i := 2; i < len(fields); i++ {
+			if strings.Contains(fields[i], ">") {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("no user order (u1>u2>...) given")
+		}
+		deviceName := strings.Join(fields[1:idx], " ")
+		users := strings.Split(fields[idx], ">")
+		context := strings.Join(fields[idx+1:], " ")
+		return srv.SetPriority(cadel.DeviceRef{Name: deviceName}, users, context)
+	case ":tick":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: :tick DURATION (e.g. 30m)")
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := hm.Step(d); err != nil {
+			return err
+		}
+		srv.Tick()
+		fmt.Printf("clock: %s\n", hm.Clock.Now().Format("15:04"))
+		return nil
+	case ":rules":
+		for _, r := range srv.Rules() {
+			fmt.Printf("  %s\n", r)
+		}
+		return nil
+	case ":log":
+		for _, f := range srv.Log() {
+			fmt.Printf("  %s\n", f)
+		}
+		return nil
+	case ":export":
+		data, err := srv.ExportRules()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (:help)", fields[0])
+	}
+}

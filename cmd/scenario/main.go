@@ -1,0 +1,175 @@
+// Command scenario replays the paper's Fig. 1 control scenario — Tom, Alan
+// and Emily's conflicting evening in the living room — against the simulated
+// home, and prints the resulting control time-chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	cadel "repro"
+	"repro/internal/home"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := cadel.NewNetwork()
+	hm, err := home.New(network, home.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hm.Close() }()
+
+	srv, err := cadel.NewServer(network,
+		cadel.WithClock(hm.Clock.Now),
+		cadel.WithEventTTL(6*time.Hour),
+		cadel.WithOnFire(func(f cadel.Fired) { fmt.Println("  " + f.String()) }),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	for _, u := range []string{"tom", "alan"} {
+		if err := srv.RegisterUser(u); err != nil {
+			return err
+		}
+	}
+	if err := srv.RegisterUser("emily", "roman holiday"); err != nil {
+		return err
+	}
+	if n, err := srv.DiscoverDevices(700 * time.Millisecond); err != nil {
+		return err
+	} else {
+		fmt.Printf("discovered %d virtual UPnP devices\n\n", n)
+	}
+
+	submissions := []struct{ src, owner string }{
+		{"Let's call the condition that temperature is higher than 26 degrees and humidity is higher than 65 percent hot and stuffy", "tom"},
+		{"Let's call the condition that temperature is higher than 25 degrees and humidity is higher than 60 percent muggy", "alan"},
+		{"Let's call the condition that temperature is higher than 29 degrees and humidity is higher than 75 percent sticky", "emily"},
+		{"Let's call the configuration that 50 percent of brightness setting half-lighting", "tom"},
+		{"In the evening, if i am in the living room, play the stereo with jazz of mode setting and 40 percent of volume setting.", "tom"},
+		{"When i am in the living room, turn on the floor lamp with half-lighting.", "tom"},
+		{"If i am in the living room and hot and stuffy, turn on the air conditioner at the living room with 25 degrees of temperature setting and 60 percent of humidity setting.", "tom"},
+		{"If i am in the living room and a baseball game is on air, turn on the tv with 1 of channel setting.", "alan"},
+		{"If emily is in the living room and a baseball game is on air, record the video recorder.", "alan"},
+		{"If i am in the living room and muggy, turn on the air conditioner at the living room with 24 degrees of temperature setting and 55 percent of humidity setting.", "alan"},
+		{"If i am in the living room and my favorite movie is on air, turn on the tv with 3 of channel setting.", "emily"},
+		{"When i am in the living room and my favorite movie is on air, play the stereo with movie of mode setting.", "emily"},
+		{"When i am in the living room and my favorite movie is on air, turn on the fluorescent light.", "emily"},
+		{"If i am in the living room and sticky, turn on the air conditioner at the living room with 27 degrees of temperature setting and 65 percent of humidity setting.", "emily"},
+	}
+	fmt.Println("registering rules:")
+	for _, s := range submissions {
+		res, err := srv.Submit(s.src, s.owner)
+		if err != nil {
+			return fmt.Errorf("submit %q: %w", s.src, err)
+		}
+		switch {
+		case res.DefinedWord != "":
+			fmt.Printf("  %-6s defined word %q\n", s.owner, res.DefinedWord)
+		case len(res.Conflicts) > 0:
+			fmt.Printf("  %-6s rule %s CONFLICTS with:\n", s.owner, res.Rule.ID)
+			for _, c := range res.Conflicts {
+				fmt.Printf("         - %s (owner %s)\n", c.Existing.ID, c.Existing.Owner)
+			}
+		default:
+			fmt.Printf("  %-6s rule %s registered\n", s.owner, res.Rule.ID)
+		}
+	}
+
+	fmt.Println("\nsetting priority orders (Fig. 7):")
+	priorities := []struct {
+		device  string
+		users   []string
+		context string
+	}{
+		{"tv", []string{"alan", "tom", "emily"}, "alan got home from work"},
+		{"tv", []string{"emily", "alan", "tom"}, "emily got home from shopping"},
+		{"stereo", []string{"emily", "tom", "alan"}, "emily got home from shopping"},
+		{"air conditioner", []string{"alan", "tom", "emily"}, "alan got home from work"},
+		{"air conditioner", []string{"emily", "alan", "tom"}, "emily got home from shopping"},
+	}
+	for _, p := range priorities {
+		if err := srv.SetPriority(cadel.DeviceRef{Name: p.device}, p.users, p.context); err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s [%s]: %v\n", p.device, p.context, p.users)
+	}
+
+	fmt.Println("\n--- 17:00  Tom comes to the living room (*1) ---")
+	if err := hm.Arrive("tom", "living room", "return-home"); err != nil {
+		return err
+	}
+	settle()
+
+	fmt.Println("\n--- 17:30  the room turns hot and stuffy ---")
+	hm.Clock.Advance(30 * time.Minute)
+	if err := hm.SetClimate("living room", 27, 66); err != nil {
+		return err
+	}
+	srv.Tick()
+	settle()
+
+	fmt.Println("\n--- 18:00  baseball game on air; Alan got home from work (*2) ---")
+	hm.Clock.Set(time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC))
+	if err := hm.Step(0); err != nil {
+		return err
+	}
+	if err := hm.Arrive("alan", "living room", "home-from-work"); err != nil {
+		return err
+	}
+	settle()
+
+	fmt.Println("\n--- 19:00  movie on air; Emily got home from shopping (*3) ---")
+	hm.Clock.Set(time.Date(2005, 3, 7, 19, 0, 0, 0, time.UTC))
+	if err := hm.Step(0); err != nil {
+		return err
+	}
+	if err := hm.Arrive("emily", "living room", "home-from-shopping"); err != nil {
+		return err
+	}
+	settle()
+
+	fmt.Println("\n--- control time-chart (compare with Fig. 1) ---")
+	printChart(srv.Log(), os.Stdout)
+	return nil
+}
+
+// settle gives asynchronous UPnP events time to propagate.
+func settle() { time.Sleep(400 * time.Millisecond) }
+
+// printChart renders the executed-action log as a device-by-time chart.
+func printChart(log []cadel.Fired, out *os.File) {
+	devices := []string{"stereo", "tv", "video recorder", "floor lamp", "fluorescent light", "light", "air conditioner"}
+	fmt.Fprintf(out, "%-18s", "device")
+	for h := 17; h <= 19; h++ {
+		fmt.Fprintf(out, " | %d:00-%d:59", h, h)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "-------------------------------------------------------------------")
+	for _, dev := range devices {
+		fmt.Fprintf(out, "%-18s", dev)
+		for h := 17; h <= 19; h++ {
+			owner := ""
+			for _, f := range log {
+				if f.Rule.Device.Name != dev {
+					continue
+				}
+				if f.Time.Hour() <= h {
+					owner = f.Rule.Owner + ":" + f.Rule.Action.Verb
+				}
+			}
+			fmt.Fprintf(out, " | %-10s", owner)
+		}
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,132 @@
+// Livingroom: the paper's full Sect. 3.1 household — Tom, Alan and Emily's
+// preferences as CADEL rules, context-attached priorities, and the Fig. 1
+// evening replayed minute by minute with the physics simulation driving the
+// climate (instead of scripted overrides).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cadel "repro"
+	"repro/internal/home"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := cadel.NewNetwork()
+	cfg := home.DefaultConfig()
+	// A hot, humid summer evening so the comfort rules trip naturally.
+	cfg.OutdoorTemperature = 32
+	cfg.OutdoorHumidity = 82
+	cfg.Rooms[0].Temperature = 26
+	cfg.Rooms[0].Humidity = 63
+	hm, err := home.New(network, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hm.Close() }()
+
+	srv, err := cadel.NewServer(network,
+		cadel.WithClock(hm.Clock.Now),
+		cadel.WithEventTTL(6*time.Hour),
+		cadel.WithOnFire(func(f cadel.Fired) { fmt.Println("  " + f.String()) }),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	for _, u := range []string{"tom", "alan"} {
+		if err := srv.RegisterUser(u); err != nil {
+			return err
+		}
+	}
+	if err := srv.RegisterUser("emily", "roman holiday"); err != nil {
+		return err
+	}
+	if _, err := srv.DiscoverDevices(700 * time.Millisecond); err != nil {
+		return err
+	}
+
+	submissions := []struct{ src, owner string }{
+		// Comfort vocabularies (Sect. 3.1's per-user thresholds).
+		{"Let's call the condition that temperature is higher than 26 degrees and humidity is higher than 65 percent hot and stuffy", "tom"},
+		{"Let's call the condition that temperature is higher than 25 degrees and humidity is higher than 60 percent muggy", "alan"},
+		{"Let's call the condition that temperature is higher than 29 degrees and humidity is higher than 75 percent sticky", "emily"},
+		{"Let's call the configuration that 50 percent of brightness setting half-lighting", "tom"},
+		// Tom.
+		{"In the evening, if i am in the living room, play the stereo with jazz of mode setting and 40 percent of volume setting.", "tom"},
+		{"When i am in the living room, turn on the floor lamp with half-lighting.", "tom"},
+		{"If i am in the living room and hot and stuffy, turn on the air conditioner at the living room with 25 degrees of temperature setting and 60 percent of humidity setting.", "tom"},
+		// Alan.
+		{"If i am in the living room and a baseball game is on air, turn on the tv with 1 of channel setting.", "alan"},
+		{"If emily is in the living room and a baseball game is on air, record the video recorder.", "alan"},
+		{"If i am in the living room and muggy, turn on the air conditioner at the living room with 24 degrees of temperature setting and 55 percent of humidity setting.", "alan"},
+		// Emily.
+		{"If i am in the living room and my favorite movie is on air, turn on the tv with 3 of channel setting.", "emily"},
+		{"When i am in the living room and my favorite movie is on air, play the stereo with movie of mode setting.", "emily"},
+		{"When i am in the living room and my favorite movie is on air, turn on the fluorescent light.", "emily"},
+		{"If i am in the living room and sticky, turn on the air conditioner at the living room with 27 degrees of temperature setting and 65 percent of humidity setting.", "emily"},
+	}
+	conflicts := 0
+	for _, s := range submissions {
+		res, err := srv.Submit(s.src, s.owner)
+		if err != nil {
+			return fmt.Errorf("submit %q: %w", s.src, err)
+		}
+		conflicts += len(res.Conflicts)
+	}
+	fmt.Printf("registered %d rules (%d conflicts detected)\n", len(srv.Rules()), conflicts)
+
+	priorities := []struct {
+		device  string
+		users   []string
+		context string
+	}{
+		{"tv", []string{"alan", "tom", "emily"}, "alan got home from work"},
+		{"tv", []string{"emily", "alan", "tom"}, "emily got home from shopping"},
+		{"stereo", []string{"emily", "tom", "alan"}, "emily got home from shopping"},
+		{"air conditioner", []string{"alan", "tom", "emily"}, "alan got home from work"},
+		{"air conditioner", []string{"emily", "alan", "tom"}, "emily got home from shopping"},
+	}
+	for _, p := range priorities {
+		if err := srv.SetPriority(cadel.DeviceRef{Name: p.device}, p.users, p.context); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("set %d priority orders\n\n", len(priorities))
+
+	// Replay the evening in 15-minute steps; arrivals at 17:00 / 18:00 / 19:00.
+	arrivals := map[string][2]string{
+		"17:00": {"tom", "return-home"},
+		"18:00": {"alan", "home-from-work"},
+		"19:00": {"emily", "home-from-shopping"},
+	}
+	for hm.Clock.Now().Hour() < 20 {
+		stamp := hm.Clock.Now().Format("15:04")
+		if arr, ok := arrivals[stamp]; ok {
+			fmt.Printf("%s  *%s arrives (%s)\n", stamp, arr[0], arr[1])
+			if err := hm.Arrive(arr[0], "living room", arr[1]); err != nil {
+				return err
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		if err := hm.Step(15 * time.Minute); err != nil {
+			return err
+		}
+		srv.Tick()
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	temp, humid, _ := hm.Climate("living room")
+	fmt.Printf("\n20:00  living room settles at %.1f°C / %.0f%%\n", temp, humid)
+	fmt.Printf("%d actions dispatched in total\n", len(srv.Log()))
+	return nil
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a one-room home, register a CADEL rule, trip it with a
+// sensor reading, and watch the air conditioner respond.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cadel "repro"
+	"repro/internal/device"
+	"repro/internal/home"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A LAN segment with one simulated room full of virtual UPnP devices.
+	network := cadel.NewNetwork()
+	cfg := home.Config{
+		Start: time.Date(2026, 6, 10, 14, 0, 0, 0, time.UTC),
+		Rooms: []home.RoomConfig{{Name: "living room", Temperature: 24, Humidity: 55}},
+		Users: []string{"sam"},
+		Appliances: []home.ApplianceConfig{
+			{Kind: home.KindAirConditioner, Room: "living room"},
+		},
+		OutdoorTemperature: 30,
+		OutdoorHumidity:    70,
+	}
+	hm, err := home.New(network, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hm.Close() }()
+
+	// The home server: discovery, rule DB, conflict checks, execution.
+	srv, err := cadel.NewServer(network,
+		cadel.WithClock(hm.Clock.Now),
+		cadel.WithOnFire(func(f cadel.Fired) { fmt.Println("fired:", f) }),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	if err := srv.RegisterUser("sam"); err != nil {
+		return err
+	}
+	n, err := srv.DiscoverDevices(500 * time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("discovered %d devices\n", n)
+
+	// One CADEL sentence is the whole automation.
+	res, err := srv.Submit(
+		"If temperature is higher than 28 degrees and humidity is higher than 60 percent, "+
+			"turn on the air conditioner with 25 degrees of temperature setting.", "sam")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered: %s\n", res.Rule.Source)
+
+	// A heat wave rolls in.
+	if err := hm.SetClimate("living room", 29, 65); err != nil {
+		return err
+	}
+	time.Sleep(300 * time.Millisecond) // UPnP events are asynchronous
+
+	ac, _ := hm.Appliance("living room", "air conditioner")
+	power, _ := ac.Get(device.SvcSwitchPower, "power")
+	target, _ := ac.Get(device.SvcThermostat, "target-temperature")
+	fmt.Printf("air conditioner: power=%s target=%s°C\n", power, target)
+
+	// The conditioner pulls the room back toward its target.
+	for i := 0; i < 3; i++ {
+		if err := hm.Step(30 * time.Minute); err != nil {
+			return err
+		}
+	}
+	temp, humid, _ := hm.Climate("living room")
+	fmt.Printf("after 90 minutes: %.1f°C %.0f%%\n", temp, humid)
+	return nil
+}

@@ -1,0 +1,92 @@
+// Security: runs the paper's example rules (2) and (3) from Sect. 4.2 —
+//
+//	(2) "After evening, if someone returns home and the hall is dark, turn
+//	    on the light at the hall."
+//	(3) "At night, if entrance door is unlocked for 1 hour, turn on the
+//	    alarm."
+//
+// — against the simulated home, exercising arrival events, boolean room
+// state, time windows and duration conditions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cadel "repro"
+	"repro/internal/device"
+	"repro/internal/home"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := cadel.NewNetwork()
+	hm, err := home.New(network, home.DefaultConfig()) // starts 17:00, hall dark
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hm.Close() }()
+
+	srv, err := cadel.NewServer(network,
+		cadel.WithClock(hm.Clock.Now),
+		cadel.WithOnFire(func(f cadel.Fired) { fmt.Println("fired:", f) }),
+	)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	if err := srv.RegisterUser("tom"); err != nil {
+		return err
+	}
+	if _, err := srv.DiscoverDevices(700 * time.Millisecond); err != nil {
+		return err
+	}
+
+	for _, src := range []string{
+		"After evening, if someone returns home and the hall is dark, turn on the light at the hall.",
+		"At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
+	} {
+		if _, err := srv.Submit(src, "tom"); err != nil {
+			return fmt.Errorf("submit %q: %w", src, err)
+		}
+		fmt.Println("registered:", src)
+	}
+
+	// 18:30: Tom comes home to a dark hall → rule (2).
+	hm.Clock.Set(time.Date(2005, 3, 7, 18, 30, 0, 0, time.UTC))
+	fmt.Println("\n18:30 — tom returns home, hall is dark")
+	if err := hm.Arrive("tom", "hall", "return-home"); err != nil {
+		return err
+	}
+	time.Sleep(300 * time.Millisecond)
+	light, _ := hm.Appliance("hall", "light")
+	power, _ := light.Get(device.SvcSwitchPower, "power")
+	fmt.Printf("hall light: power=%s\n", power)
+
+	// 23:00: the door is left unlocked → rule (3) after an hour.
+	fmt.Println("\n23:00 — entrance door left unlocked")
+	hm.Clock.Set(time.Date(2005, 3, 7, 23, 0, 0, 0, time.UTC))
+	srv.Tick()
+	door, _ := hm.Appliance("entrance", "entrance door")
+	if err := door.Set(device.SvcLock, "locked", "0"); err != nil {
+		return err
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	alarm, _ := hm.Appliance("hall", "alarm")
+	for _, mins := range []int{30, 31} {
+		hm.Clock.Advance(time.Duration(mins) * time.Minute)
+		srv.Tick()
+		time.Sleep(200 * time.Millisecond)
+		state, _ := alarm.Get(device.SvcSwitchPower, "power")
+		fmt.Printf("%s — alarm: power=%s\n", hm.Clock.Now().Format("15:04"), state)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Wordsmith: the rule-description support workflow of Sect. 4.3 and
+// Figs. 4-7 — defining new condition and configuration words, retrieving
+// sensors by sensor type and by word, reverse-looking-up words from a
+// device, listing a device's allowed actions, and resolving a detected
+// conflict with a priority order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	cadel "repro"
+	"repro/internal/home"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	network := cadel.NewNetwork()
+	hm, err := home.New(network, home.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hm.Close() }()
+
+	srv, err := cadel.NewServer(network, cadel.WithClock(hm.Clock.Now))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	for _, u := range []string{"tom", "alan"} {
+		if err := srv.RegisterUser(u); err != nil {
+			return err
+		}
+	}
+	if _, err := srv.DiscoverDevices(700 * time.Millisecond); err != nil {
+		return err
+	}
+
+	// --- define new words (Fig. 4) ---
+	fmt.Println("== defining words ==")
+	for _, def := range []string{
+		"Let's call the condition that humidity is higher than 60 % and temperature is higher than 28 degrees hot and stuffy",
+		"Let's call the configuration that 50 percent of brightness setting half-lighting",
+	} {
+		res, err := srv.Submit(def, "tom")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  defined %q\n", res.DefinedWord)
+	}
+
+	// --- retrieval (Fig. 5): by sensor type, then by the new word ---
+	fmt.Println("\n== retrieval by sensor type \"temperature\" ==")
+	for _, d := range srv.Find(cadel.Query{SensorType: "temperature"}) {
+		fmt.Printf("  %-20s at %s\n", d.FriendlyName, d.Location)
+	}
+	fmt.Println("\n== retrieval by word \"hot and stuffy\" ==")
+	for _, d := range srv.Find(cadel.Query{Word: "hot and stuffy", Location: "living room"}) {
+		fmt.Printf("  %-20s at %s\n", d.FriendlyName, d.Location)
+	}
+
+	// --- reverse lookup: device → words ---
+	thermo := srv.Find(cadel.Query{Name: "thermometer", Location: "living room"})
+	if len(thermo) == 1 {
+		fmt.Printf("\n== words involving the living-room thermometer ==\n  %s\n",
+			strings.Join(srv.WordsFor(thermo[0]), ", "))
+	}
+
+	// --- action retrieval (Fig. 6): what can the air conditioner do? ---
+	ac, err := srv.FindDevice("air conditioner", time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== allowed actions of the air conditioner ==\n  %s\n",
+		strings.Join(srv.AllowedVerbs(ac), ", "))
+
+	// --- conflicting rules and priority setup (Fig. 7) ---
+	fmt.Println("\n== conflicting rules ==")
+	if _, err := srv.Submit(
+		"If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting.", "tom"); err != nil {
+		return err
+	}
+	res, err := srv.Submit(
+		"If temperature is higher than 27 degrees, turn on the air conditioner with 23 degrees of temperature setting.", "alan")
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Conflicts {
+		fmt.Printf("  detected: %s\n", c)
+	}
+	if err := srv.SetPriority(cadel.DeviceRef{Name: "air conditioner"},
+		[]string{"alan", "tom"}, ""); err != nil {
+		return err
+	}
+	fmt.Println("  resolved with priority alan > tom")
+	for _, o := range srv.PriorityOrders(cadel.DeviceRef{Name: "air conditioner"}) {
+		fmt.Printf("  order: %s\n", o)
+	}
+
+	// --- export the rule database (Sect. 4.3(iv)) ---
+	data, err := srv.ExportRules()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== exported rule database ==\n%s\n", data)
+	return nil
+}

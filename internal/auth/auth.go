@@ -1,0 +1,125 @@
+// Package auth implements the security mechanism the paper names as future
+// work (Sect. 6): "limiting access or allowable operations to each device
+// depending on users' privileges". A Store records per-user grants — which
+// devices a user may target and with which actions — and the home server
+// consults it when a rule is submitted.
+package auth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// AnyVerb grants every action on the matched devices.
+const AnyVerb = "*"
+
+// Grant allows a set of verbs on the devices matching Device. An empty
+// device name matches every device; an empty location matches every room.
+type Grant struct {
+	Device core.DeviceRef
+	Verbs  []string
+}
+
+// matches reports whether the grant covers the device and verb.
+func (g Grant) matches(ref core.DeviceRef, verb string) bool {
+	if g.Device.Name != "" && g.Device.Name != ref.Name {
+		return false
+	}
+	if g.Device.Location != "" && ref.Location != "" && g.Device.Location != ref.Location {
+		return false
+	}
+	for _, v := range g.Verbs {
+		if v == AnyVerb || v == verb {
+			return true
+		}
+	}
+	return false
+}
+
+func (g Grant) String() string {
+	device := g.Device.Key()
+	if g.Device.Name == "" {
+		device = "*"
+	}
+	return fmt.Sprintf("%s: %s", device, strings.Join(g.Verbs, ","))
+}
+
+// Store holds the per-user grants. The zero value is unusable; construct
+// with New.
+type Store struct {
+	mu sync.RWMutex
+	// defaultAllow controls users without any grant: true mirrors the
+	// paper's open prototype, false is deny-by-default.
+	defaultAllow bool
+	grants       map[string][]Grant
+}
+
+// New returns a store. With defaultAllow, users with no grants may do
+// anything (grants then act as the switch to an explicit policy for that
+// user); without it, every action needs a grant.
+func New(defaultAllow bool) *Store {
+	return &Store{defaultAllow: defaultAllow, grants: make(map[string][]Grant)}
+}
+
+// Allow records a grant for the user.
+func (s *Store) Allow(user string, device core.DeviceRef, verbs ...string) {
+	if len(verbs) == 0 {
+		verbs = []string{AnyVerb}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grants[user] = append(s.grants[user], Grant{Device: device, Verbs: append([]string(nil), verbs...)})
+}
+
+// Revoke removes every grant of the user, returning them to the default
+// policy.
+func (s *Store) Revoke(user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.grants, user)
+}
+
+// Allowed reports whether the user may apply the verb to the device.
+func (s *Store) Allowed(user string, device core.DeviceRef, verb string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	grants, ok := s.grants[user]
+	if !ok {
+		return s.defaultAllow
+	}
+	for _, g := range grants {
+		if g.matches(device, verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// Grants returns the user's grants, or nil when the user is on the default
+// policy.
+func (s *Store) Grants(user string) []Grant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Grant, 0, len(s.grants[user]))
+	for _, g := range s.grants[user] {
+		g.Verbs = append([]string(nil), g.Verbs...)
+		out = append(out, g)
+	}
+	return out
+}
+
+// Users returns every user with explicit grants, sorted.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.grants))
+	for u := range s.grants {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package auth
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func tv() core.DeviceRef    { return core.DeviceRef{Name: "tv"} }
+func hall() core.DeviceRef  { return core.DeviceRef{Name: "light", Location: "hall"} }
+func other() core.DeviceRef { return core.DeviceRef{Name: "light", Location: "kitchen"} }
+
+func TestDefaultAllow(t *testing.T) {
+	s := New(true)
+	if !s.Allowed("anyone", tv(), "turn-on") {
+		t.Error("default-allow store should permit ungrated users")
+	}
+	s2 := New(false)
+	if s2.Allowed("anyone", tv(), "turn-on") {
+		t.Error("default-deny store should reject ungrated users")
+	}
+}
+
+func TestGrantScopesUser(t *testing.T) {
+	s := New(true)
+	// Once a user has explicit grants, only those apply.
+	s.Allow("kid", tv(), "turn-off")
+	if s.Allowed("kid", tv(), "turn-on") {
+		t.Error("kid may only turn the tv off")
+	}
+	if !s.Allowed("kid", tv(), "turn-off") {
+		t.Error("granted verb should pass")
+	}
+	// Other users keep the default policy.
+	if !s.Allowed("parent", tv(), "turn-on") {
+		t.Error("ungranted user keeps defaultAllow")
+	}
+}
+
+func TestGrantDeviceMatching(t *testing.T) {
+	s := New(false)
+	s.Allow("kid", hall(), "turn-on", "turn-off")
+	if !s.Allowed("kid", hall(), "turn-on") {
+		t.Error("exact match should pass")
+	}
+	if s.Allowed("kid", other(), "turn-on") {
+		t.Error("different location should fail")
+	}
+	if s.Allowed("kid", tv(), "turn-on") {
+		t.Error("different device should fail")
+	}
+	// Unlocated rule reference matches the located grant.
+	if !s.Allowed("kid", core.DeviceRef{Name: "light"}, "turn-on") {
+		t.Error("unlocated reference should match located grant")
+	}
+}
+
+func TestWildcardGrants(t *testing.T) {
+	s := New(false)
+	s.Allow("admin", core.DeviceRef{}) // all devices, AnyVerb implied
+	if !s.Allowed("admin", tv(), "record") {
+		t.Error("wildcard grant should permit everything")
+	}
+	s.Allow("viewer", core.DeviceRef{}, "turn-on")
+	if !s.Allowed("viewer", hall(), "turn-on") {
+		t.Error("verb-limited wildcard device grant")
+	}
+	if s.Allowed("viewer", hall(), "turn-off") {
+		t.Error("verb not granted")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s := New(true)
+	s.Allow("kid", tv(), "turn-off")
+	if s.Allowed("kid", tv(), "turn-on") {
+		t.Error("granted user is scoped")
+	}
+	s.Revoke("kid")
+	if !s.Allowed("kid", tv(), "turn-on") {
+		t.Error("revoked user returns to default policy")
+	}
+}
+
+func TestGrantsAndUsers(t *testing.T) {
+	s := New(false)
+	s.Allow("b", tv(), "turn-on")
+	s.Allow("a", hall())
+	users := s.Users()
+	if len(users) != 2 || users[0] != "a" || users[1] != "b" {
+		t.Errorf("users = %v", users)
+	}
+	grants := s.Grants("b")
+	if len(grants) != 1 || grants[0].String() == "" {
+		t.Errorf("grants = %v", grants)
+	}
+	if len(s.Grants("nobody")) != 0 {
+		t.Error("ungranted user should have no grants")
+	}
+	// Returned slice is a copy.
+	grants[0].Verbs[0] = "hacked"
+	if s.Grants("b")[0].Verbs[0] == "hacked" {
+		t.Error("Grants exposed internal state")
+	}
+}

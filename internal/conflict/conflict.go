@@ -1,0 +1,330 @@
+// Package conflict implements the paper's consistency checking module
+// (Sect. 4.4): deciding whether a new rule's condition can hold at all, and
+// whether it can conflict with already-registered rules — i.e. whether two
+// rules that demand different actions on the same device have conditions
+// that can hold simultaneously. Numeric satisfiability is decided with the
+// simplex method, exactly as the paper's prototype did with its C library.
+package conflict
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/simplex"
+)
+
+// Checker decides rule consistency and pairwise conflicts.
+type Checker struct {
+	// UseIntervalFastPath enables the interval-propagation solver for terms
+	// whose numeric atoms are all single-variable bounds (the common case for
+	// household rules). The simplex solver remains the general fallback.
+	// Disabled by default so the default path matches the paper's method.
+	UseIntervalFastPath bool
+}
+
+// Consistent reports whether the rule's condition is satisfiable: at least
+// one DNF term must be feasible. Registration warns the user otherwise.
+func (c *Checker) Consistent(rule *core.Rule) (bool, error) {
+	terms, err := core.ToDNF(rule.Cond)
+	if err != nil {
+		return false, err
+	}
+	for _, term := range terms {
+		ok, err := c.TermFeasible(term)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Conflict describes a detected conflict between a new rule and an existing
+// one: their conditions can hold at the same time while their actions on the
+// shared device differ.
+type Conflict struct {
+	New      *core.Rule
+	Existing *core.Rule
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("conflict over %s: %q (%s) vs %q (%s)",
+		c.New.Device, c.New.ID, c.New.Owner, c.Existing.ID, c.Existing.Owner)
+}
+
+// FindConflicts checks the new rule against each candidate (typically the
+// same-device extraction from the rule database) and returns every conflict.
+func (c *Checker) FindConflicts(newRule *core.Rule, candidates []*core.Rule) ([]Conflict, error) {
+	newTerms, err := core.ToDNF(newRule.Cond)
+	if err != nil {
+		return nil, err
+	}
+	var out []Conflict
+	for _, cand := range candidates {
+		if cand.ID == newRule.ID {
+			continue
+		}
+		if !cand.Device.Matches(newRule.Device) {
+			continue
+		}
+		if cand.Action.Equal(newRule.Action) {
+			continue // same action: no conflict even if both fire
+		}
+		overlap, err := c.termsOverlap(newTerms, cand)
+		if err != nil {
+			return nil, err
+		}
+		if overlap {
+			out = append(out, Conflict{New: newRule, Existing: cand})
+		}
+	}
+	return out, nil
+}
+
+// Conflicts reports whether two rules conflict (symmetric).
+func (c *Checker) Conflicts(a, b *core.Rule) (bool, error) {
+	found, err := c.FindConflicts(a, []*core.Rule{b})
+	if err != nil {
+		return false, err
+	}
+	return len(found) > 0, nil
+}
+
+func (c *Checker) termsOverlap(newTerms []core.Term, cand *core.Rule) (bool, error) {
+	candTerms, err := core.ToDNF(cand.Cond)
+	if err != nil {
+		return false, err
+	}
+	for _, tn := range newTerms {
+		for _, tc := range candTerms {
+			joint := make(core.Term, 0, len(tn)+len(tc))
+			joint = append(joint, tn...)
+			joint = append(joint, tc...)
+			ok, err := c.TermFeasible(joint)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// TermFeasible decides whether a conjunction of atomic conditions can hold
+// simultaneously. Numeric comparisons go to the simplex solver (or the
+// interval fast path); boolean, presence and time-window atoms are decided
+// by direct contradiction analysis; arrival and on-air atoms never
+// contradict each other.
+func (c *Checker) TermFeasible(term core.Term) (bool, error) {
+	var (
+		constraints []simplex.Constraint
+		bools       = make(map[string]bool)
+		presences   = make(map[string]string) // person → concrete place
+		nobody      = make(map[string]bool)   // place → true
+		everyone    = make(map[string]bool)
+		someoneAt   = make(map[string]bool)
+		windows     []*core.TimeWindow
+	)
+
+	for _, atom := range term {
+		switch a := atom.(type) {
+		case *core.Compare:
+			constraints = append(constraints, simplex.Constraint{
+				Coeffs: map[string]float64{a.Var: 1},
+				Rel:    a.Op,
+				RHS:    a.Value,
+			})
+		case *core.BoolIs:
+			if want, seen := bools[a.Var]; seen && want != a.Want {
+				return false, nil
+			}
+			bools[a.Var] = a.Want
+		case *core.Presence:
+			if a.Person == core.Someone {
+				someoneAt[a.Place] = true
+				continue
+			}
+			if prev, seen := presences[a.Person]; seen && !placesCompatible(prev, a.Place) {
+				return false, nil // one person cannot be in two places
+			}
+			if prev, seen := presences[a.Person]; !seen || prev == "home" {
+				presences[a.Person] = a.Place
+			}
+		case *core.Nobody:
+			nobody[a.Place] = true
+		case *core.Everyone:
+			everyone[a.Place] = true
+		case *core.TimeWindow:
+			windows = append(windows, a)
+		case *core.Arrival, *core.OnAir:
+			// Events and broadcasts can always co-occur.
+		case core.Always, *core.Always:
+			// Trivially true.
+		default:
+			// Unknown atoms are treated as independently satisfiable.
+		}
+	}
+
+	// Presence vs nobody/everyone contradictions.
+	for place := range nobody {
+		if someoneAt[place] || everyone[place] {
+			return false, nil
+		}
+		for _, p := range presences {
+			if placesCompatible(p, place) && (p == place || place == "home") {
+				return false, nil
+			}
+		}
+	}
+	// Everyone at two different concrete places is impossible (with >= 1
+	// user assumed).
+	var everyonePlace string
+	for place := range everyone {
+		if everyonePlace != "" && place != everyonePlace && place != "home" && everyonePlace != "home" {
+			return false, nil
+		}
+		if everyonePlace == "" || everyonePlace == "home" {
+			everyonePlace = place
+		}
+	}
+	// Everyone at X contradicts a named person at Y != X.
+	if everyonePlace != "" && everyonePlace != "home" {
+		for _, p := range presences {
+			if p != "home" && p != everyonePlace {
+				return false, nil
+			}
+		}
+	}
+
+	if !windowsOverlap(windows) {
+		return false, nil
+	}
+
+	if len(constraints) == 0 {
+		return true, nil
+	}
+	if c.UseIntervalFastPath {
+		if box, ok := asBox(constraints); ok {
+			return box.Feasible(), nil
+		}
+	}
+	res, err := simplex.Feasible(constraints)
+	if err != nil {
+		return false, err
+	}
+	return res.Feasible, nil
+}
+
+// placesCompatible reports whether one person being at both places is
+// possible ("home" is a wildcard for any in-home place).
+func placesCompatible(a, b string) bool {
+	return a == b || a == "home" || b == "home"
+}
+
+// windowsOverlap intersects daily time windows (with midnight wrap) and
+// weekday restrictions.
+func windowsOverlap(windows []*core.TimeWindow) bool {
+	if len(windows) == 0 {
+		return true
+	}
+	day := -1
+	for _, w := range windows {
+		if w.Weekday < 0 {
+			continue
+		}
+		if day >= 0 && day != w.Weekday {
+			return false
+		}
+		day = w.Weekday
+	}
+	// Represent each window as minute intervals over [0, 1440).
+	intervalsOf := func(w *core.TimeWindow) []interval.Interval {
+		from, to := w.FromMin, w.ToMin%(24*60)
+		if w.FromMin == w.ToMin {
+			return []interval.Interval{{Lo: 0, Hi: 1440, HiOpen: true}}
+		}
+		if w.FromMin < w.ToMin && w.ToMin <= 24*60 {
+			return []interval.Interval{{Lo: float64(from), Hi: float64(w.ToMin), HiOpen: true}}
+		}
+		return []interval.Interval{
+			{Lo: float64(from), Hi: 1440, HiOpen: true},
+			{Lo: 0, Hi: float64(to), HiOpen: true},
+		}
+	}
+	current := intervalsOf(windows[0])
+	for _, w := range windows[1:] {
+		next := intervalsOf(w)
+		var merged []interval.Interval
+		for _, a := range current {
+			for _, b := range next {
+				got := a.Intersect(b)
+				if !got.Empty() {
+					merged = append(merged, got)
+				}
+			}
+		}
+		if len(merged) == 0 {
+			return false
+		}
+		current = merged
+	}
+	return true
+}
+
+// asBox converts single-variable constraints to an interval box; ok is false
+// when any constraint couples multiple variables.
+func asBox(cs []simplex.Constraint) (interval.Box, bool) {
+	box := interval.NewBox()
+	for _, c := range cs {
+		if len(c.Coeffs) != 1 {
+			return nil, false
+		}
+		var name string
+		var coef float64
+		for n, v := range c.Coeffs {
+			name, coef = n, v
+		}
+		if coef == 0 {
+			return nil, false
+		}
+		rel, rhs := c.Rel, c.RHS/coef
+		if coef < 0 {
+			rel = flipRel(rel)
+		}
+		switch rel {
+		case simplex.LE:
+			box.Constrain(name, interval.AtMost(rhs))
+		case simplex.LT:
+			box.Constrain(name, interval.LessThan(rhs))
+		case simplex.GE:
+			box.Constrain(name, interval.AtLeast(rhs))
+		case simplex.GT:
+			box.Constrain(name, interval.GreaterThan(rhs))
+		case simplex.EQ:
+			box.Constrain(name, interval.Point(rhs))
+		default:
+			return nil, false
+		}
+	}
+	return box, true
+}
+
+func flipRel(r simplex.Relation) simplex.Relation {
+	switch r {
+	case simplex.LE:
+		return simplex.GE
+	case simplex.GE:
+		return simplex.LE
+	case simplex.LT:
+		return simplex.GT
+	case simplex.GT:
+		return simplex.LT
+	default:
+		return r
+	}
+}

@@ -1,0 +1,129 @@
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Order is one priority order over users for a device, optionally attached
+// to a context condition (Sect. 3.2: "users can define multiple different
+// priorities for the same device and attach a context to each of them").
+// Users are listed highest-priority first.
+type Order struct {
+	Device core.DeviceRef
+	// Context must hold for this order to apply; nil means the order is the
+	// device's default.
+	Context core.Condition
+	// ContextSource preserves the CADEL text of the context for display and
+	// serialization.
+	ContextSource string
+	Users         []string
+}
+
+func (o Order) String() string {
+	ctx := "default"
+	if o.Context != nil {
+		ctx = o.Context.String()
+	}
+	return fmt.Sprintf("%s [%s]: %s", o.Device, ctx, strings.Join(o.Users, " > "))
+}
+
+// Table holds the priority orders of all devices. Contextual orders are
+// consulted before the default order; among applicable contextual orders the
+// most recently registered wins (users refine priorities over time).
+type Table struct {
+	mu     sync.RWMutex
+	orders []Order
+}
+
+// NewTable returns an empty priority table.
+func NewTable() *Table {
+	return &Table{}
+}
+
+// Set registers (or replaces) an order. Two orders are the same slot when
+// they share a device key and context source.
+func (t *Table) Set(o Order) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, existing := range t.orders {
+		if existing.Device.Key() == o.Device.Key() && existing.ContextSource == o.ContextSource {
+			t.orders[i] = o
+			return
+		}
+	}
+	t.orders = append(t.orders, o)
+}
+
+// OrdersFor returns every order whose device matches, contextual orders
+// first (most recent first), then the default.
+func (t *Table) OrdersFor(device core.DeviceRef) []Order {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var contextual, defaults []Order
+	for _, o := range t.orders {
+		if !o.Device.Matches(device) {
+			continue
+		}
+		if o.Context != nil {
+			contextual = append(contextual, o)
+		} else {
+			defaults = append(defaults, o)
+		}
+	}
+	// Most recently registered contextual order first.
+	for i, j := 0, len(contextual)-1; i < j; i, j = i+1, j-1 {
+		contextual[i], contextual[j] = contextual[j], contextual[i]
+	}
+	return append(contextual, defaults...)
+}
+
+// Applicable returns the first order that matches the device and whose
+// context holds in ctx, or false when none applies.
+func (t *Table) Applicable(device core.DeviceRef, ctx *core.Context) (Order, bool) {
+	for _, o := range t.OrdersFor(device) {
+		if o.Context == nil || o.Context.Eval(ctx) {
+			return o, true
+		}
+	}
+	return Order{}, false
+}
+
+// Arbitrate ranks rules that want to act on the same device in the current
+// context. The winner is first. Ranking: position of the rule's owner in the
+// applicable priority order (absent owners rank below present ones), then
+// registration sequence as the deterministic fallback.
+func (t *Table) Arbitrate(device core.DeviceRef, ctx *core.Context, rules []*core.Rule) []*core.Rule {
+	if len(rules) <= 1 {
+		out := make([]*core.Rule, len(rules))
+		copy(out, rules)
+		return out
+	}
+	rank := func(*core.Rule) int { return 1 << 30 }
+	if order, ok := t.Applicable(device, ctx); ok {
+		pos := make(map[string]int, len(order.Users))
+		for i, u := range order.Users {
+			pos[u] = i
+		}
+		rank = func(r *core.Rule) int {
+			if i, ok := pos[r.Owner]; ok {
+				return i
+			}
+			return 1 << 30
+		}
+	}
+	out := make([]*core.Rule, len(rules))
+	copy(out, rules)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := rank(out[i]), rank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

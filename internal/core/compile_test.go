@@ -1,0 +1,469 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lang"
+	"repro/internal/simplex"
+	"repro/internal/vocab"
+)
+
+func testLexicon(t *testing.T) *vocab.Lexicon {
+	t.Helper()
+	lex := vocab.Default()
+	for _, p := range []string{"tom", "alan", "emily"} {
+		if err := lex.Add(vocab.Entry{Phrase: p, Kind: vocab.KindPerson}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lex.DefineCondWord("hot and stuffy",
+		"humidity is higher than 60 percent and temperature is higher than 28 degrees", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lex.DefineConfWord("half-lighting", "50 percent of brightness setting", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	return lex
+}
+
+func compileRule(t *testing.T, lex *vocab.Lexicon, src, owner string) *Rule {
+	t.Helper()
+	cmd, err := lang.Parse(src, lex)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	def, ok := cmd.(*lang.RuleDef)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want RuleDef", src, cmd)
+	}
+	rule, err := NewCompiler(lex).CompileRule(def, "r1", owner)
+	if err != nil {
+		t.Fatalf("CompileRule(%q): %v", src, err)
+	}
+	return rule
+}
+
+func TestCompilePaperRule1(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"If humidity is higher than 80 percent and temperature is higher than 28 degrees, "+
+			"turn on the air conditioner with 25 degrees of temperature setting.", "tom")
+
+	if rule.Device.Name != "air conditioner" {
+		t.Errorf("device = %q", rule.Device.Name)
+	}
+	if rule.Action.Verb != "turn-on" {
+		t.Errorf("verb = %q", rule.Action.Verb)
+	}
+	if v := rule.Action.Settings["temperature"]; !v.IsNumber || v.Number != 25 || v.Unit != "celsius" {
+		t.Errorf("temperature setting = %+v", v)
+	}
+	and, ok := rule.Cond.(*And)
+	if !ok || len(and.Terms) != 2 {
+		t.Fatalf("cond = %v", rule.Cond)
+	}
+	cmp, ok := and.Terms[0].(*Compare)
+	if !ok || cmp.Var != "humidity" || cmp.Op != simplex.GT || cmp.Value != 80 {
+		t.Errorf("first term = %v", and.Terms[0])
+	}
+
+	// Evaluate against contexts on both sides of the thresholds.
+	ctx := NewContext(baseTime)
+	ctx.Numbers["humidity"] = 85
+	ctx.Numbers["temperature"] = 29
+	if !rule.Ready(ctx) {
+		t.Error("rule should fire at 85%/29C")
+	}
+	ctx.Numbers["temperature"] = 28
+	if rule.Ready(ctx) {
+		t.Error("strict > must not fire at the boundary")
+	}
+}
+
+func TestCompilePaperRule2(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"After evening, if someone returns home and the hall is dark, turn on the light at the hall.", "tom")
+
+	if rule.Device.Name != "light" || rule.Device.Location != "hall" {
+		t.Errorf("device = %+v", rule.Device)
+	}
+	ctx := NewContext(time.Date(2005, 3, 7, 19, 0, 0, 0, time.UTC))
+	ctx.Bools["hall/dark"] = true
+	ctx.RecordEvent("tom", "return-home")
+	if !rule.Ready(ctx) {
+		t.Error("rule should fire: evening, arrival, dark hall")
+	}
+	// Morning: the time window fails.
+	morning := NewContext(time.Date(2005, 3, 7, 9, 0, 0, 0, time.UTC))
+	morning.Bools["hall/dark"] = true
+	morning.RecordEvent("tom", "return-home")
+	if rule.Ready(morning) {
+		t.Error("rule must not fire in the morning")
+	}
+	// Hall lit: the bool atom fails.
+	ctx.Bools["hall/dark"] = false
+	if rule.Ready(ctx) {
+		t.Error("rule must not fire when the hall is lit")
+	}
+}
+
+func TestCompilePaperRule3Duration(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"At night, if entrance door is unlocked for 1 hour, turn on the alarm.", "tom")
+
+	var dur *Duration
+	WalkCond(rule.Cond, func(c Condition) {
+		if d, ok := c.(*Duration); ok {
+			dur = d
+		}
+	})
+	if dur == nil {
+		t.Fatal("no duration condition compiled")
+	}
+	if dur.Seconds != 3600 {
+		t.Errorf("duration = %g s, want 3600", dur.Seconds)
+	}
+	if dur.Key == "" {
+		t.Error("duration key empty")
+	}
+
+	ctx := NewContext(time.Date(2005, 3, 7, 23, 0, 0, 0, time.UTC))
+	ctx.Bools["entrance door/locked"] = false
+	if rule.Ready(ctx) {
+		t.Error("no hold yet")
+	}
+	ctx.MarkHeld(dur.Key)
+	ctx.Now = ctx.Now.Add(61 * time.Minute)
+	if !rule.Ready(ctx) {
+		t.Error("held 61 minutes at night: should fire")
+	}
+	// Same hold, but daytime.
+	ctx.Now = time.Date(2005, 3, 8, 12, 0, 0, 0, time.UTC)
+	if rule.Ready(ctx) {
+		t.Error("must not fire at noon")
+	}
+}
+
+func TestCompileUserCondWordExpansion(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting.", "tom")
+
+	ctx := NewContext(baseTime)
+	ctx.Numbers["humidity"] = 65
+	ctx.Numbers["temperature"] = 29
+	if !rule.Ready(ctx) {
+		t.Error("hot and stuffy holds at 65%/29C")
+	}
+	ctx.Numbers["humidity"] = 55
+	if rule.Ready(ctx) {
+		t.Error("not stuffy at 55%")
+	}
+	// The expansion must contain both comparisons.
+	var compares int
+	WalkCond(rule.Cond, func(c Condition) {
+		if _, ok := c.(*Compare); ok {
+			compares++
+		}
+	})
+	if compares != 2 {
+		t.Errorf("expanded compares = %d, want 2", compares)
+	}
+}
+
+func TestCompileRecursiveWordFails(t *testing.T) {
+	lex := vocab.Default()
+	if err := lex.DefineCondWord("gloomy", "gloomy", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	cmd, err := lang.Parse("If gloomy, turn on the light.", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewCompiler(lex).CompileRule(cmd.(*lang.RuleDef), "r", "tom")
+	if !errors.Is(err, ErrCompile) {
+		t.Errorf("error = %v, want ErrCompile for self-recursive word", err)
+	}
+}
+
+func TestCompileUnknownWordFails(t *testing.T) {
+	lex := vocab.Default()
+	if err := lex.DefineCondWord("chilly", "temperature is lower than nonsense degrees", "x"); err != nil {
+		t.Fatal(err)
+	}
+	cmd, err := lang.Parse("If chilly, turn on the heater.", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCompiler(lex).CompileRule(cmd.(*lang.RuleDef), "r", "x"); err == nil {
+		t.Error("malformed word definition should fail compilation")
+	}
+}
+
+func TestCompileConfWordExpansion(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"When i am in the living room, turn on the floor lamp with half-lighting.", "tom")
+	v, ok := rule.Action.Settings["brightness"]
+	if !ok || !v.IsNumber || v.Number != 50 {
+		t.Errorf("brightness = %+v, want 50", v)
+	}
+}
+
+func TestCompileDuplicateParameterFails(t *testing.T) {
+	lex := testLexicon(t)
+	cmd, err := lang.Parse(
+		"Turn on the air conditioner with 25 degrees of temperature setting and 27 degrees of temperature setting.", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCompiler(lex).CompileRule(cmd.(*lang.RuleDef), "r", "tom"); !errors.Is(err, ErrCompile) {
+		t.Errorf("duplicate parameter error = %v, want ErrCompile", err)
+	}
+}
+
+func TestCompilePresenceSubjects(t *testing.T) {
+	lex := testLexicon(t)
+	tests := []struct {
+		src   string
+		owner string
+		check func(t *testing.T, c Condition)
+	}{
+		{
+			src: "If i am in the living room, turn on the stereo.", owner: "tom",
+			check: func(t *testing.T, c Condition) {
+				p, ok := c.(*Presence)
+				if !ok || p.Person != "tom" || p.Place != "living room" {
+					t.Errorf("cond = %v", c)
+				}
+			},
+		},
+		{
+			src: "If nobody is at home, turn off the light.", owner: "tom",
+			check: func(t *testing.T, c Condition) {
+				if n, ok := c.(*Nobody); !ok || n.Place != "home" {
+					t.Errorf("cond = %v", c)
+				}
+			},
+		},
+		{
+			src: "If everyone is in the living room, turn on the tv.", owner: "tom",
+			check: func(t *testing.T, c Condition) {
+				if e, ok := c.(*Everyone); !ok || e.Place != "living room" {
+					t.Errorf("cond = %v", c)
+				}
+			},
+		},
+		{
+			src: "If someone is at the kitchen, turn on the kitchen light.", owner: "tom",
+			check: func(t *testing.T, c Condition) {
+				if p, ok := c.(*Presence); !ok || p.Person != Someone {
+					t.Errorf("cond = %v", c)
+				}
+			},
+		},
+	}
+	for _, tt := range tests {
+		rule := compileRule(t, lex, tt.src, tt.owner)
+		tt.check(t, rule.Cond)
+	}
+}
+
+func TestCompileMeWithoutOwnerFails(t *testing.T) {
+	lex := testLexicon(t)
+	cmd, err := lang.Parse("If i am in the living room, turn on the stereo.", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCompiler(lex).CompileRule(cmd.(*lang.RuleDef), "r", ""); !errors.Is(err, ErrCompile) {
+		t.Errorf("error = %v, want ErrCompile for ownerless \"i\"", err)
+	}
+}
+
+func TestCompileOnAirFavorite(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex, "If my favorite movie is on air, turn on the tv.", "emily")
+	oa, ok := rule.Cond.(*OnAir)
+	if !ok {
+		t.Fatalf("cond = %v", rule.Cond)
+	}
+	if oa.Category != "movie" || oa.FavoriteOf != "emily" {
+		t.Errorf("onair = %+v", oa)
+	}
+
+	rule = compileRule(t, lex, "If a baseball game is on air, turn on the tv.", "alan")
+	oa, ok = rule.Cond.(*OnAir)
+	if !ok || oa.Keyword != "baseball game" || oa.FavoriteOf != "" {
+		t.Errorf("onair = %+v", rule.Cond)
+	}
+}
+
+func TestCompileFahrenheitConversion(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"If temperature is higher than 86 degrees fahrenheit, turn on the air conditioner.", "tom")
+	cmp := rule.Cond.(*Compare)
+	if cmp.Value < 29.9 || cmp.Value > 30.1 {
+		t.Errorf("86F = %gC, want 30C", cmp.Value)
+	}
+}
+
+func TestCompileLocationQualifiedSensor(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"If temperature at the living room is higher than 28 degrees, turn on the air conditioner at the living room.", "tom")
+	cmp := rule.Cond.(*Compare)
+	if cmp.Var != "living room/temperature" {
+		t.Errorf("var = %q", cmp.Var)
+	}
+	if rule.Device.Location != "living room" {
+		t.Errorf("device = %+v", rule.Device)
+	}
+}
+
+func TestCompileTimeWindows(t *testing.T) {
+	lex := testLexicon(t)
+	tests := []struct {
+		src      string
+		from, to int
+	}{
+		{"After evening, turn on the light.", 17 * 60, 24 * 60},
+		{"Before evening, turn on the light.", 0, 17 * 60},
+		{"Until 22:00, turn on the light.", 0, 22 * 60},
+		{"In the evening, turn on the light.", 17 * 60, 22 * 60},
+		{"At night, turn on the light.", 22 * 60, 30 * 60},
+		{"At 18:00, turn on the light.", 18 * 60, 18*60 + 1},
+	}
+	for _, tt := range tests {
+		rule := compileRule(t, lex, tt.src, "tom")
+		win, ok := rule.Cond.(*TimeWindow)
+		if !ok {
+			t.Errorf("%q: cond = %v", tt.src, rule.Cond)
+			continue
+		}
+		if win.FromMin != tt.from || win.ToMin != tt.to {
+			t.Errorf("%q: window = [%d,%d), want [%d,%d)", tt.src, win.FromMin, win.ToMin, tt.from, tt.to)
+		}
+	}
+}
+
+func TestCompileEveryWeekday(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex, "At every monday 8 o'clock, turn on the coffee maker.", "tom")
+	win := rule.Cond.(*TimeWindow)
+	if win.Weekday != 1 {
+		t.Errorf("weekday = %d, want 1 (Monday)", win.Weekday)
+	}
+}
+
+func TestCompilePeriodFromTo(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex, "If the tv is turned on from 22:00 to 23:00, turn off the tv.", "tom")
+	and, ok := rule.Cond.(*And)
+	if !ok {
+		t.Fatalf("cond = %v", rule.Cond)
+	}
+	foundWin := false
+	for _, term := range and.Terms {
+		if w, ok := term.(*TimeWindow); ok && w.FromMin == 22*60 && w.ToMin == 23*60 {
+			foundWin = true
+		}
+	}
+	if !foundWin {
+		t.Errorf("cond = %v, want 22:00-23:00 window", rule.Cond)
+	}
+}
+
+func TestCompileDurationKeyStability(t *testing.T) {
+	lex := testLexicon(t)
+	r1 := compileRule(t, lex, "At night, if entrance door is unlocked for 1 hour, turn on the alarm.", "a")
+	r2 := compileRule(t, lex, "At night, if entrance door is unlocked for 1 hour, turn on the alarm.", "b")
+	key := func(r *Rule) string {
+		var k string
+		WalkCond(r.Cond, func(c Condition) {
+			if d, ok := c.(*Duration); ok {
+				k = d.Key
+			}
+		})
+		return k
+	}
+	if key(r1) == "" || key(r1) != key(r2) {
+		t.Errorf("duration keys differ for identical conditions: %q vs %q", key(r1), key(r2))
+	}
+}
+
+func TestCompileSourcePreserved(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex, "If hot and stuffy, turn on the air conditioner.", "tom")
+	if !strings.Contains(rule.Source, "hot and stuffy") {
+		t.Errorf("source = %q", rule.Source)
+	}
+	// The source must be reparseable (database round trip).
+	if _, err := lang.Parse(rule.Source, lex); err != nil {
+		t.Errorf("source not reparseable: %v", err)
+	}
+}
+
+func TestRuleVars(t *testing.T) {
+	lex := testLexicon(t)
+	rule := compileRule(t, lex,
+		"If hot and stuffy and i am in the living room, turn on the air conditioner.", "tom")
+	vars := rule.Vars()
+	joined := strings.Join(vars, ",")
+	for _, want := range []string{"humidity", "temperature", "presence/tom"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("vars %v missing %s", vars, want)
+		}
+	}
+	// Sorted and unique.
+	for i := 1; i < len(vars); i++ {
+		if vars[i-1] >= vars[i] {
+			t.Errorf("vars not sorted/unique: %v", vars)
+		}
+	}
+}
+
+func TestDeviceRefMatches(t *testing.T) {
+	tests := []struct {
+		a, b DeviceRef
+		want bool
+	}{
+		{DeviceRef{Name: "tv"}, DeviceRef{Name: "tv"}, true},
+		{DeviceRef{Name: "tv"}, DeviceRef{Name: "stereo"}, false},
+		{DeviceRef{Name: "light", Location: "hall"}, DeviceRef{Name: "light", Location: "hall"}, true},
+		{DeviceRef{Name: "light", Location: "hall"}, DeviceRef{Name: "light", Location: "kitchen"}, false},
+		{DeviceRef{Name: "light", Location: "hall"}, DeviceRef{Name: "light"}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Matches(tt.b); got != tt.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Matches(tt.a); got != tt.want {
+			t.Errorf("Matches not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestActionEqual(t *testing.T) {
+	a := Action{Verb: "turn-on", Settings: map[string]Value{"temperature": {IsNumber: true, Number: 25, Unit: "celsius"}}}
+	b := Action{Verb: "turn-on", Settings: map[string]Value{"temperature": {IsNumber: true, Number: 25, Unit: "celsius"}}}
+	c := Action{Verb: "turn-on", Settings: map[string]Value{"temperature": {IsNumber: true, Number: 24, Unit: "celsius"}}}
+	d := Action{Verb: "turn-off"}
+	if !a.Equal(b) {
+		t.Error("identical actions should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("different settings should differ")
+	}
+	if a.Equal(d) {
+		t.Error("different verbs should differ")
+	}
+	if d.Equal(Action{Verb: "turn-off", Settings: map[string]Value{"x": {}}}) {
+		t.Error("different setting counts should differ")
+	}
+}

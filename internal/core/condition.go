@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/simplex"
+)
+
+// Condition is a compiled, executable condition tree node.
+type Condition interface {
+	fmt.Stringer
+	// Eval reports whether the condition holds in the context.
+	Eval(ctx *Context) bool
+	// Vars appends the variable names the condition reads to dst. The
+	// engine uses this to index rules by the sensors they depend on.
+	Vars(dst []string) []string
+}
+
+// And is a conjunction of conditions.
+type And struct {
+	Terms []Condition
+}
+
+// Eval implements Condition.
+func (a *And) Eval(ctx *Context) bool {
+	for _, t := range a.Terms {
+		if !t.Eval(ctx) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars implements Condition.
+func (a *And) Vars(dst []string) []string {
+	for _, t := range a.Terms {
+		dst = t.Vars(dst)
+	}
+	return dst
+}
+
+func (a *And) String() string { return joinCond(a.Terms, " and ") }
+
+// Or is a disjunction of conditions.
+type Or struct {
+	Terms []Condition
+}
+
+// Eval implements Condition.
+func (o *Or) Eval(ctx *Context) bool {
+	for _, t := range o.Terms {
+		if t.Eval(ctx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars implements Condition.
+func (o *Or) Vars(dst []string) []string {
+	for _, t := range o.Terms {
+		dst = t.Vars(dst)
+	}
+	return dst
+}
+
+func (o *Or) String() string { return "( " + joinCond(o.Terms, " or ") + " )" }
+
+func joinCond(terms []Condition, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// Compare is a numeric sensor comparison, e.g. temperature > 28.
+type Compare struct {
+	Var   string
+	Op    simplex.Relation
+	Value float64
+}
+
+// Eval implements Condition. An unknown variable makes the comparison false.
+func (c *Compare) Eval(ctx *Context) bool {
+	v, ok := ctx.Number(c.Var)
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case simplex.LE:
+		return v <= c.Value
+	case simplex.GE:
+		return v >= c.Value
+	case simplex.LT:
+		return v < c.Value
+	case simplex.GT:
+		return v > c.Value
+	case simplex.EQ:
+		return v == c.Value
+	default:
+		return false
+	}
+}
+
+// Vars implements Condition.
+func (c *Compare) Vars(dst []string) []string { return append(dst, c.Var) }
+
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %g", c.Var, c.Op, c.Value)
+}
+
+// BoolIs is a boolean device/sensor state test, e.g. tv/power == true.
+type BoolIs struct {
+	Var  string
+	Want bool
+}
+
+// Eval implements Condition. An unknown variable makes the test false.
+func (b *BoolIs) Eval(ctx *Context) bool {
+	v, ok := ctx.Bool(b.Var)
+	return ok && v == b.Want
+}
+
+// Vars implements Condition.
+func (b *BoolIs) Vars(dst []string) []string { return append(dst, b.Var) }
+
+func (b *BoolIs) String() string {
+	return fmt.Sprintf("%s == %v", b.Var, b.Want)
+}
+
+// Presence tests whether a person (or anyone, with Person == Someone) is at
+// a place.
+type Presence struct {
+	Person string
+	Place  string
+}
+
+// Eval implements Condition.
+func (p *Presence) Eval(ctx *Context) bool {
+	if p.Person == Someone {
+		return ctx.AnyoneAt(p.Place)
+	}
+	return ctx.At(p.Person, p.Place)
+}
+
+// Vars implements Condition.
+func (p *Presence) Vars(dst []string) []string {
+	return append(dst, "presence/"+p.Person)
+}
+
+func (p *Presence) String() string {
+	who := p.Person
+	if who == Someone {
+		who = "someone"
+	}
+	return fmt.Sprintf("%s at %s", who, p.Place)
+}
+
+// Nobody tests that no user is at a place.
+type Nobody struct {
+	Place string
+}
+
+// Eval implements Condition.
+func (n *Nobody) Eval(ctx *Context) bool { return !ctx.AnyoneAt(n.Place) }
+
+// Vars implements Condition.
+func (n *Nobody) Vars(dst []string) []string { return append(dst, "presence/*") }
+
+func (n *Nobody) String() string { return "nobody at " + n.Place }
+
+// Everyone tests that every registered user is at a place.
+type Everyone struct {
+	Place string
+}
+
+// Eval implements Condition.
+func (e *Everyone) Eval(ctx *Context) bool { return ctx.EveryoneAt(e.Place) }
+
+// Vars implements Condition.
+func (e *Everyone) Vars(dst []string) []string { return append(dst, "presence/*") }
+
+func (e *Everyone) String() string { return "everyone at " + e.Place }
+
+// Arrival tests for a recent arrival event ("alan got home from work").
+type Arrival struct {
+	Person string // concrete name or Someone
+	Event  string // canonical event name, e.g. "home-from-work"
+}
+
+// Eval implements Condition.
+func (a *Arrival) Eval(ctx *Context) bool { return ctx.HasEvent(a.Person, a.Event) }
+
+// Vars implements Condition.
+func (a *Arrival) Vars(dst []string) []string {
+	return append(dst, "event/"+a.Event)
+}
+
+func (a *Arrival) String() string {
+	who := a.Person
+	if who == Someone {
+		who = "someone"
+	}
+	return fmt.Sprintf("%s %s", who, a.Event)
+}
+
+// OnAir tests whether a matching programme is being broadcast.
+type OnAir struct {
+	Keyword    string // concrete keyword/category ("baseball game")
+	Category   string // category restriction for favourite matches ("movie")
+	FavoriteOf string // owner whose favourites must match, "" for none
+}
+
+// Eval implements Condition.
+func (o *OnAir) Eval(ctx *Context) bool {
+	return ctx.OnAirMatch(o.Keyword, o.Category, o.FavoriteOf)
+}
+
+// Vars implements Condition.
+func (o *OnAir) Vars(dst []string) []string { return append(dst, "epg/programs") }
+
+func (o *OnAir) String() string {
+	switch {
+	case o.FavoriteOf != "" && o.Category != "":
+		return fmt.Sprintf("favorite %s of %s on air", o.Category, o.FavoriteOf)
+	case o.Keyword != "":
+		return fmt.Sprintf("%q on air", o.Keyword)
+	default:
+		return "something on air"
+	}
+}
+
+// TimeWindow restricts to a daily window of minutes [From, To). When From >
+// To the window wraps midnight (e.g. night = 22:00-06:00). Weekday, when
+// non-negative, additionally requires time.Weekday(Weekday).
+type TimeWindow struct {
+	FromMin int
+	ToMin   int
+	Weekday int // -1 for any day
+}
+
+// Eval implements Condition.
+func (w *TimeWindow) Eval(ctx *Context) bool {
+	if w.Weekday >= 0 && int(ctx.Now.Weekday()) != w.Weekday {
+		return false
+	}
+	minute := ctx.Now.Hour()*60 + ctx.Now.Minute()
+	from, to := w.FromMin, w.ToMin%(24*60)
+	if w.FromMin == w.ToMin {
+		return true // degenerate full-day window
+	}
+	if w.FromMin < w.ToMin && w.ToMin <= 24*60 {
+		return minute >= from && minute < w.ToMin
+	}
+	// Wrapping window.
+	return minute >= from || minute < to
+}
+
+// Vars implements Condition.
+func (w *TimeWindow) Vars(dst []string) []string { return append(dst, "clock/minute") }
+
+func (w *TimeWindow) String() string {
+	day := ""
+	if w.Weekday >= 0 {
+		day = " on " + time.Weekday(w.Weekday).String()
+	}
+	return fmt.Sprintf("time in [%02d:%02d, %02d:%02d)%s",
+		w.FromMin/60, w.FromMin%60, (w.ToMin%(24*60))/60, w.ToMin%60, day)
+}
+
+// Duration requires its inner condition to have held continuously for at
+// least Seconds. The engine tracks the hold start per Key via
+// Context.MarkHeld/ClearHeld.
+type Duration struct {
+	Inner   Condition
+	Seconds float64
+	Key     string
+}
+
+// Eval implements Condition.
+func (d *Duration) Eval(ctx *Context) bool {
+	if !d.Inner.Eval(ctx) {
+		return false
+	}
+	since, ok := ctx.HeldSince(d.Key)
+	if !ok {
+		return false
+	}
+	return ctx.Now.Sub(since) >= time.Duration(d.Seconds*float64(time.Second))
+}
+
+// Vars implements Condition.
+func (d *Duration) Vars(dst []string) []string {
+	dst = d.Inner.Vars(dst)
+	return append(dst, "clock/minute")
+}
+
+func (d *Duration) String() string {
+	return fmt.Sprintf("(%s) held for %gs", d.Inner, d.Seconds)
+}
+
+// Always is the trivially true condition used for rules without one.
+type Always struct{}
+
+// Eval implements Condition.
+func (Always) Eval(*Context) bool { return true }
+
+// Vars implements Condition.
+func (Always) Vars(dst []string) []string { return dst }
+
+func (Always) String() string { return "always" }
+
+// WalkCond visits every node of the condition tree in depth-first order.
+func WalkCond(c Condition, visit func(Condition)) {
+	if c == nil {
+		return
+	}
+	visit(c)
+	switch n := c.(type) {
+	case *And:
+		for _, t := range n.Terms {
+			WalkCond(t, visit)
+		}
+	case *Or:
+		for _, t := range n.Terms {
+			WalkCond(t, visit)
+		}
+	case *Duration:
+		WalkCond(n.Inner, visit)
+	}
+}

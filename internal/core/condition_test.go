@@ -1,0 +1,351 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simplex"
+)
+
+var baseTime = time.Date(2005, 3, 7, 18, 30, 0, 0, time.UTC) // a Monday evening
+
+func exampleContext() *Context {
+	ctx := NewContext(baseTime)
+	ctx.Numbers["living room/temperature"] = 29
+	ctx.Numbers["living room/humidity"] = 70
+	ctx.Bools["tv/power"] = true
+	ctx.Bools["hall/dark"] = true
+	ctx.Bools["entrance door/locked"] = false
+	ctx.Users = []string{"tom", "alan", "emily"}
+	ctx.Locations["tom"] = "living room"
+	ctx.Locations["alan"] = ""
+	ctx.Programs = []Program{
+		{Title: "Tigers vs Giants", Category: "baseball game", Keywords: []string{"tigers"}},
+		{Title: "Roman Holiday", Category: "movie", Keywords: []string{"audrey hepburn"}},
+	}
+	ctx.Favorites["emily"] = []string{"roman holiday"}
+	return ctx
+}
+
+func TestCompareEval(t *testing.T) {
+	ctx := exampleContext()
+	tests := []struct {
+		name string
+		cond Condition
+		want bool
+	}{
+		{name: "gt true", cond: &Compare{Var: "living room/temperature", Op: simplex.GT, Value: 28}, want: true},
+		{name: "gt false", cond: &Compare{Var: "living room/temperature", Op: simplex.GT, Value: 29}, want: false},
+		{name: "ge boundary", cond: &Compare{Var: "living room/temperature", Op: simplex.GE, Value: 29}, want: true},
+		{name: "lt false", cond: &Compare{Var: "living room/humidity", Op: simplex.LT, Value: 60}, want: false},
+		{name: "le true", cond: &Compare{Var: "living room/humidity", Op: simplex.LE, Value: 70}, want: true},
+		{name: "eq", cond: &Compare{Var: "living room/humidity", Op: simplex.EQ, Value: 70}, want: true},
+		{name: "unknown var", cond: &Compare{Var: "basement/radon", Op: simplex.GT, Value: 0}, want: false},
+		{name: "suffix fallback", cond: &Compare{Var: "temperature", Op: simplex.GT, Value: 28}, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.cond.Eval(ctx); got != tt.want {
+				t.Errorf("Eval(%s) = %v, want %v", tt.cond, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBoolIsEval(t *testing.T) {
+	ctx := exampleContext()
+	if !(&BoolIs{Var: "tv/power", Want: true}).Eval(ctx) {
+		t.Error("tv power should be on")
+	}
+	if (&BoolIs{Var: "tv/power", Want: false}).Eval(ctx) {
+		t.Error("tv power=false should fail")
+	}
+	if !(&BoolIs{Var: "entrance door/locked", Want: false}).Eval(ctx) {
+		t.Error("door is unlocked")
+	}
+	if (&BoolIs{Var: "garage/door", Want: true}).Eval(ctx) {
+		t.Error("unknown var should be false")
+	}
+	// Suffix fallback: bare "dark" finds hall/dark.
+	if !(&BoolIs{Var: "dark", Want: true}).Eval(ctx) {
+		t.Error("bare dark should resolve to hall/dark")
+	}
+}
+
+func TestPresenceEval(t *testing.T) {
+	ctx := exampleContext()
+	if !(&Presence{Person: "tom", Place: "living room"}).Eval(ctx) {
+		t.Error("tom is in the living room")
+	}
+	if (&Presence{Person: "alan", Place: "living room"}).Eval(ctx) {
+		t.Error("alan is away")
+	}
+	if !(&Presence{Person: "tom", Place: "home"}).Eval(ctx) {
+		t.Error("tom is home")
+	}
+	if !(&Presence{Person: Someone, Place: "living room"}).Eval(ctx) {
+		t.Error("someone is in the living room")
+	}
+	if (&Presence{Person: Someone, Place: "kitchen"}).Eval(ctx) {
+		t.Error("kitchen is empty")
+	}
+}
+
+func TestNobodyEveryoneEval(t *testing.T) {
+	ctx := exampleContext()
+	if !(&Nobody{Place: "kitchen"}).Eval(ctx) {
+		t.Error("nobody in kitchen")
+	}
+	if (&Nobody{Place: "living room"}).Eval(ctx) {
+		t.Error("tom is in living room")
+	}
+	if (&Everyone{Place: "living room"}).Eval(ctx) {
+		t.Error("not everyone in living room")
+	}
+	ctx.Locations["alan"] = "living room"
+	ctx.Locations["emily"] = "living room"
+	if !(&Everyone{Place: "living room"}).Eval(ctx) {
+		t.Error("everyone is in living room now")
+	}
+	empty := NewContext(baseTime)
+	if (&Everyone{Place: "anywhere"}).Eval(empty) {
+		t.Error("everyone with no users should be false")
+	}
+}
+
+func TestArrivalEvalAndTTL(t *testing.T) {
+	ctx := exampleContext()
+	ctx.RecordEvent("alan", "home-from-work")
+	if !(&Arrival{Person: "alan", Event: "home-from-work"}).Eval(ctx) {
+		t.Error("fresh event should match")
+	}
+	if !(&Arrival{Person: Someone, Event: "home-from-work"}).Eval(ctx) {
+		t.Error("someone matcher should match")
+	}
+	if (&Arrival{Person: "emily", Event: "home-from-work"}).Eval(ctx) {
+		t.Error("emily did not arrive")
+	}
+	// Stale events do not match.
+	ctx.Now = ctx.Now.Add(10 * time.Minute)
+	if (&Arrival{Person: "alan", Event: "home-from-work"}).Eval(ctx) {
+		t.Error("event older than TTL should not match")
+	}
+	ctx.EventTTL = time.Hour
+	if !(&Arrival{Person: "alan", Event: "home-from-work"}).Eval(ctx) {
+		t.Error("longer TTL should keep event fresh")
+	}
+}
+
+func TestOnAirEval(t *testing.T) {
+	ctx := exampleContext()
+	if !(&OnAir{Keyword: "baseball game"}).Eval(ctx) {
+		t.Error("baseball game is on air")
+	}
+	if !(&OnAir{Keyword: "tigers"}).Eval(ctx) {
+		t.Error("keyword match should work")
+	}
+	if (&OnAir{Keyword: "sumo"}).Eval(ctx) {
+		t.Error("sumo is not on air")
+	}
+	if !(&OnAir{Category: "movie", FavoriteOf: "emily"}).Eval(ctx) {
+		t.Error("emily's favourite movie is on air")
+	}
+	if (&OnAir{Category: "movie", FavoriteOf: "tom"}).Eval(ctx) {
+		t.Error("tom has no favourites")
+	}
+	ctx.Programs = ctx.Programs[:1]
+	if (&OnAir{Category: "movie", FavoriteOf: "emily"}).Eval(ctx) {
+		t.Error("movie went off air")
+	}
+}
+
+func TestTimeWindowEval(t *testing.T) {
+	tests := []struct {
+		name string
+		win  TimeWindow
+		at   time.Time
+		want bool
+	}{
+		{
+			name: "inside evening",
+			win:  TimeWindow{FromMin: 17 * 60, ToMin: 22 * 60, Weekday: -1},
+			at:   time.Date(2005, 3, 7, 18, 30, 0, 0, time.UTC),
+			want: true,
+		},
+		{
+			name: "before evening",
+			win:  TimeWindow{FromMin: 17 * 60, ToMin: 22 * 60, Weekday: -1},
+			at:   time.Date(2005, 3, 7, 12, 0, 0, 0, time.UTC),
+			want: false,
+		},
+		{
+			name: "night wraps midnight (before)",
+			win:  TimeWindow{FromMin: 22 * 60, ToMin: 30 * 60, Weekday: -1},
+			at:   time.Date(2005, 3, 7, 23, 30, 0, 0, time.UTC),
+			want: true,
+		},
+		{
+			name: "night wraps midnight (after)",
+			win:  TimeWindow{FromMin: 22 * 60, ToMin: 30 * 60, Weekday: -1},
+			at:   time.Date(2005, 3, 8, 3, 0, 0, 0, time.UTC),
+			want: true,
+		},
+		{
+			name: "night excludes noon",
+			win:  TimeWindow{FromMin: 22 * 60, ToMin: 30 * 60, Weekday: -1},
+			at:   time.Date(2005, 3, 8, 12, 0, 0, 0, time.UTC),
+			want: false,
+		},
+		{
+			name: "weekday match",
+			win:  TimeWindow{FromMin: 0, ToMin: 24 * 60, Weekday: 1}, // Monday
+			at:   time.Date(2005, 3, 7, 10, 0, 0, 0, time.UTC),       // a Monday
+			want: true,
+		},
+		{
+			name: "weekday mismatch",
+			win:  TimeWindow{FromMin: 0, ToMin: 24 * 60, Weekday: 2},
+			at:   time.Date(2005, 3, 7, 10, 0, 0, 0, time.UTC),
+			want: false,
+		},
+		{
+			name: "single minute at",
+			win:  TimeWindow{FromMin: 18*60 + 30, ToMin: 18*60 + 31, Weekday: -1},
+			at:   time.Date(2005, 3, 7, 18, 30, 45, 0, time.UTC),
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ctx := NewContext(tt.at)
+			if got := tt.win.Eval(ctx); got != tt.want {
+				t.Errorf("Eval(%s at %v) = %v, want %v", tt.win.String(), tt.at, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDurationEval(t *testing.T) {
+	ctx := exampleContext()
+	inner := &BoolIs{Var: "entrance door/locked", Want: false}
+	d := &Duration{Inner: inner, Seconds: 3600, Key: "k1"}
+
+	if d.Eval(ctx) {
+		t.Error("no hold recorded yet")
+	}
+	ctx.MarkHeld("k1")
+	if d.Eval(ctx) {
+		t.Error("hold just started")
+	}
+	ctx.Now = ctx.Now.Add(time.Hour)
+	if !d.Eval(ctx) {
+		t.Error("held for an hour")
+	}
+	// Inner turning false defeats the duration even if the mark is stale.
+	ctx.Bools["entrance door/locked"] = true
+	if d.Eval(ctx) {
+		t.Error("inner false should defeat duration")
+	}
+	ctx.ClearHeld("k1")
+	ctx.Bools["entrance door/locked"] = false
+	if d.Eval(ctx) {
+		t.Error("cleared mark should reset hold")
+	}
+}
+
+func TestAndOrEval(t *testing.T) {
+	ctx := exampleContext()
+	hot := &Compare{Var: "living room/temperature", Op: simplex.GT, Value: 28}
+	cold := &Compare{Var: "living room/temperature", Op: simplex.LT, Value: 10}
+	dark := &BoolIs{Var: "hall/dark", Want: true}
+
+	if !(&And{Terms: []Condition{hot, dark}}).Eval(ctx) {
+		t.Error("hot and dark should hold")
+	}
+	if (&And{Terms: []Condition{hot, cold}}).Eval(ctx) {
+		t.Error("hot and cold cannot hold")
+	}
+	if !(&Or{Terms: []Condition{cold, dark}}).Eval(ctx) {
+		t.Error("cold or dark should hold")
+	}
+	if (&Or{Terms: []Condition{cold}}).Eval(ctx) {
+		t.Error("or of false is false")
+	}
+	if !(Always{}).Eval(ctx) {
+		t.Error("always is true")
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	cond := &And{Terms: []Condition{
+		&Compare{Var: "temperature", Op: simplex.GT, Value: 28},
+		&Or{Terms: []Condition{
+			&BoolIs{Var: "tv/power", Want: true},
+			&Presence{Person: "tom", Place: "living room"},
+		}},
+		&Duration{Inner: &BoolIs{Var: "door/locked", Want: false}, Seconds: 10, Key: "k"},
+	}}
+	vars := cond.Vars(nil)
+	joined := strings.Join(vars, ",")
+	for _, want := range []string{"temperature", "tv/power", "presence/tom", "door/locked", "clock/minute"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("vars %v missing %q", vars, want)
+		}
+	}
+}
+
+func TestWalkCond(t *testing.T) {
+	cond := &And{Terms: []Condition{
+		&Compare{Var: "a", Op: simplex.GT, Value: 1},
+		&Or{Terms: []Condition{
+			&BoolIs{Var: "b", Want: true},
+			&Duration{Inner: &BoolIs{Var: "c", Want: false}, Seconds: 5, Key: "k"},
+		}},
+	}}
+	count := 0
+	WalkCond(cond, func(Condition) { count++ })
+	if count != 6 {
+		t.Errorf("visited %d nodes, want 6", count)
+	}
+}
+
+func TestContextClone(t *testing.T) {
+	ctx := exampleContext()
+	ctx.MarkHeld("x")
+	clone := ctx.Clone()
+	clone.Numbers["living room/temperature"] = 10
+	clone.Locations["tom"] = "kitchen"
+	clone.ClearHeld("x")
+	if ctx.Numbers["living room/temperature"] != 29 {
+		t.Error("clone mutated original numbers")
+	}
+	if ctx.Locations["tom"] != "living room" {
+		t.Error("clone mutated original locations")
+	}
+	if _, ok := ctx.HeldSince("x"); !ok {
+		t.Error("clone mutated original held marks")
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	conds := []Condition{
+		&Compare{Var: "temperature", Op: simplex.GT, Value: 28},
+		&BoolIs{Var: "tv/power", Want: true},
+		&Presence{Person: Someone, Place: "hall"},
+		&Nobody{Place: "home"},
+		&Everyone{Place: "living room"},
+		&Arrival{Person: "alan", Event: "home-from-work"},
+		&OnAir{Keyword: "baseball game"},
+		&OnAir{Category: "movie", FavoriteOf: "emily"},
+		&TimeWindow{FromMin: 17 * 60, ToMin: 22 * 60, Weekday: -1},
+		&Duration{Inner: Always{}, Seconds: 60, Key: "k"},
+		&And{Terms: []Condition{Always{}, Always{}}},
+		&Or{Terms: []Condition{Always{}, Always{}}},
+	}
+	for _, c := range conds {
+		if c.String() == "" {
+			t.Errorf("%T has empty String()", c)
+		}
+	}
+}

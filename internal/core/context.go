@@ -1,0 +1,270 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Someone is the wildcard person used by conditions like "someone returns
+// home".
+const Someone = "*"
+
+// Program is a broadcast programme currently on air, as reported by the EPG
+// sensor.
+type Program struct {
+	Title    string
+	Category string   // "movie", "baseball game", "news", ...
+	Keywords []string // free-form keywords ("yankees", "roman holiday")
+}
+
+// Context is the instantaneous world snapshot conditions are evaluated
+// against. The rule execution engine maintains one Context and updates it
+// from sensor events; Eval never mutates it.
+type Context struct {
+	// Now is the current simulation or wall-clock time.
+	Now time.Time
+	// Numbers holds numeric sensor readings keyed by variable name,
+	// optionally location-qualified: "temperature" or
+	// "living room/temperature".
+	Numbers map[string]float64
+	// Bools holds boolean device/sensor states: "tv/power",
+	// "entrance door/locked", "hall/dark".
+	Bools map[string]bool
+	// Locations maps each user to the place they are currently in; absent or
+	// empty means away from home.
+	Locations map[string]string
+	// Users lists every registered user (needed by "everyone"/"nobody").
+	Users []string
+	// Events holds recent arrival events keyed by person + "|" + event name
+	// ("alan|home-from-work") with the time the event fired.
+	Events map[string]time.Time
+	// EventTTL is how long an arrival event stays fresh. Zero means 5
+	// minutes.
+	EventTTL time.Duration
+	// Programs lists the programmes currently on air.
+	Programs []Program
+	// Favorites maps a user to their registered favourite keywords, used by
+	// "my favorite movie is on air".
+	Favorites map[string][]string
+	// Held maps a duration-condition key to the time its inner condition
+	// most recently became true. Maintained by the engine.
+	Held map[string]time.Time
+}
+
+// NewContext returns an empty context at the given time.
+func NewContext(now time.Time) *Context {
+	return &Context{
+		Now:       now,
+		Numbers:   make(map[string]float64),
+		Bools:     make(map[string]bool),
+		Locations: make(map[string]string),
+		Events:    make(map[string]time.Time),
+		Favorites: make(map[string][]string),
+		Held:      make(map[string]time.Time),
+	}
+}
+
+// Clone returns a deep copy of the context.
+func (c *Context) Clone() *Context {
+	out := NewContext(c.Now)
+	out.EventTTL = c.EventTTL
+	for k, v := range c.Numbers {
+		out.Numbers[k] = v
+	}
+	for k, v := range c.Bools {
+		out.Bools[k] = v
+	}
+	for k, v := range c.Locations {
+		out.Locations[k] = v
+	}
+	out.Users = append(out.Users, c.Users...)
+	for k, v := range c.Events {
+		out.Events[k] = v
+	}
+	out.Programs = append(out.Programs, c.Programs...)
+	for k, v := range c.Favorites {
+		out.Favorites[k] = append([]string(nil), v...)
+	}
+	for k, v := range c.Held {
+		out.Held[k] = v
+	}
+	return out
+}
+
+// Number resolves a numeric variable. An exact key match wins; an
+// unqualified name additionally matches a location-qualified entry when the
+// suffix match is unique (sorted order breaks ties deterministically).
+func (c *Context) Number(name string) (float64, bool) {
+	if v, ok := c.Numbers[name]; ok {
+		return v, true
+	}
+	if strings.Contains(name, "/") {
+		return 0, false
+	}
+	var keys []string
+	suffix := "/" + name
+	for k := range c.Numbers {
+		if strings.HasSuffix(k, suffix) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return 0, false
+	}
+	sort.Strings(keys)
+	return c.Numbers[keys[0]], true
+}
+
+// Bool resolves a boolean variable with the same qualification rules as
+// Number.
+func (c *Context) Bool(name string) (bool, bool) {
+	if v, ok := c.Bools[name]; ok {
+		return v, true
+	}
+	if strings.Contains(name, "/") {
+		return false, false
+	}
+	var keys []string
+	suffix := "/" + name
+	for k := range c.Bools {
+		if strings.HasSuffix(k, suffix) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return false, false
+	}
+	sort.Strings(keys)
+	return c.Bools[keys[0]], true
+}
+
+// At reports whether the person is at the place. "home" matches any
+// non-empty location.
+func (c *Context) At(person, place string) bool {
+	loc, ok := c.Locations[person]
+	if !ok || loc == "" {
+		return false
+	}
+	if place == "home" {
+		return true
+	}
+	return loc == place
+}
+
+// AnyoneAt reports whether at least one user is at the place.
+func (c *Context) AnyoneAt(place string) bool {
+	for person := range c.Locations {
+		if c.At(person, place) {
+			return true
+		}
+	}
+	return false
+}
+
+// EveryoneAt reports whether every registered user is at the place. It is
+// false when no users are registered.
+func (c *Context) EveryoneAt(place string) bool {
+	if len(c.Users) == 0 {
+		return false
+	}
+	for _, person := range c.Users {
+		if !c.At(person, place) {
+			return false
+		}
+	}
+	return true
+}
+
+// eventTTL returns the configured freshness window.
+func (c *Context) eventTTL() time.Duration {
+	if c.EventTTL > 0 {
+		return c.EventTTL
+	}
+	return 5 * time.Minute
+}
+
+// HasEvent reports whether the arrival event fired recently for the person
+// (or for anyone, when person is Someone).
+func (c *Context) HasEvent(person, event string) bool {
+	if person != Someone {
+		at, ok := c.Events[person+"|"+event]
+		return ok && c.Now.Sub(at) <= c.eventTTL()
+	}
+	suffix := "|" + event
+	for key, at := range c.Events {
+		if strings.HasSuffix(key, suffix) && c.Now.Sub(at) <= c.eventTTL() {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordEvent stores an arrival event at the current context time.
+func (c *Context) RecordEvent(person, event string) {
+	c.Events[person+"|"+event] = c.Now
+}
+
+// OnAirMatch reports whether a programme matching the query is on air.
+// A non-empty keyword matches the programme title, category or any keyword
+// (case-insensitive). A non-empty category restricts by category, and a
+// non-empty favoriteOf additionally requires one of that user's favourite
+// keywords to appear among the programme's title or keywords.
+func (c *Context) OnAirMatch(keyword, category, favoriteOf string) bool {
+	for _, prog := range c.Programs {
+		if category != "" && !strings.EqualFold(prog.Category, category) {
+			continue
+		}
+		if keyword != "" && !programHasKeyword(prog, keyword) {
+			continue
+		}
+		if favoriteOf != "" {
+			found := false
+			for _, fav := range c.Favorites[favoriteOf] {
+				if programHasKeyword(prog, fav) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func programHasKeyword(p Program, kw string) bool {
+	if strings.EqualFold(p.Category, kw) {
+		return true
+	}
+	if strings.Contains(strings.ToLower(p.Title), strings.ToLower(kw)) {
+		return true
+	}
+	for _, k := range p.Keywords {
+		if strings.EqualFold(k, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldSince returns when the duration-condition key last became true.
+func (c *Context) HeldSince(key string) (time.Time, bool) {
+	at, ok := c.Held[key]
+	return at, ok
+}
+
+// MarkHeld records that the duration-condition key became true at the
+// current time, unless already marked.
+func (c *Context) MarkHeld(key string) {
+	if _, ok := c.Held[key]; !ok {
+		c.Held[key] = c.Now
+	}
+}
+
+// ClearHeld removes the held mark for the key.
+func (c *Context) ClearHeld(key string) {
+	delete(c.Held, key)
+}

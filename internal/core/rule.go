@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeviceRef identifies the target device of a rule by friendly name and
+// optional location, as written in CADEL ("the light at the hall").
+type DeviceRef struct {
+	Name     string `json:"name"`
+	Location string `json:"location,omitempty"`
+}
+
+// Key returns a canonical "location/name" identifier.
+func (d DeviceRef) Key() string {
+	if d.Location == "" {
+		return d.Name
+	}
+	return d.Location + "/" + d.Name
+}
+
+// Matches reports whether two references denote the same device: names must
+// match and locations must match unless one side leaves it unspecified.
+func (d DeviceRef) Matches(other DeviceRef) bool {
+	if d.Name != other.Name {
+		return false
+	}
+	if d.Location == "" || other.Location == "" {
+		return true
+	}
+	return d.Location == other.Location
+}
+
+func (d DeviceRef) String() string { return d.Key() }
+
+// Value is a compiled setting or comparison value.
+type Value struct {
+	IsNumber bool    `json:"isNumber,omitempty"`
+	Number   float64 `json:"number,omitempty"`
+	Unit     string  `json:"unit,omitempty"`
+	Word     string  `json:"word,omitempty"`
+}
+
+func (v Value) String() string {
+	if v.IsNumber {
+		if v.Unit != "" {
+			return fmt.Sprintf("%g %s", v.Number, v.Unit)
+		}
+		return fmt.Sprintf("%g", v.Number)
+	}
+	return v.Word
+}
+
+// Equal reports exact value equality.
+func (v Value) Equal(other Value) bool { return v == other }
+
+// Action is the device command a rule executes: a canonical verb plus the
+// settings from the rule's "with ..." configuration.
+type Action struct {
+	Verb     string           `json:"verb"`
+	Settings map[string]Value `json:"settings,omitempty"`
+}
+
+// Equal reports whether two actions are identical (same verb, same
+// settings). Rules demanding non-equal actions on one device conflict.
+func (a Action) Equal(other Action) bool {
+	if a.Verb != other.Verb || len(a.Settings) != len(other.Settings) {
+		return false
+	}
+	for k, v := range a.Settings {
+		if ov, ok := other.Settings[k]; !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a Action) String() string {
+	if len(a.Settings) == 0 {
+		return a.Verb
+	}
+	keys := make([]string, 0, len(a.Settings))
+	for k := range a.Settings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, a.Settings[k]))
+	}
+	return a.Verb + " with " + strings.Join(parts, ", ")
+}
+
+// Rule is a compiled CADEL rule object: when Cond holds, apply Action to
+// Device. Source preserves the original CADEL text, which doubles as the
+// database serialization format.
+type Rule struct {
+	ID     string
+	Owner  string
+	Device DeviceRef
+	Action Action
+	Cond   Condition // never nil; Always{} when the rule is unconditional
+	Source string
+	// Seq is the registration sequence number assigned by the rule
+	// database; it provides a deterministic fallback ordering.
+	Seq uint64
+}
+
+// Ready reports whether the rule's condition holds in the context.
+func (r *Rule) Ready(ctx *Context) bool {
+	if r.Cond == nil {
+		return true
+	}
+	return r.Cond.Eval(ctx)
+}
+
+// Vars returns the sorted, de-duplicated variables the rule's condition
+// reads.
+func (r *Rule) Vars() []string {
+	if r.Cond == nil {
+		return nil
+	}
+	vars := r.Cond.Vars(nil)
+	sort.Strings(vars)
+	out := vars[:0]
+	for i, v := range vars {
+		if i == 0 || vars[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (r *Rule) String() string {
+	cond := "always"
+	if r.Cond != nil {
+		cond = r.Cond.String()
+	}
+	return fmt.Sprintf("[%s owner=%s] if %s then %s %s", r.ID, r.Owner, cond, r.Action, r.Device)
+}

@@ -1,0 +1,135 @@
+// Package device provides the virtual information appliances and sensors of
+// the simulated home: TVs, stereos, video recorders, air conditioners,
+// lights, alarms, door locks, thermometers, hygrometers, light sensors, RFID
+// presence sensors and an EPG tuner. Each is a upnp.Device built from a
+// small set of reusable UPnP services, so the home server controls and
+// observes them exactly as the paper's prototype controlled its 50 virtual
+// UPnP devices.
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/upnp"
+)
+
+// Service type URNs shared by the appliance templates.
+const (
+	SvcSwitchPower = "urn:schemas-upnp-org:service:SwitchPower:1"
+	SvcDimming     = "urn:schemas-upnp-org:service:Dimming:1"
+	SvcPlayback    = "urn:cadel-home:service:Playback:1"
+	SvcChannel     = "urn:cadel-home:service:Channel:1"
+	SvcThermostat  = "urn:cadel-home:service:Thermostat:1"
+	SvcRecording   = "urn:cadel-home:service:Recording:1"
+	SvcLock        = "urn:cadel-home:service:Lock:1"
+	SvcTempSensor  = "urn:cadel-home:service:TemperatureSensor:1"
+	SvcHumidSensor = "urn:cadel-home:service:HumiditySensor:1"
+	SvcLightSensor = "urn:cadel-home:service:LightSensor:1"
+	SvcPresence    = "urn:cadel-home:service:PresenceSensor:1"
+	SvcEPG         = "urn:cadel-home:service:EPG:1"
+)
+
+// Device type URNs.
+const (
+	TypeTV             = "urn:cadel-home:device:TV:1"
+	TypeStereo         = "urn:cadel-home:device:Stereo:1"
+	TypeVideoRecorder  = "urn:cadel-home:device:VideoRecorder:1"
+	TypeAirConditioner = "urn:cadel-home:device:AirConditioner:1"
+	TypeLight          = "urn:cadel-home:device:Light:1"
+	TypeAlarm          = "urn:cadel-home:device:Alarm:1"
+	TypeDoorLock       = "urn:cadel-home:device:DoorLock:1"
+	TypeThermometer    = "urn:cadel-home:device:Thermometer:1"
+	TypeHygrometer     = "urn:cadel-home:device:Hygrometer:1"
+	TypeLightSensor    = "urn:cadel-home:device:LightSensor:1"
+	TypePresenceSensor = "urn:cadel-home:device:PresenceSensor:1"
+	TypeEPGTuner       = "urn:cadel-home:device:EPGTuner:1"
+)
+
+// envSensorTypes marks device types whose readings describe the environment
+// of their room (context key "location/var") rather than the device itself.
+var envSensorTypes = map[string]bool{
+	TypeThermometer:    true,
+	TypeHygrometer:     true,
+	TypeLightSensor:    true,
+	TypePresenceSensor: true,
+	TypeEPGTuner:       true,
+}
+
+// IsEnvSensor reports whether the device type is an environment sensor.
+func IsEnvSensor(deviceType string) bool { return envSensorTypes[deviceType] }
+
+// Unit wraps a upnp.Device so that action handlers route their state
+// changes through the hosting DeviceHost (triggering UPnP events) once the
+// unit is published.
+type Unit struct {
+	Dev *upnp.Device
+
+	host     *upnp.DeviceHost
+	eventSeq atomic.Uint64
+}
+
+// Publish binds the unit to a host and announces it.
+func (u *Unit) Publish(h *upnp.DeviceHost) error {
+	u.host = h
+	return h.Publish(u.Dev)
+}
+
+// Set updates a state variable, routing through the host when bound so that
+// subscribers are notified.
+func (u *Unit) Set(serviceType, varName, value string) error {
+	if u.host != nil {
+		return u.host.SetVar(u.Dev.UDN, serviceType, varName, value)
+	}
+	svc, ok := u.Dev.Service(serviceType)
+	if !ok {
+		return fmt.Errorf("device: %s has no service %s", u.Dev.FriendlyName, serviceType)
+	}
+	v, ok := svc.Var(varName)
+	if !ok {
+		return fmt.Errorf("device: service %s has no variable %s", serviceType, varName)
+	}
+	v.Set(value) // pre-publish write: no subscribers yet, eventing not needed
+	return nil
+}
+
+// Get reads a state variable.
+func (u *Unit) Get(serviceType, varName string) (string, error) {
+	svc, ok := u.Dev.Service(serviceType)
+	if !ok {
+		return "", fmt.Errorf("device: %s has no service %s", u.Dev.FriendlyName, serviceType)
+	}
+	v, ok := svc.Var(varName)
+	if !ok {
+		return "", fmt.Errorf("device: service %s has no variable %s", serviceType, varName)
+	}
+	return v.Get(), nil
+}
+
+// UDN builds a deterministic UDN from a name and id.
+func UDN(name string, id int) string {
+	return fmt.Sprintf("uuid:%s-%d", sanitize(name), id)
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '-')
+		default:
+			// drop
+		}
+	}
+	return string(out)
+}
+
+// formatNumber renders a float for state variables.
+func formatNumber(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,400 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/upnp"
+)
+
+const searchWindow = 500 * time.Millisecond
+
+func testBench(t *testing.T) (*upnp.DeviceHost, *upnp.ControlPoint) {
+	t.Helper()
+	network := upnp.NewNetwork()
+	host, err := upnp.NewDeviceHost(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = host.Close() })
+	cp, err := upnp.NewControlPoint(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cp.Close() })
+	return host, cp
+}
+
+func TestUDN(t *testing.T) {
+	if got := UDN("air conditioner", 3); got != "uuid:air-conditioner-3" {
+		t.Errorf("UDN = %q", got)
+	}
+	if got := UDN("TV!", 1); got != "uuid:tv-1" {
+		t.Errorf("UDN = %q", got)
+	}
+}
+
+func TestTemplatesHaveExpectedShape(t *testing.T) {
+	tests := []struct {
+		unit     *Unit
+		devType  string
+		name     string
+		services []string
+	}{
+		{NewTV(1, "living room"), TypeTV, "tv", []string{SvcSwitchPower, SvcChannel, SvcPlayback}},
+		{NewStereo(1, "living room"), TypeStereo, "stereo", []string{SvcSwitchPower, SvcPlayback}},
+		{NewVideoRecorder(1, "living room"), TypeVideoRecorder, "video recorder", []string{SvcSwitchPower, SvcRecording}},
+		{NewAirConditioner(1, "living room"), TypeAirConditioner, "air conditioner", []string{SvcSwitchPower, SvcThermostat}},
+		{NewLight("floor lamp", 1, "living room"), TypeLight, "floor lamp", []string{SvcSwitchPower, SvcDimming}},
+		{NewAlarm(1, "hall"), TypeAlarm, "alarm", []string{SvcSwitchPower}},
+		{NewDoorLock("entrance door", 1, "entrance"), TypeDoorLock, "entrance door", []string{SvcLock}},
+		{NewThermometer(1, "living room", 22), TypeThermometer, "thermometer", []string{SvcTempSensor}},
+		{NewHygrometer(1, "living room", 55), TypeHygrometer, "hygrometer", []string{SvcHumidSensor}},
+		{NewLightSensor(1, "hall", true), TypeLightSensor, "light sensor", []string{SvcLightSensor}},
+		{NewPresenceSensor(1, []string{"tom"}), TypePresenceSensor, "presence sensor", []string{SvcPresence}},
+		{NewEPGTuner(1), TypeEPGTuner, "epg tuner", []string{SvcEPG}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := tt.unit.Dev
+			if d.DeviceType != tt.devType {
+				t.Errorf("type = %q, want %q", d.DeviceType, tt.devType)
+			}
+			if d.FriendlyName != tt.name {
+				t.Errorf("name = %q, want %q", d.FriendlyName, tt.name)
+			}
+			for _, svc := range tt.services {
+				if _, ok := d.Service(svc); !ok {
+					t.Errorf("missing service %s", svc)
+				}
+			}
+		})
+	}
+}
+
+func TestUnitSetGetPrePublish(t *testing.T) {
+	th := NewThermometer(1, "living room", 22)
+	if err := th.SetTemperature(28.5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := th.Get(SvcTempSensor, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "28.5" {
+		t.Errorf("temperature = %q", got)
+	}
+	if err := th.Set("urn:no:svc", "x", "1"); err == nil {
+		t.Error("unknown service should fail")
+	}
+	if _, err := th.Get(SvcTempSensor, "nope"); err == nil {
+		t.Error("unknown variable should fail")
+	}
+}
+
+func TestPublishedSensorEvents(t *testing.T) {
+	host, _ := testBench(t)
+	th := NewThermometer(2, "living room", 22)
+	if err := th.Publish(host); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	cancel, err := host.SubscribeLocal(th.Dev.UDN, SvcTempSensor, func(vars map[string]string) {
+		if v, ok := vars["temperature"]; ok {
+			got = append(got, v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := th.SetTemperature(29); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != "29" {
+		t.Errorf("events = %v, want initial 22 then 29", got)
+	}
+}
+
+func TestActionHandlersRouteThroughHost(t *testing.T) {
+	host, cp := testBench(t)
+	tv := NewTV(1, "living room")
+	if err := tv.Publish(host); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]string
+	cancel, err := host.SubscribeLocal(tv.Dev.UDN, SvcSwitchPower, func(vars map[string]string) {
+		events = append(events, vars)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	rd, err := cp.FindByName("tv", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Invoke(rd, SvcSwitchPower, "SetPower", map[string]string{"value": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Initial event + change event.
+	if len(events) != 2 || events[1]["power"] != "1" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestApplyActionTurnOnWithSettings(t *testing.T) {
+	host, cp := testBench(t)
+	ac := NewAirConditioner(1, "living room")
+	if err := ac.Publish(host); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByName("air conditioner", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	action := core.Action{
+		Verb: "turn-on",
+		Settings: map[string]core.Value{
+			"temperature": {IsNumber: true, Number: 25, Unit: "celsius"},
+			"humidity":    {IsNumber: true, Number: 60, Unit: "percent"},
+			"mode":        {Word: "dehumidification"},
+		},
+	}
+	if err := ApplyAction(cp, rd, action); err != nil {
+		t.Fatalf("ApplyAction: %v", err)
+	}
+	checks := []struct{ svc, varName, want string }{
+		{SvcSwitchPower, "power", "1"},
+		{SvcThermostat, "target-temperature", "25"},
+		{SvcThermostat, "target-humidity", "60"},
+		{SvcThermostat, "mode", "dehumidification"},
+	}
+	for _, c := range checks {
+		got, err := ac.Get(c.svc, c.varName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %q, want %q", c.varName, got, c.want)
+		}
+	}
+}
+
+func TestApplyActionPlayAndRecord(t *testing.T) {
+	host, cp := testBench(t)
+	stereo := NewStereo(1, "living room")
+	recorder := NewVideoRecorder(1, "living room")
+	for _, u := range []*Unit{stereo, recorder} {
+		if err := u.Publish(host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rdStereo, err := cp.FindByName("stereo", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyAction(cp, rdStereo, core.Action{
+		Verb:     "play",
+		Settings: map[string]core.Value{"mode": {Word: "jazz"}, "volume": {IsNumber: true, Number: 40}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := stereo.Get(SvcPlayback, "playing"); got != "1" {
+		t.Error("stereo not playing")
+	}
+	if got, _ := stereo.Get(SvcPlayback, "mode"); got != "jazz" {
+		t.Errorf("mode = %q", got)
+	}
+	if got, _ := stereo.Get(SvcPlayback, "volume"); got != "40" {
+		t.Errorf("volume = %q", got)
+	}
+	if err := ApplyAction(cp, rdStereo, core.Action{Verb: "stop"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := stereo.Get(SvcPlayback, "playing"); got != "0" {
+		t.Error("stereo still playing after stop")
+	}
+
+	rdRec, err := cp.FindByName("video recorder", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyAction(cp, rdRec, core.Action{
+		Verb:     "record",
+		Settings: map[string]core.Value{"mode": {Word: "baseball game"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := recorder.Get(SvcRecording, "recording"); got != "1" {
+		t.Error("recorder not recording")
+	}
+}
+
+func TestApplyActionLockUnlock(t *testing.T) {
+	host, cp := testBench(t)
+	door := NewDoorLock("entrance door", 1, "entrance")
+	if err := door.Publish(host); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByName("entrance door", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyAction(cp, rd, core.Action{Verb: "unlock"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := door.Get(SvcLock, "locked"); got != "0" {
+		t.Error("door still locked")
+	}
+	if err := ApplyAction(cp, rd, core.Action{Verb: "lock"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := door.Get(SvcLock, "locked"); got != "1" {
+		t.Error("door not locked")
+	}
+}
+
+func TestApplyActionErrors(t *testing.T) {
+	host, cp := testBench(t)
+	lamp := NewLight("floor lamp", 1, "living room")
+	if err := lamp.Publish(host); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByName("floor lamp", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyAction(cp, rd, core.Action{Verb: "warp"}); err == nil {
+		t.Error("unknown verb should fail")
+	}
+	// A setting the device cannot apply fails loudly.
+	err = ApplyAction(cp, rd, core.Action{
+		Verb:     "turn-on",
+		Settings: map[string]core.Value{"channel": {IsNumber: true, Number: 5}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cannot apply") {
+		t.Errorf("error = %v, want cannot-apply", err)
+	}
+}
+
+func TestPresenceSensor(t *testing.T) {
+	host, _ := testBench(t)
+	ps := NewPresenceSensor(1, []string{"tom", "alan"})
+	if err := ps.Publish(host); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]string
+	cancel, err := host.SubscribeLocal(ps.Dev.UDN, SvcPresence, func(vars map[string]string) {
+		events = append(events, vars)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := ps.SetUserLocation("tom", "living room"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.FireArrival("alan", "home-from-work"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.FireArrival("alan", "home-from-work"); err != nil {
+		t.Fatal(err)
+	}
+	// initial + location + 2 distinct arrival events (seq disambiguates)
+	if len(events) != 4 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[1]["presence-tom"] != "living room" {
+		t.Errorf("presence event = %v", events[1])
+	}
+	if !strings.HasPrefix(events[2]["event"], "alan|home-from-work|") {
+		t.Errorf("arrival event = %v", events[2])
+	}
+	if events[2]["event"] == events[3]["event"] {
+		t.Error("consecutive identical arrivals must differ by sequence")
+	}
+}
+
+func TestContextKeys(t *testing.T) {
+	tests := []struct {
+		devType, name, loc, varName string
+		want                        []string
+	}{
+		{TypeThermometer, "thermometer", "living room", "temperature", []string{"living room/temperature"}},
+		{TypeLightSensor, "light sensor", "hall", "dark", []string{"hall/dark"}},
+		{TypeTV, "tv", "living room", "power", []string{"tv/power", "living room/tv/power"}},
+		{TypeDoorLock, "entrance door", "entrance", "locked", []string{"entrance door/locked", "entrance/entrance door/locked"}},
+		{TypeThermometer, "thermometer", "", "temperature", []string{"temperature"}},
+		{TypeTV, "tv", "", "power", []string{"tv/power"}},
+	}
+	for _, tt := range tests {
+		got := ContextKeys(tt.devType, tt.name, tt.loc, tt.varName)
+		if strings.Join(got, ",") != strings.Join(tt.want, ",") {
+			t.Errorf("ContextKeys(%s,%s,%s,%s) = %v, want %v",
+				tt.devType, tt.name, tt.loc, tt.varName, got, tt.want)
+		}
+	}
+}
+
+func TestKindOfVar(t *testing.T) {
+	tests := []struct {
+		name string
+		want VarKind
+	}{
+		{"power", VarKindBool},
+		{"temperature", VarKindNumber},
+		{"mode", VarKindString},
+		{"presence-tom", VarKindSpecial},
+		{"event", VarKindSpecial},
+		{"programs", VarKindSpecial},
+		{"unheard-of", VarKindString},
+	}
+	for _, tt := range tests {
+		if got := KindOfVar(tt.name); got != tt.want {
+			t.Errorf("KindOfVar(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestProgramEncoding(t *testing.T) {
+	programs := []core.Program{
+		{Title: "Tigers vs Giants", Category: "baseball game", Keywords: []string{"tigers", "giants"}},
+		{Title: "Roman Holiday", Category: "movie"},
+	}
+	encoded := EncodePrograms(programs)
+	decoded := DecodePrograms(encoded)
+	if len(decoded) != 2 {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if decoded[0].Title != "Tigers vs Giants" || decoded[0].Category != "baseball game" {
+		t.Errorf("first = %+v", decoded[0])
+	}
+	if len(decoded[0].Keywords) != 2 || decoded[0].Keywords[1] != "giants" {
+		t.Errorf("keywords = %v", decoded[0].Keywords)
+	}
+	if len(decoded[1].Keywords) != 0 {
+		t.Errorf("second keywords = %v", decoded[1].Keywords)
+	}
+	if DecodePrograms("") != nil {
+		t.Error("empty encoding should decode to nil")
+	}
+	// Delimiters inside fields are sanitized, not corrupting.
+	enc := EncodePrograms([]core.Program{{Title: "a|b;c", Category: "x,y"}})
+	dec := DecodePrograms(enc)
+	if len(dec) != 1 {
+		t.Fatalf("sanitization broke framing: %v", dec)
+	}
+}
+
+func TestIsEnvSensor(t *testing.T) {
+	if !IsEnvSensor(TypeThermometer) || !IsEnvSensor(TypeEPGTuner) {
+		t.Error("sensor types misclassified")
+	}
+	if IsEnvSensor(TypeTV) || IsEnvSensor(TypeAlarm) {
+		t.Error("appliance types misclassified")
+	}
+}

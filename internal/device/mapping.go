@@ -1,0 +1,244 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/upnp"
+)
+
+// VarKind classifies a state-variable name for context mapping.
+type VarKind int
+
+// Variable kinds.
+const (
+	VarKindBool VarKind = iota + 1
+	VarKindNumber
+	VarKindString
+	VarKindSpecial // presence-*, event, programs
+)
+
+// varKinds is the fixed vocabulary of appliance/sensor variable names.
+var varKinds = map[string]VarKind{
+	"power":              VarKindBool,
+	"playing":            VarKindBool,
+	"recording":          VarKindBool,
+	"locked":             VarKindBool,
+	"open":               VarKindBool,
+	"dark":               VarKindBool,
+	"temperature":        VarKindNumber,
+	"humidity":           VarKindNumber,
+	"illuminance":        VarKindNumber,
+	"brightness":         VarKindNumber,
+	"volume":             VarKindNumber,
+	"channel":            VarKindNumber,
+	"target-temperature": VarKindNumber,
+	"target-humidity":    VarKindNumber,
+	"mode":               VarKindString,
+	"event":              VarKindSpecial,
+	"programs":           VarKindSpecial,
+}
+
+// KindOfVar returns the kind of a variable name. presence-* variables are
+// special.
+func KindOfVar(name string) VarKind {
+	if strings.HasPrefix(name, "presence-") {
+		return VarKindSpecial
+	}
+	if k, ok := varKinds[name]; ok {
+		return k
+	}
+	return VarKindString
+}
+
+// ContextKeys returns the core.Context keys under which a device variable is
+// published. Environment sensor readings are keyed by room; appliance states
+// by device name, plus a room-qualified alias.
+func ContextKeys(deviceType, friendlyName, location, varName string) []string {
+	if IsEnvSensor(deviceType) {
+		if location == "" {
+			return []string{varName}
+		}
+		return []string{location + "/" + varName}
+	}
+	keys := []string{friendlyName + "/" + varName}
+	if location != "" {
+		keys = append(keys, location+"/"+friendlyName+"/"+varName)
+	}
+	return keys
+}
+
+// ---- action dispatch ----
+
+// Invoker abstracts upnp.ControlPoint.Invoke for testing.
+type Invoker interface {
+	Invoke(rd *upnp.RemoteDevice, serviceType, action string, args map[string]string) (map[string]string, error)
+}
+
+// settingDispatch maps a canonical setting parameter to the UPnP action that
+// applies it.
+var settingDispatch = map[string]struct {
+	service string
+	action  string
+}{
+	"temperature": {SvcThermostat, "SetTemperature"},
+	"humidity":    {SvcThermostat, "SetHumidity"},
+	"channel":     {SvcChannel, "SetChannel"},
+	"volume":      {SvcPlayback, "SetVolume"},
+	"brightness":  {SvcDimming, "SetBrightness"},
+}
+
+// ApplyAction executes a compiled rule action on a remote device: it maps
+// the canonical CADEL verb to the device's UPnP actions and applies every
+// setting.
+func ApplyAction(inv Invoker, rd *upnp.RemoteDevice, action core.Action) error {
+	modeHandled := false
+	switch action.Verb {
+	case "turn-on", "open", "brighten":
+		if err := setPower(inv, rd, true); err != nil {
+			return err
+		}
+	case "turn-off", "close", "mute":
+		if err := setPower(inv, rd, false); err != nil {
+			return err
+		}
+	case "play":
+		if err := setPower(inv, rd, true); err != nil {
+			return err
+		}
+		args := map[string]string{}
+		if mode, ok := action.Settings["mode"]; ok {
+			args["mode"] = mode.Word
+			modeHandled = true
+		}
+		if _, err := inv.Invoke(rd, SvcPlayback, "Play", args); err != nil {
+			return err
+		}
+	case "stop", "pause":
+		if _, err := inv.Invoke(rd, SvcPlayback, "Stop", nil); err != nil {
+			return err
+		}
+	case "record":
+		if err := setPower(inv, rd, true); err != nil {
+			return err
+		}
+		args := map[string]string{}
+		if mode, ok := action.Settings["mode"]; ok {
+			args["mode"] = mode.Word
+			modeHandled = true
+		}
+		if _, err := inv.Invoke(rd, SvcRecording, "StartRecording", args); err != nil {
+			return err
+		}
+	case "lock":
+		if _, err := inv.Invoke(rd, SvcLock, "Lock", nil); err != nil {
+			return err
+		}
+	case "unlock":
+		if _, err := inv.Invoke(rd, SvcLock, "Unlock", nil); err != nil {
+			return err
+		}
+	case "dim":
+		if _, err := inv.Invoke(rd, SvcDimming, "SetBrightness", map[string]string{"value": "30"}); err != nil {
+			return err
+		}
+	case "set", "show", "notify":
+		// Settings-only verbs; handled below.
+	default:
+		return fmt.Errorf("device: no dispatch for verb %q on %s", action.Verb, rd.FriendlyName)
+	}
+
+	for param, value := range action.Settings {
+		target, ok := settingDispatch[param]
+		if !ok {
+			if param == "mode" && !modeHandled {
+				// Apply the mode to whichever service accepts SetMode
+				// (Play/StartRecording already consumed it otherwise).
+				if err := applyMode(inv, rd, value.Word); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, hasSvc := rd.Service(target.service); !hasSvc {
+			return fmt.Errorf("device: %s cannot apply %s (no %s)", rd.FriendlyName, param, target.service)
+		}
+		arg := value.Word
+		if value.IsNumber {
+			arg = formatNumber(value.Number)
+		}
+		if _, err := inv.Invoke(rd, target.service, target.action, map[string]string{"value": arg}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func setPower(inv Invoker, rd *upnp.RemoteDevice, on bool) error {
+	if _, ok := rd.Service(SvcSwitchPower); !ok {
+		return nil // device has no power switch (e.g. door lock)
+	}
+	v := "0"
+	if on {
+		v = "1"
+	}
+	_, err := inv.Invoke(rd, SvcSwitchPower, "SetPower", map[string]string{"value": v})
+	return err
+}
+
+func applyMode(inv Invoker, rd *upnp.RemoteDevice, mode string) error {
+	for _, svc := range []string{SvcThermostat, SvcPlayback, SvcRecording} {
+		if _, ok := rd.Service(svc); ok {
+			_, err := inv.Invoke(rd, svc, "SetMode", map[string]string{"value": mode})
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- EPG encoding ----
+
+// EncodePrograms renders programmes for the EPG "programs" state variable:
+// "title|category|kw1,kw2;title2|category2|".
+func EncodePrograms(programs []core.Program) string {
+	parts := make([]string, 0, len(programs))
+	for _, p := range programs {
+		parts = append(parts, fmt.Sprintf("%s|%s|%s",
+			sanitizeField(p.Title), sanitizeField(p.Category),
+			strings.Join(sanitizeAll(p.Keywords), ",")))
+	}
+	return strings.Join(parts, ";")
+}
+
+// DecodePrograms parses the EPG wire format.
+func DecodePrograms(encoded string) []core.Program {
+	if encoded == "" {
+		return nil
+	}
+	var out []core.Program
+	for _, part := range strings.Split(encoded, ";") {
+		fields := strings.SplitN(part, "|", 3)
+		if len(fields) < 2 {
+			continue
+		}
+		p := core.Program{Title: fields[0], Category: fields[1]}
+		if len(fields) == 3 && fields[2] != "" {
+			p.Keywords = strings.Split(fields[2], ",")
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sanitizeField(s string) string {
+	return strings.NewReplacer("|", " ", ";", " ", ",", " ").Replace(s)
+}
+
+func sanitizeAll(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = sanitizeField(s)
+	}
+	return out
+}

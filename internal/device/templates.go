@@ -1,0 +1,372 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/upnp"
+)
+
+// selfSetter routes an action handler's state change through the Unit so
+// events fire once published.
+type selfSetter func(serviceType, varName, value string) error
+
+// switchService builds a SwitchPower service whose SetPower/GetPower actions
+// drive the "power" variable.
+func switchService(set *selfSetter) *upnp.Service {
+	power := upnp.NewStateVar("power", upnp.VarBool, "0", true)
+	return upnp.NewService("urn:upnp-org:serviceId:SwitchPower", SvcSwitchPower).
+		AddVar(power).
+		AddAction(&upnp.Action{
+			Name:   "SetPower",
+			ArgsIn: []string{"value"},
+			Handler: func(args map[string]string) (map[string]string, error) {
+				if err := (*set)(SvcSwitchPower, "power", boolStr(args["value"])); err != nil {
+					return nil, err
+				}
+				return map[string]string{"result": "ok"}, nil
+			},
+		}).
+		AddAction(&upnp.Action{
+			Name:    "GetPower",
+			ArgsOut: []string{"value"},
+			Handler: func(map[string]string) (map[string]string, error) {
+				return map[string]string{"value": power.Get()}, nil
+			},
+		})
+}
+
+// numericSetterService builds a service exposing one numeric evented
+// variable with a Set<Name> action.
+func numericSetterService(set *selfSetter, svcID, svcType, varName, actionName, initial string) *upnp.Service {
+	v := upnp.NewStateVar(varName, upnp.VarNumber, initial, true)
+	return upnp.NewService(svcID, svcType).
+		AddVar(v).
+		AddAction(&upnp.Action{
+			Name:   actionName,
+			ArgsIn: []string{"value"},
+			Handler: func(args map[string]string) (map[string]string, error) {
+				if err := (*set)(svcType, varName, args["value"]); err != nil {
+					return nil, err
+				}
+				return map[string]string{"result": "ok"}, nil
+			},
+		})
+}
+
+func boolStr(s string) string {
+	if s == "1" || s == "true" || s == "on" {
+		return "1"
+	}
+	return "0"
+}
+
+// newUnit assembles a Unit whose action handlers write through the Unit.
+func newUnit(udn, deviceType, friendlyName, location string, build func(set *selfSetter) []*upnp.Service) *Unit {
+	u := &Unit{}
+	var set selfSetter = func(serviceType, varName, value string) error {
+		return u.Set(serviceType, varName, value)
+	}
+	u.Dev = &upnp.Device{
+		UDN:          udn,
+		DeviceType:   deviceType,
+		FriendlyName: friendlyName,
+		Location:     location,
+		Manufacturer: "cadel-home",
+		Services:     build(&set),
+	}
+	return u
+}
+
+// NewTV builds a television: power, channel, volume, playback mode.
+func NewTV(id int, location string) *Unit {
+	return newUnit(UDN("tv", id), TypeTV, "tv", location, func(set *selfSetter) []*upnp.Service {
+		mode := upnp.NewStateVar("mode", upnp.VarString, "", true)
+		playback := upnp.NewService("urn:cadel-home:serviceId:Playback", SvcPlayback).
+			AddVar(mode).
+			AddVar(upnp.NewStateVar("volume", upnp.VarNumber, "50", true)).
+			AddAction(&upnp.Action{
+				Name:   "SetMode",
+				ArgsIn: []string{"value"},
+				Handler: func(args map[string]string) (map[string]string, error) {
+					if err := (*set)(SvcPlayback, "mode", args["value"]); err != nil {
+						return nil, err
+					}
+					return nil, nil
+				},
+			}).
+			AddAction(&upnp.Action{
+				Name:   "SetVolume",
+				ArgsIn: []string{"value"},
+				Handler: func(args map[string]string) (map[string]string, error) {
+					if err := (*set)(SvcPlayback, "volume", args["value"]); err != nil {
+						return nil, err
+					}
+					return nil, nil
+				},
+			})
+		return []*upnp.Service{
+			switchService(set),
+			numericSetterService(set, "urn:cadel-home:serviceId:Channel", SvcChannel, "channel", "SetChannel", "1"),
+			playback,
+		}
+	})
+}
+
+// NewStereo builds a stereo system: power, volume, playback mode ("jazz",
+// "movie"), playing flag.
+func NewStereo(id int, location string) *Unit {
+	return newUnit(UDN("stereo", id), TypeStereo, "stereo", location, func(set *selfSetter) []*upnp.Service {
+		playing := upnp.NewStateVar("playing", upnp.VarBool, "0", true)
+		mode := upnp.NewStateVar("mode", upnp.VarString, "", true)
+		volume := upnp.NewStateVar("volume", upnp.VarNumber, "40", true)
+		playback := upnp.NewService("urn:cadel-home:serviceId:Playback", SvcPlayback).
+			AddVar(playing).AddVar(mode).AddVar(volume).
+			AddAction(&upnp.Action{
+				Name:   "Play",
+				ArgsIn: []string{"mode"},
+				Handler: func(args map[string]string) (map[string]string, error) {
+					if m := args["mode"]; m != "" {
+						if err := (*set)(SvcPlayback, "mode", m); err != nil {
+							return nil, err
+						}
+					}
+					return nil, (*set)(SvcPlayback, "playing", "1")
+				},
+			}).
+			AddAction(&upnp.Action{
+				Name: "Stop",
+				Handler: func(map[string]string) (map[string]string, error) {
+					return nil, (*set)(SvcPlayback, "playing", "0")
+				},
+			}).
+			AddAction(&upnp.Action{
+				Name:   "SetMode",
+				ArgsIn: []string{"value"},
+				Handler: func(args map[string]string) (map[string]string, error) {
+					return nil, (*set)(SvcPlayback, "mode", args["value"])
+				},
+			}).
+			AddAction(&upnp.Action{
+				Name:   "SetVolume",
+				ArgsIn: []string{"value"},
+				Handler: func(args map[string]string) (map[string]string, error) {
+					return nil, (*set)(SvcPlayback, "volume", args["value"])
+				},
+			})
+		return []*upnp.Service{switchService(set), playback}
+	})
+}
+
+// NewVideoRecorder builds a video recorder: power, recording flag, mode.
+func NewVideoRecorder(id int, location string) *Unit {
+	return newUnit(UDN("video recorder", id), TypeVideoRecorder, "video recorder", location,
+		func(set *selfSetter) []*upnp.Service {
+			recording := upnp.NewStateVar("recording", upnp.VarBool, "0", true)
+			mode := upnp.NewStateVar("mode", upnp.VarString, "", true)
+			rec := upnp.NewService("urn:cadel-home:serviceId:Recording", SvcRecording).
+				AddVar(recording).AddVar(mode).
+				AddAction(&upnp.Action{
+					Name:   "StartRecording",
+					ArgsIn: []string{"mode"},
+					Handler: func(args map[string]string) (map[string]string, error) {
+						if m := args["mode"]; m != "" {
+							if err := (*set)(SvcRecording, "mode", m); err != nil {
+								return nil, err
+							}
+						}
+						return nil, (*set)(SvcRecording, "recording", "1")
+					},
+				}).
+				AddAction(&upnp.Action{
+					Name: "StopRecording",
+					Handler: func(map[string]string) (map[string]string, error) {
+						return nil, (*set)(SvcRecording, "recording", "0")
+					},
+				}).
+				AddAction(&upnp.Action{
+					Name:   "SetMode",
+					ArgsIn: []string{"value"},
+					Handler: func(args map[string]string) (map[string]string, error) {
+						return nil, (*set)(SvcRecording, "mode", args["value"])
+					},
+				})
+			return []*upnp.Service{switchService(set), rec}
+		})
+}
+
+// NewAirConditioner builds an air conditioner: power, target temperature,
+// target humidity, mode ("cool", "heat", "dehumidification").
+func NewAirConditioner(id int, location string) *Unit {
+	return newUnit(UDN("air conditioner", id), TypeAirConditioner, "air conditioner", location,
+		func(set *selfSetter) []*upnp.Service {
+			thermostat := upnp.NewService("urn:cadel-home:serviceId:Thermostat", SvcThermostat).
+				AddVar(upnp.NewStateVar("target-temperature", upnp.VarNumber, "25", true)).
+				AddVar(upnp.NewStateVar("target-humidity", upnp.VarNumber, "60", true)).
+				AddVar(upnp.NewStateVar("mode", upnp.VarString, "cool", true)).
+				AddAction(&upnp.Action{
+					Name:   "SetTemperature",
+					ArgsIn: []string{"value"},
+					Handler: func(args map[string]string) (map[string]string, error) {
+						return nil, (*set)(SvcThermostat, "target-temperature", args["value"])
+					},
+				}).
+				AddAction(&upnp.Action{
+					Name:   "SetHumidity",
+					ArgsIn: []string{"value"},
+					Handler: func(args map[string]string) (map[string]string, error) {
+						return nil, (*set)(SvcThermostat, "target-humidity", args["value"])
+					},
+				}).
+				AddAction(&upnp.Action{
+					Name:   "SetMode",
+					ArgsIn: []string{"value"},
+					Handler: func(args map[string]string) (map[string]string, error) {
+						return nil, (*set)(SvcThermostat, "mode", args["value"])
+					},
+				})
+			return []*upnp.Service{switchService(set), thermostat}
+		})
+}
+
+// NewLight builds a dimmable light with the given friendly name ("floor
+// lamp", "fluorescent light", "light", ...).
+func NewLight(name string, id int, location string) *Unit {
+	return newUnit(UDN(name, id), TypeLight, name, location, func(set *selfSetter) []*upnp.Service {
+		return []*upnp.Service{
+			switchService(set),
+			numericSetterService(set, "urn:upnp-org:serviceId:Dimming", SvcDimming, "brightness", "SetBrightness", "100"),
+		}
+	})
+}
+
+// NewAlarm builds an alarm siren: power only.
+func NewAlarm(id int, location string) *Unit {
+	return newUnit(UDN("alarm", id), TypeAlarm, "alarm", location, func(set *selfSetter) []*upnp.Service {
+		return []*upnp.Service{switchService(set)}
+	})
+}
+
+// NewDoorLock builds a lockable door ("entrance door"): locked and open
+// states with Lock/Unlock actions.
+func NewDoorLock(name string, id int, location string) *Unit {
+	return newUnit(UDN(name, id), TypeDoorLock, name, location, func(set *selfSetter) []*upnp.Service {
+		lock := upnp.NewService("urn:cadel-home:serviceId:Lock", SvcLock).
+			AddVar(upnp.NewStateVar("locked", upnp.VarBool, "1", true)).
+			AddVar(upnp.NewStateVar("open", upnp.VarBool, "0", true)).
+			AddAction(&upnp.Action{
+				Name: "Lock",
+				Handler: func(map[string]string) (map[string]string, error) {
+					return nil, (*set)(SvcLock, "locked", "1")
+				},
+			}).
+			AddAction(&upnp.Action{
+				Name: "Unlock",
+				Handler: func(map[string]string) (map[string]string, error) {
+					return nil, (*set)(SvcLock, "locked", "0")
+				},
+			})
+		return []*upnp.Service{lock}
+	})
+}
+
+// NewThermometer builds a temperature sensor for a room.
+func NewThermometer(id int, location string, initial float64) *Unit {
+	return newUnit(UDN("thermometer", id), TypeThermometer, "thermometer", location,
+		func(*selfSetter) []*upnp.Service {
+			return []*upnp.Service{
+				upnp.NewService("urn:cadel-home:serviceId:TemperatureSensor", SvcTempSensor).
+					AddVar(upnp.NewStateVar("temperature", upnp.VarNumber, formatNumber(initial), true)),
+			}
+		})
+}
+
+// SetTemperature drives the simulated reading.
+func (u *Unit) SetTemperature(v float64) error {
+	return u.Set(SvcTempSensor, "temperature", formatNumber(v))
+}
+
+// NewHygrometer builds a humidity sensor for a room.
+func NewHygrometer(id int, location string, initial float64) *Unit {
+	return newUnit(UDN("hygrometer", id), TypeHygrometer, "hygrometer", location,
+		func(*selfSetter) []*upnp.Service {
+			return []*upnp.Service{
+				upnp.NewService("urn:cadel-home:serviceId:HumiditySensor", SvcHumidSensor).
+					AddVar(upnp.NewStateVar("humidity", upnp.VarNumber, formatNumber(initial), true)),
+			}
+		})
+}
+
+// SetHumidity drives the simulated reading.
+func (u *Unit) SetHumidity(v float64) error {
+	return u.Set(SvcHumidSensor, "humidity", formatNumber(v))
+}
+
+// NewLightSensor builds an illuminance sensor exposing a derived "dark"
+// boolean.
+func NewLightSensor(id int, location string, dark bool) *Unit {
+	initial := "0"
+	if dark {
+		initial = "1"
+	}
+	return newUnit(UDN("light sensor", id), TypeLightSensor, "light sensor", location,
+		func(*selfSetter) []*upnp.Service {
+			return []*upnp.Service{
+				upnp.NewService("urn:cadel-home:serviceId:LightSensor", SvcLightSensor).
+					AddVar(upnp.NewStateVar("dark", upnp.VarBool, initial, true)).
+					AddVar(upnp.NewStateVar("illuminance", upnp.VarNumber, "300", true)),
+			}
+		})
+}
+
+// SetDark drives the simulated darkness flag.
+func (u *Unit) SetDark(dark bool) error {
+	v := "0"
+	if dark {
+		v = "1"
+	}
+	return u.Set(SvcLightSensor, "dark", v)
+}
+
+// NewPresenceSensor builds the home's RFID tag reader. It exposes one
+// evented variable per registered user holding the room the user is in (""
+// = away) plus an "event" variable carrying arrival events.
+func NewPresenceSensor(id int, users []string) *Unit {
+	return newUnit(UDN("presence sensor", id), TypePresenceSensor, "presence sensor", "home",
+		func(*selfSetter) []*upnp.Service {
+			svc := upnp.NewService("urn:cadel-home:serviceId:Presence", SvcPresence).
+				AddVar(upnp.NewStateVar("event", upnp.VarString, "", true))
+			for _, user := range users {
+				svc.AddVar(upnp.NewStateVar("presence-"+user, upnp.VarString, "", true))
+			}
+			return []*upnp.Service{svc}
+		})
+}
+
+// SetUserLocation moves a user to a room ("" = away).
+func (u *Unit) SetUserLocation(user, room string) error {
+	return u.Set(SvcPresence, "presence-"+user, room)
+}
+
+// FireArrival publishes an arrival event ("alan", "home-from-work"). A
+// sequence number disambiguates consecutive identical events so each one
+// triggers a notification.
+func (u *Unit) FireArrival(user, event string) error {
+	return u.Set(SvcPresence, "event", fmt.Sprintf("%s|%s|%d", user, event, u.eventSeq.Add(1)))
+}
+
+// NewEPGTuner builds the electronic-program-guide sensor announcing the
+// programmes currently on air.
+func NewEPGTuner(id int) *Unit {
+	return newUnit(UDN("epg tuner", id), TypeEPGTuner, "epg tuner", "home",
+		func(*selfSetter) []*upnp.Service {
+			return []*upnp.Service{
+				upnp.NewService("urn:cadel-home:serviceId:EPG", SvcEPG).
+					AddVar(upnp.NewStateVar("programs", upnp.VarString, "", true)),
+			}
+		})
+}
+
+// SetPrograms publishes the current broadcast line-up.
+func (u *Unit) SetPrograms(encoded string) error {
+	return u.Set(SvcEPG, "programs", encoded)
+}

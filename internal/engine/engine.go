@@ -1,0 +1,270 @@
+// Package engine implements the paper's rule execution module: it maintains
+// the current context from sensor events, re-evaluates the registered rule
+// objects whenever the context changes, arbitrates rules that want the same
+// device with the context-attached priority table, and dispatches the
+// winning actions to the appliances.
+//
+// Arbitration is reconciliation-style: for every device the engine tracks
+// which rule currently "owns" it (the highest-priority rule whose condition
+// holds). When ownership changes — a higher-priority user's rule becomes
+// ready, or the current owner's condition lapses — the new owner's action is
+// dispatched. This reproduces the hand-offs of the paper's Fig. 1 time
+// chart (stereo: Tom → Emily; TV: Alan → Emily).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/registry"
+)
+
+// Dispatcher applies a rule action to a device. The home server wires this
+// to UPnP control; tests plug in fakes.
+type Dispatcher func(ref core.DeviceRef, action core.Action) error
+
+// Fired records one dispatched action for the scenario log.
+type Fired struct {
+	Time       time.Time
+	Rule       *core.Rule
+	Suppressed []*core.Rule // ready rules that lost arbitration
+	Err        error        // dispatch error, if any
+}
+
+func (f Fired) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  %-24s %-22s (rule %s, owner %s)",
+		f.Time.Format("15:04"), f.Rule.Device.Key(), f.Rule.Action.String(), f.Rule.ID, f.Rule.Owner)
+	if len(f.Suppressed) > 0 {
+		names := make([]string, len(f.Suppressed))
+		for i, r := range f.Suppressed {
+			names[i] = r.Owner
+		}
+		fmt.Fprintf(&sb, " [over %s]", strings.Join(names, ","))
+	}
+	if f.Err != nil {
+		fmt.Fprintf(&sb, " ERROR: %v", f.Err)
+	}
+	return sb.String()
+}
+
+// Engine is the rule execution module.
+type Engine struct {
+	mu         sync.Mutex
+	ctx        *core.Context
+	db         *registry.DB
+	priorities *conflict.Table
+	dispatch   Dispatcher
+	now        func() time.Time
+
+	owners map[string]string // device key → owning rule ID
+	log    []Fired
+	onFire func(Fired)
+}
+
+// Option configures the engine.
+type Option interface{ apply(*Engine) }
+
+type optionFunc func(*Engine)
+
+func (f optionFunc) apply(e *Engine) { f(e) }
+
+// WithEventTTL sets how long arrival events stay fresh in the context.
+func WithEventTTL(ttl time.Duration) Option {
+	return optionFunc(func(e *Engine) { e.ctx.EventTTL = ttl })
+}
+
+// WithOnFire installs a callback invoked (outside the engine lock) after
+// every dispatched action.
+func WithOnFire(fn func(Fired)) Option {
+	return optionFunc(func(e *Engine) { e.onFire = fn })
+}
+
+// New builds an engine over a rule database and priority table. now supplies
+// the (simulated or wall) clock; dispatch applies actions.
+func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, dispatch Dispatcher, opts ...Option) *Engine {
+	e := &Engine{
+		ctx:        core.NewContext(now()),
+		db:         db,
+		priorities: priorities,
+		dispatch:   dispatch,
+		now:        now,
+		owners:     make(map[string]string),
+	}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	return e
+}
+
+// Context returns a snapshot of the current context.
+func (e *Engine) Context() *core.Context {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctx.Clone()
+}
+
+// Log returns the fired-action log.
+func (e *Engine) Log() []Fired {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Fired, len(e.log))
+	copy(out, e.log)
+	return out
+}
+
+// SetFavorites registers a user's favourite keywords ("my favorite movie").
+func (e *Engine) SetFavorites(user string, keywords []string) {
+	e.mu.Lock()
+	e.ctx.Favorites[user] = append([]string(nil), keywords...)
+	e.mu.Unlock()
+	e.Tick()
+}
+
+// SetUsers registers the known users (needed by nobody/everyone).
+func (e *Engine) SetUsers(users []string) {
+	e.mu.Lock()
+	e.ctx.Users = append([]string(nil), users...)
+	e.mu.Unlock()
+	e.Tick()
+}
+
+// ---- event entry points (wired to UPnP event subscriptions) ----
+
+// HandleDeviceEvent ingests a UPnP property-change event from a device: the
+// server passes the device's identity and the changed variables; the engine
+// maps them onto context keys and re-evaluates.
+func (e *Engine) HandleDeviceEvent(deviceType, friendlyName, location string, vars map[string]string) {
+	e.mu.Lock()
+	for name, value := range vars {
+		switch device.KindOfVar(name) {
+		case device.VarKindSpecial:
+			e.applySpecialLocked(name, value)
+		case device.VarKindNumber:
+			if f, err := strconv.ParseFloat(value, 64); err == nil {
+				for _, key := range device.ContextKeys(deviceType, friendlyName, location, name) {
+					e.ctx.Numbers[key] = f
+				}
+			}
+		case device.VarKindBool:
+			b := value == "1" || value == "true"
+			for _, key := range device.ContextKeys(deviceType, friendlyName, location, name) {
+				e.ctx.Bools[key] = b
+			}
+		default:
+			// String vars (mode) are not observable by CADEL conditions in
+			// this version; ignored.
+		}
+	}
+	e.evaluateLocked()
+}
+
+func (e *Engine) applySpecialLocked(name, value string) {
+	switch {
+	case strings.HasPrefix(name, "presence-"):
+		user := strings.TrimPrefix(name, "presence-")
+		e.ctx.Locations[user] = value
+	case name == "event":
+		// "person|event|seq"
+		parts := strings.SplitN(value, "|", 3)
+		if len(parts) >= 2 && parts[0] != "" {
+			e.ctx.Now = e.now()
+			e.ctx.RecordEvent(parts[0], parts[1])
+		}
+	case name == "programs":
+		e.ctx.Programs = device.DecodePrograms(value)
+	}
+}
+
+// Tick re-evaluates all rules at the current time; the server calls it after
+// advancing the simulation clock so time windows and duration conditions
+// progress.
+func (e *Engine) Tick() {
+	e.mu.Lock()
+	e.evaluateLocked()
+}
+
+// evaluateLocked runs one reconciliation pass. It is entered with e.mu held
+// and releases it before invoking dispatch callbacks.
+func (e *Engine) evaluateLocked() {
+	e.ctx.Now = e.now()
+	rules := e.db.All()
+
+	// Maintain duration holds.
+	for _, r := range rules {
+		core.WalkCond(r.Cond, func(c core.Condition) {
+			d, ok := c.(*core.Duration)
+			if !ok {
+				return
+			}
+			if d.Inner.Eval(e.ctx) {
+				e.ctx.MarkHeld(d.Key)
+			} else {
+				e.ctx.ClearHeld(d.Key)
+			}
+		})
+	}
+
+	// Group ready rules by device.
+	ready := make(map[string][]*core.Rule)
+	refs := make(map[string]core.DeviceRef)
+	for _, r := range rules {
+		if r.Ready(e.ctx) {
+			key := r.Device.Key()
+			ready[key] = append(ready[key], r)
+			refs[key] = r.Device
+		}
+	}
+
+	// Reconcile ownership per device.
+	var fired []Fired
+	keys := make([]string, 0, len(ready))
+	for key := range ready {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ranked := e.priorities.Arbitrate(refs[key], e.ctx, ready[key])
+		winner := ranked[0]
+		if e.owners[key] == winner.ID {
+			continue // already in effect
+		}
+		e.owners[key] = winner.ID
+		fired = append(fired, Fired{
+			Time:       e.ctx.Now,
+			Rule:       winner,
+			Suppressed: ranked[1:],
+		})
+	}
+	// Devices whose owning rule lapsed lose their owner; the device keeps
+	// its last state (the paper defines no un-do semantics).
+	for key, ruleID := range e.owners {
+		if _, still := ready[key]; !still {
+			delete(e.owners, key)
+			_ = ruleID
+		}
+	}
+
+	dispatch := e.dispatch
+	onFire := e.onFire
+	e.mu.Unlock()
+
+	for i := range fired {
+		if dispatch != nil {
+			fired[i].Err = dispatch(fired[i].Rule.Device, fired[i].Rule.Action)
+		}
+		e.mu.Lock()
+		e.log = append(e.log, fired[i])
+		e.mu.Unlock()
+		if onFire != nil {
+			onFire(fired[i])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package home
+
+import (
+	"sync"
+	"time"
+)
+
+// SimClock is a manually advanced simulation clock. All home physics, EPG
+// scheduling and rule-engine time conditions read it, so scenarios like the
+// paper's Fig. 1 evening can run in milliseconds.
+type SimClock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewSimClock returns a clock frozen at start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *SimClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *SimClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t.
+func (c *SimClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

@@ -1,0 +1,430 @@
+// Package home simulates the ordinary-home environment of Sect. 3.1: rooms
+// with temperature/humidity/lighting state, users moving between rooms with
+// RFID presence, a broadcast schedule feeding the EPG tuner, and the
+// information appliances of the living-room example — all published as
+// virtual UPnP devices. Its physics step lets air conditioners actually pull
+// room climate toward their targets so rules close the loop end to end.
+package home
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/upnp"
+)
+
+// RoomConfig describes a room's initial climate.
+type RoomConfig struct {
+	Name        string
+	Temperature float64
+	Humidity    float64
+	Dark        bool
+}
+
+// ApplianceKind selects a device template.
+type ApplianceKind string
+
+// Appliance kinds available to configs.
+const (
+	KindTV             ApplianceKind = "tv"
+	KindStereo         ApplianceKind = "stereo"
+	KindVideoRecorder  ApplianceKind = "video recorder"
+	KindAirConditioner ApplianceKind = "air conditioner"
+	KindLight          ApplianceKind = "light"
+	KindAlarm          ApplianceKind = "alarm"
+	KindDoorLock       ApplianceKind = "door lock"
+)
+
+// ApplianceConfig places one appliance in a room. Name defaults per kind
+// ("floor lamp" and "fluorescent light" are Lights with explicit names).
+type ApplianceConfig struct {
+	Kind ApplianceKind
+	Name string
+	Room string
+}
+
+// Broadcast schedules a programme on air during [StartMin, EndMin) minutes
+// of the simulated day.
+type Broadcast struct {
+	StartMin int
+	EndMin   int
+	Program  core.Program
+}
+
+// Config describes the whole simulated home.
+type Config struct {
+	Start      time.Time
+	Rooms      []RoomConfig
+	Users      []string
+	Appliances []ApplianceConfig
+	Schedule   []Broadcast
+	// Outdoor climate the rooms drift toward when unconditioned.
+	OutdoorTemperature float64
+	OutdoorHumidity    float64
+}
+
+// DefaultConfig reproduces the paper's living-room household: Tom, Alan and
+// Emily; stereo, TV, video recorder, fluorescent light, floor lamp and air
+// conditioner in the living room; a light and door at the hall/entrance.
+// The broadcast schedule airs a baseball game from 18:00 and Emily's
+// favourite movie from 19:00 (Fig. 1's t2/t3 windows).
+func DefaultConfig() Config {
+	return Config{
+		Start: time.Date(2005, 3, 7, 17, 0, 0, 0, time.UTC),
+		Rooms: []RoomConfig{
+			{Name: "living room", Temperature: 24, Humidity: 55},
+			{Name: "hall", Temperature: 22, Humidity: 50, Dark: true},
+			{Name: "kitchen", Temperature: 23, Humidity: 50},
+		},
+		Users: []string{"tom", "alan", "emily"},
+		Appliances: []ApplianceConfig{
+			{Kind: KindStereo, Room: "living room"},
+			{Kind: KindTV, Room: "living room"},
+			{Kind: KindVideoRecorder, Room: "living room"},
+			{Kind: KindLight, Name: "fluorescent light", Room: "living room"},
+			{Kind: KindLight, Name: "floor lamp", Room: "living room"},
+			{Kind: KindAirConditioner, Room: "living room"},
+			{Kind: KindLight, Name: "light", Room: "hall"},
+			{Kind: KindAlarm, Room: "hall"},
+			{Kind: KindDoorLock, Name: "entrance door", Room: "entrance"},
+		},
+		Schedule: []Broadcast{
+			{StartMin: 18 * 60, EndMin: 21 * 60, Program: core.Program{
+				Title: "Tigers vs Giants", Category: "baseball game", Keywords: []string{"tigers", "giants"},
+			}},
+			{StartMin: 19 * 60, EndMin: 21 * 60, Program: core.Program{
+				Title: "Roman Holiday", Category: "movie", Keywords: []string{"roman holiday", "audrey hepburn"},
+			}},
+			{StartMin: 0, EndMin: 24 * 60, Program: core.Program{
+				Title: "All Day News", Category: "news",
+			}},
+		},
+		OutdoorTemperature: 29,
+		OutdoorHumidity:    70,
+	}
+}
+
+// room is the mutable simulation state of one room.
+type room struct {
+	cfg         RoomConfig
+	temperature float64
+	humidity    float64
+	dark        bool
+	thermometer *device.Unit
+	hygrometer  *device.Unit
+	lightSensor *device.Unit
+	aircon      *device.Unit // nil when the room has none
+}
+
+// Home is the running simulated environment.
+type Home struct {
+	Clock *SimClock
+
+	cfg      Config
+	host     *upnp.DeviceHost
+	mu       sync.Mutex
+	rooms    map[string]*room
+	units    map[string]*device.Unit // appliance units by "room/name"
+	presence *device.Unit
+	epg      *device.Unit
+	airing   string // last published EPG encoding
+	location map[string]string
+}
+
+// New builds the home: it starts a device host on the network and publishes
+// every sensor and appliance.
+func New(network *upnp.Network, cfg Config) (*Home, error) {
+	if len(cfg.Rooms) == 0 {
+		return nil, errors.New("home: config needs at least one room")
+	}
+	host, err := upnp.NewDeviceHost(network)
+	if err != nil {
+		return nil, err
+	}
+	h := &Home{
+		Clock:    NewSimClock(cfg.Start),
+		cfg:      cfg,
+		host:     host,
+		rooms:    make(map[string]*room, len(cfg.Rooms)),
+		units:    make(map[string]*device.Unit),
+		location: make(map[string]string, len(cfg.Users)),
+	}
+
+	id := 0
+	nextID := func() int { id++; return id }
+
+	for _, rc := range cfg.Rooms {
+		rm := &room{cfg: rc, temperature: rc.Temperature, humidity: rc.Humidity, dark: rc.Dark}
+		rm.thermometer = device.NewThermometer(nextID(), rc.Name, rc.Temperature)
+		rm.hygrometer = device.NewHygrometer(nextID(), rc.Name, rc.Humidity)
+		rm.lightSensor = device.NewLightSensor(nextID(), rc.Name, rc.Dark)
+		for _, u := range []*device.Unit{rm.thermometer, rm.hygrometer, rm.lightSensor} {
+			if err := u.Publish(host); err != nil {
+				_ = host.Close()
+				return nil, err
+			}
+		}
+		h.rooms[rc.Name] = rm
+	}
+
+	for _, ac := range cfg.Appliances {
+		unit, err := buildAppliance(ac, nextID())
+		if err != nil {
+			_ = host.Close()
+			return nil, err
+		}
+		if err := unit.Publish(host); err != nil {
+			_ = host.Close()
+			return nil, err
+		}
+		h.units[ac.Room+"/"+unit.Dev.FriendlyName] = unit
+		if ac.Kind == KindAirConditioner {
+			if rm, ok := h.rooms[ac.Room]; ok {
+				rm.aircon = unit
+			}
+		}
+	}
+
+	h.presence = device.NewPresenceSensor(nextID(), cfg.Users)
+	if err := h.presence.Publish(host); err != nil {
+		_ = host.Close()
+		return nil, err
+	}
+	h.epg = device.NewEPGTuner(nextID())
+	if err := h.epg.Publish(host); err != nil {
+		_ = host.Close()
+		return nil, err
+	}
+	h.publishEPG()
+	return h, nil
+}
+
+func buildAppliance(ac ApplianceConfig, id int) (*device.Unit, error) {
+	switch ac.Kind {
+	case KindTV:
+		return device.NewTV(id, ac.Room), nil
+	case KindStereo:
+		return device.NewStereo(id, ac.Room), nil
+	case KindVideoRecorder:
+		return device.NewVideoRecorder(id, ac.Room), nil
+	case KindAirConditioner:
+		return device.NewAirConditioner(id, ac.Room), nil
+	case KindLight:
+		name := ac.Name
+		if name == "" {
+			name = "light"
+		}
+		return device.NewLight(name, id, ac.Room), nil
+	case KindAlarm:
+		return device.NewAlarm(id, ac.Room), nil
+	case KindDoorLock:
+		name := ac.Name
+		if name == "" {
+			name = "door"
+		}
+		return device.NewDoorLock(name, id, ac.Room), nil
+	default:
+		return nil, fmt.Errorf("home: unknown appliance kind %q", ac.Kind)
+	}
+}
+
+// Close shuts the home's device host down.
+func (h *Home) Close() error { return h.host.Close() }
+
+// Host exposes the underlying device host (for tests and the server's local
+// mode).
+func (h *Home) Host() *upnp.DeviceHost { return h.host }
+
+// Appliance returns an appliance unit by room and friendly name.
+func (h *Home) Appliance(room, name string) (*device.Unit, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	u, ok := h.units[room+"/"+name]
+	return u, ok
+}
+
+// Users returns the configured users.
+func (h *Home) Users() []string {
+	return append([]string(nil), h.cfg.Users...)
+}
+
+// MoveUser places a user in a room ("" = away) without an arrival event.
+func (h *Home) MoveUser(user, roomName string) error {
+	if roomName != "" {
+		if _, ok := h.rooms[roomName]; !ok {
+			return fmt.Errorf("home: unknown room %q", roomName)
+		}
+	}
+	h.mu.Lock()
+	h.location[user] = roomName
+	h.mu.Unlock()
+	return h.presence.SetUserLocation(user, roomName)
+}
+
+// Arrive moves a user into a room and fires an arrival event
+// ("home-from-work", "return-home", ...).
+func (h *Home) Arrive(user, roomName, event string) error {
+	if err := h.MoveUser(user, roomName); err != nil {
+		return err
+	}
+	return h.presence.FireArrival(user, event)
+}
+
+// Leave marks the user away from home.
+func (h *Home) Leave(user string) error { return h.MoveUser(user, "") }
+
+// UserLocation returns the room a user is in.
+func (h *Home) UserLocation(user string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.location[user]
+}
+
+// SetClimate overrides a room's climate directly (for tests and scripted
+// scenarios).
+func (h *Home) SetClimate(roomName string, temperature, humidity float64) error {
+	h.mu.Lock()
+	rm, ok := h.rooms[roomName]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("home: unknown room %q", roomName)
+	}
+	rm.temperature = temperature
+	rm.humidity = humidity
+	h.mu.Unlock()
+	if err := rm.thermometer.SetTemperature(temperature); err != nil {
+		return err
+	}
+	return rm.hygrometer.SetHumidity(humidity)
+}
+
+// SetDark overrides a room's darkness flag.
+func (h *Home) SetDark(roomName string, dark bool) error {
+	h.mu.Lock()
+	rm, ok := h.rooms[roomName]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("home: unknown room %q", roomName)
+	}
+	rm.dark = dark
+	h.mu.Unlock()
+	return rm.lightSensor.SetDark(dark)
+}
+
+// Climate reports a room's current simulated climate.
+func (h *Home) Climate(roomName string) (temperature, humidity float64, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rm, ok := h.rooms[roomName]
+	if !ok {
+		return 0, 0, fmt.Errorf("home: unknown room %q", roomName)
+	}
+	return rm.temperature, rm.humidity, nil
+}
+
+// Step advances the simulation by d: the clock moves, room climates drift
+// (toward outdoors, or toward a powered air conditioner's targets), and the
+// EPG line-up follows the broadcast schedule.
+func (h *Home) Step(d time.Duration) error {
+	h.Clock.Advance(d)
+	hours := d.Hours()
+
+	type reading struct {
+		unit  *device.Unit
+		set   func(*device.Unit, float64) error
+		value float64
+	}
+	var updates []reading
+
+	h.mu.Lock()
+	names := make([]string, 0, len(h.rooms))
+	for name := range h.rooms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rm := h.rooms[name]
+		targetT, targetH := h.cfg.OutdoorTemperature, h.cfg.OutdoorHumidity
+		rate := 0.35 // passive drift fraction per hour
+		if rm.aircon != nil {
+			if power, err := rm.aircon.Get(device.SvcSwitchPower, "power"); err == nil && power == "1" {
+				if v, err := rm.aircon.Get(device.SvcThermostat, "target-temperature"); err == nil {
+					targetT = parseNumber(v, targetT)
+				}
+				if v, err := rm.aircon.Get(device.SvcThermostat, "target-humidity"); err == nil {
+					targetH = parseNumber(v, targetH)
+				}
+				rate = 1.5 // active conditioning is much faster
+			}
+		}
+		rm.temperature += (targetT - rm.temperature) * clamp01(rate*hours)
+		rm.humidity += (targetH - rm.humidity) * clamp01(rate*hours)
+		updates = append(updates,
+			reading{rm.thermometer, (*device.Unit).SetTemperature, rm.temperature},
+			reading{rm.hygrometer, (*device.Unit).SetHumidity, rm.humidity},
+		)
+	}
+	h.mu.Unlock()
+
+	for _, u := range updates {
+		if err := u.set(u.unit, round1(u.value)); err != nil {
+			return err
+		}
+	}
+	return h.publishEPG()
+}
+
+// publishEPG recomputes the programmes on air at the current clock time.
+func (h *Home) publishEPG() error {
+	minute := h.Clock.Now().Hour()*60 + h.Clock.Now().Minute()
+	var current []core.Program
+	for _, b := range h.cfg.Schedule {
+		if minute >= b.StartMin && minute < b.EndMin {
+			current = append(current, b.Program)
+		}
+	}
+	encoded := device.EncodePrograms(current)
+	h.mu.Lock()
+	changed := encoded != h.airing
+	h.airing = encoded
+	h.mu.Unlock()
+	if !changed {
+		return nil
+	}
+	return h.epg.SetPrograms(encoded)
+}
+
+// OnAir reports the programmes currently broadcast.
+func (h *Home) OnAir() []core.Program {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return device.DecodePrograms(h.airing)
+}
+
+func parseNumber(s string, fallback float64) float64 {
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		return fallback
+	}
+	return f
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func round1(v float64) float64 {
+	return math.Round(v*10) / 10
+}

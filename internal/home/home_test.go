@@ -1,0 +1,246 @@
+package home
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/upnp"
+)
+
+func newHome(t *testing.T) *Home {
+	t.Helper()
+	h, err := New(upnp.NewNetwork(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	return h
+}
+
+func TestSimClock(t *testing.T) {
+	start := time.Date(2005, 3, 7, 17, 0, 0, 0, time.UTC)
+	c := NewSimClock(start)
+	if !c.Now().Equal(start) {
+		t.Error("clock not at start")
+	}
+	got := c.Advance(30 * time.Minute)
+	if got.Hour() != 17 || got.Minute() != 30 {
+		t.Errorf("advanced to %v", got)
+	}
+	c.Set(start.Add(2 * time.Hour))
+	if c.Now().Hour() != 19 {
+		t.Errorf("set to %v", c.Now())
+	}
+}
+
+func TestNewPublishesEverything(t *testing.T) {
+	h := newHome(t)
+	devs := h.Host().Devices()
+	// 3 rooms × 3 sensors + 9 appliances + presence + epg = 20
+	if len(devs) != 20 {
+		t.Errorf("published %d devices, want 20", len(devs))
+	}
+	if _, ok := h.Appliance("living room", "tv"); !ok {
+		t.Error("tv missing")
+	}
+	if _, ok := h.Appliance("living room", "air conditioner"); !ok {
+		t.Error("air conditioner missing")
+	}
+	if _, ok := h.Appliance("hall", "light"); !ok {
+		t.Error("hall light missing")
+	}
+	if _, ok := h.Appliance("entrance", "entrance door"); !ok {
+		t.Error("entrance door missing")
+	}
+	if _, ok := h.Appliance("living room", "submarine"); ok {
+		t.Error("phantom appliance found")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(upnp.NewNetwork(), Config{}); err == nil {
+		t.Error("config without rooms should fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Appliances = []ApplianceConfig{{Kind: "teleporter", Room: "living room"}}
+	if _, err := New(upnp.NewNetwork(), cfg); err == nil {
+		t.Error("unknown appliance kind should fail")
+	}
+}
+
+func TestMoveAndArrive(t *testing.T) {
+	h := newHome(t)
+	if err := h.MoveUser("tom", "living room"); err != nil {
+		t.Fatal(err)
+	}
+	if h.UserLocation("tom") != "living room" {
+		t.Error("tom not in living room")
+	}
+	if err := h.MoveUser("tom", "atlantis"); err == nil {
+		t.Error("unknown room should fail")
+	}
+	if err := h.Arrive("alan", "living room", "home-from-work"); err != nil {
+		t.Fatal(err)
+	}
+	if h.UserLocation("alan") != "living room" {
+		t.Error("alan not in living room")
+	}
+	if err := h.Leave("tom"); err != nil {
+		t.Fatal(err)
+	}
+	if h.UserLocation("tom") != "" {
+		t.Error("tom should be away")
+	}
+}
+
+func TestClimateOverridesAndDrift(t *testing.T) {
+	h := newHome(t)
+	if err := h.SetClimate("living room", 20, 40); err != nil {
+		t.Fatal(err)
+	}
+	temp, humid, err := h.Climate("living room")
+	if err != nil || temp != 20 || humid != 40 {
+		t.Fatalf("climate = %v/%v err=%v", temp, humid, err)
+	}
+	// Unconditioned room drifts toward outdoors (29C / 70%).
+	if err := h.Step(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	temp, humid, _ = h.Climate("living room")
+	if temp <= 20 || temp >= 29 {
+		t.Errorf("temperature %v should drift toward 29", temp)
+	}
+	if humid <= 40 || humid >= 70 {
+		t.Errorf("humidity %v should drift toward 70", humid)
+	}
+	if _, _, err := h.Climate("atlantis"); err == nil {
+		t.Error("unknown room should fail")
+	}
+}
+
+func TestAirConditionerPullsClimate(t *testing.T) {
+	h := newHome(t)
+	if err := h.SetClimate("living room", 30, 75); err != nil {
+		t.Fatal(err)
+	}
+	ac, _ := h.Appliance("living room", "air conditioner")
+	if err := ac.Set(device.SvcSwitchPower, "power", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Set(device.SvcThermostat, "target-temperature", "25"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Set(device.SvcThermostat, "target-humidity", "60"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := h.Step(30 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	temp, humid, _ := h.Climate("living room")
+	if temp > 26 {
+		t.Errorf("conditioned temperature = %v, want near 25", temp)
+	}
+	if humid > 63 {
+		t.Errorf("conditioned humidity = %v, want near 60", humid)
+	}
+}
+
+func TestStepPublishesSensorReadings(t *testing.T) {
+	h := newHome(t)
+	var last string
+	cancel, err := h.Host().SubscribeLocal(
+		device.UDN("thermometer", 1), device.SvcTempSensor,
+		func(vars map[string]string) {
+			if v, ok := vars["temperature"]; ok {
+				last = v
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := h.SetClimate("living room", 30, 75); err != nil {
+		t.Fatal(err)
+	}
+	if last != "30" {
+		t.Errorf("thermometer event = %q, want 30", last)
+	}
+}
+
+func TestEPGSchedule(t *testing.T) {
+	h := newHome(t) // starts at 17:00
+	if programs := h.OnAir(); len(programs) != 1 || programs[0].Category != "news" {
+		t.Errorf("17:00 programs = %v, want only news", programs)
+	}
+	// 18:00: baseball game starts.
+	if err := h.Step(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	foundBaseball := false
+	for _, p := range h.OnAir() {
+		if p.Category == "baseball game" {
+			foundBaseball = true
+		}
+	}
+	if !foundBaseball {
+		t.Errorf("18:00 programs = %v, want baseball game", h.OnAir())
+	}
+	// 19:00: the movie joins.
+	if err := h.Step(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.OnAir()) != 3 {
+		t.Errorf("19:00 programs = %v, want 3", h.OnAir())
+	}
+	// 21:30: game and movie are over.
+	if err := h.Step(150 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if programs := h.OnAir(); len(programs) != 1 {
+		t.Errorf("21:30 programs = %v, want only news", programs)
+	}
+}
+
+func TestEPGEventsOnChange(t *testing.T) {
+	h := newHome(t)
+	count := 0
+	cancel, err := h.Host().SubscribeLocal(h.epg.Dev.UDN, device.SvcEPG, func(map[string]string) {
+		count++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if count != 1 {
+		t.Fatalf("initial events = %d", count)
+	}
+	// Stepping within the same line-up publishes nothing.
+	if err := h.Step(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("unchanged line-up should not event (count=%d)", count)
+	}
+	// Crossing 18:00 publishes the new line-up.
+	if err := h.Step(60 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("line-up change should event exactly once (count=%d)", count)
+	}
+}
+
+func TestUsersCopy(t *testing.T) {
+	h := newHome(t)
+	users := h.Users()
+	if len(users) != 3 {
+		t.Fatalf("users = %v", users)
+	}
+	users[0] = "mallory"
+	if h.Users()[0] == "mallory" {
+		t.Error("Users exposed internal slice")
+	}
+}

@@ -1,0 +1,285 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tests := []struct {
+		name string
+		give Interval
+		want bool
+	}{
+		{name: "full", give: Full(), want: false},
+		{name: "point", give: Point(5), want: false},
+		{name: "inverted", give: Interval{Lo: 2, Hi: 1}, want: true},
+		{name: "open point lo", give: Interval{Lo: 1, Hi: 1, LoOpen: true}, want: true},
+		{name: "open point hi", give: Interval{Lo: 1, Hi: 1, HiOpen: true}, want: true},
+		{name: "proper open", give: Interval{Lo: 1, Hi: 2, LoOpen: true, HiOpen: true}, want: false},
+		{name: "at least", give: AtLeast(3), want: false},
+		{name: "less than", give: LessThan(-10), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Empty(); got != tt.want {
+				t.Errorf("Empty(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestContains(t *testing.T) {
+	tests := []struct {
+		name string
+		iv   Interval
+		v    float64
+		want bool
+	}{
+		{name: "inside closed", iv: Interval{Lo: 1, Hi: 3}, v: 2, want: true},
+		{name: "lo closed boundary", iv: Interval{Lo: 1, Hi: 3}, v: 1, want: true},
+		{name: "hi closed boundary", iv: Interval{Lo: 1, Hi: 3}, v: 3, want: true},
+		{name: "lo open boundary", iv: Interval{Lo: 1, Hi: 3, LoOpen: true}, v: 1, want: false},
+		{name: "hi open boundary", iv: Interval{Lo: 1, Hi: 3, HiOpen: true}, v: 3, want: false},
+		{name: "below", iv: Interval{Lo: 1, Hi: 3}, v: 0.5, want: false},
+		{name: "above", iv: Interval{Lo: 1, Hi: 3}, v: 3.5, want: false},
+		{name: "full contains anything", iv: Full(), v: 1e18, want: true},
+		{name: "greater than excludes bound", iv: GreaterThan(28), v: 28, want: false},
+		{name: "greater than includes above", iv: GreaterThan(28), v: 28.001, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.iv.Contains(tt.v); got != tt.want {
+				t.Errorf("(%v).Contains(%v) = %v, want %v", tt.iv, tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		name      string
+		a, b      Interval
+		wantEmpty bool
+	}{
+		{name: "overlap", a: Interval{Lo: 1, Hi: 5}, b: Interval{Lo: 3, Hi: 8}, wantEmpty: false},
+		{name: "disjoint", a: Interval{Lo: 1, Hi: 2}, b: Interval{Lo: 3, Hi: 4}, wantEmpty: true},
+		{name: "touching closed", a: Interval{Lo: 1, Hi: 3}, b: Interval{Lo: 3, Hi: 5}, wantEmpty: false},
+		{name: "touching open left", a: Interval{Lo: 1, Hi: 3, HiOpen: true}, b: Interval{Lo: 3, Hi: 5}, wantEmpty: true},
+		{name: "touching open right", a: Interval{Lo: 1, Hi: 3}, b: Interval{Lo: 3, Hi: 5, LoOpen: true}, wantEmpty: true},
+		{name: "strict over/under same bound", a: GreaterThan(28), b: LessThan(28), wantEmpty: true},
+		{name: "loose over/under same bound", a: AtLeast(28), b: AtMost(28), wantEmpty: false},
+		{name: "with full", a: Full(), b: Interval{Lo: -1, Hi: 1}, wantEmpty: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.a.Intersect(tt.b)
+			if got.Empty() != tt.wantEmpty {
+				t.Errorf("(%v).Intersect(%v) = %v, empty=%v, want empty=%v",
+					tt.a, tt.b, got, got.Empty(), tt.wantEmpty)
+			}
+			if tt.a.Overlaps(tt.b) == tt.wantEmpty {
+				t.Errorf("Overlaps disagrees with Intersect emptiness")
+			}
+		})
+	}
+}
+
+func TestIntersectKeepsTighterBound(t *testing.T) {
+	a := Interval{Lo: 1, Hi: 10}
+	b := Interval{Lo: 1, Hi: 10, LoOpen: true}
+	got := a.Intersect(b)
+	if !got.LoOpen {
+		t.Errorf("intersection of [1,10] and (1,10] should be open at 1, got %v", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	ivs := []Interval{
+		Full(),
+		Point(7),
+		AtLeast(3),
+		AtMost(-2),
+		GreaterThan(0),
+		LessThan(100),
+		{Lo: 2, Hi: 4, LoOpen: true, HiOpen: true},
+	}
+	for _, iv := range ivs {
+		v, ok := iv.Sample()
+		if !ok {
+			t.Errorf("Sample(%v) reported empty", iv)
+			continue
+		}
+		if !iv.Contains(v) {
+			t.Errorf("Sample(%v) = %v which is outside the interval", iv, v)
+		}
+	}
+	if _, ok := (Interval{Lo: 3, Hi: 1}).Sample(); ok {
+		t.Error("Sample of empty interval should report false")
+	}
+}
+
+func TestBoxConstrainAndFeasible(t *testing.T) {
+	b := NewBox()
+	b.Constrain("temp", GreaterThan(28))
+	b.Constrain("humid", GreaterThan(60))
+	if !b.Feasible() {
+		t.Fatalf("box %v should be feasible", b)
+	}
+	b.Constrain("temp", LessThan(25))
+	if b.Feasible() {
+		t.Fatalf("box %v should be infeasible after temp<25", b)
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox()
+	a.Constrain("x", AtLeast(0))
+	b := NewBox()
+	b.Constrain("x", AtMost(10))
+	b.Constrain("y", Point(3))
+	got := a.Intersect(b)
+	if !got.Feasible() {
+		t.Fatalf("intersection should be feasible: %v", got)
+	}
+	if iv := got.Get("x"); iv.Lo != 0 || iv.Hi != 10 {
+		t.Errorf("x interval = %v, want [0,10]", iv)
+	}
+	if iv := got.Get("y"); iv.Lo != 3 || iv.Hi != 3 {
+		t.Errorf("y interval = %v, want [3,3]", iv)
+	}
+	// Inputs untouched.
+	if iv := a.Get("x"); !math.IsInf(iv.Hi, 1) {
+		t.Errorf("Intersect mutated receiver: %v", a)
+	}
+}
+
+func TestBoxSample(t *testing.T) {
+	b := NewBox()
+	b.Constrain("t", Interval{Lo: 26, Hi: 30, LoOpen: true})
+	b.Constrain("h", AtLeast(65))
+	point, ok := b.Sample()
+	if !ok {
+		t.Fatal("feasible box reported empty")
+	}
+	for name, v := range point {
+		if !b.Get(name).Contains(v) {
+			t.Errorf("sample %s=%v outside %v", name, v, b.Get(name))
+		}
+	}
+	b.Constrain("t", GreaterThan(40))
+	if _, ok := b.Sample(); ok {
+		t.Error("infeasible box should not sample")
+	}
+}
+
+func TestBoxGetDefault(t *testing.T) {
+	b := NewBox()
+	iv := b.Get("missing")
+	if !math.IsInf(iv.Lo, -1) || !math.IsInf(iv.Hi, 1) {
+		t.Errorf("default interval should be full, got %v", iv)
+	}
+}
+
+func TestBoxClone(t *testing.T) {
+	b := NewBox()
+	b.Constrain("x", Point(1))
+	c := b.Clone()
+	c.Constrain("x", Point(2))
+	if b.Get("x").Contains(2) && !b.Get("x").Contains(1) {
+		t.Error("Clone shares state with original")
+	}
+	if !b.Feasible() {
+		t.Error("original box mutated by clone constrain")
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		give Interval
+		want string
+	}{
+		{give: Interval{Lo: 1, Hi: 2}, want: "[1, 2]"},
+		{give: GreaterThan(28), want: "(28, +inf)"},
+		{give: LessThan(60), want: "(-inf, 60)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func randInterval(r *rand.Rand) Interval {
+	lo := float64(r.Intn(41) - 20)
+	hi := lo + float64(r.Intn(20))
+	iv := Interval{Lo: lo, Hi: hi, LoOpen: r.Intn(2) == 0, HiOpen: r.Intn(2) == 0}
+	if r.Intn(8) == 0 {
+		iv.Lo = math.Inf(-1)
+		iv.LoOpen = false
+	}
+	if r.Intn(8) == 0 {
+		iv.Hi = math.Inf(1)
+		iv.HiOpen = false
+	}
+	return iv
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randInterval(r), randInterval(r)
+		x, y := a.Intersect(b), b.Intersect(a)
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b, c := randInterval(r), randInterval(r), randInterval(r)
+		x := a.Intersect(b).Intersect(c)
+		y := a.Intersect(b.Intersect(c))
+		// Empty intervals may differ in representation; compare emptiness
+		// and, when non-empty, exact bounds.
+		if x.Empty() || y.Empty() {
+			return x.Empty() == y.Empty()
+		}
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectContains(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randInterval(r), randInterval(r)
+		got := a.Intersect(b)
+		v, ok := got.Sample()
+		if !ok {
+			return true
+		}
+		return a.Contains(v) && b.Contains(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a := randInterval(r)
+		return a.Intersect(a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

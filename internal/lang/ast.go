@@ -1,0 +1,434 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/vocab"
+)
+
+// Command is a parsed CADEL command: a rule definition, a user condition-word
+// definition (CondDef) or a configuration-word definition (ConfDef).
+type Command interface {
+	fmt.Stringer
+	isCommand()
+}
+
+// RuleDef is the main production: [PreCondition] Verb Object [Configuration]
+// [PostCondition].
+type RuleDef struct {
+	Pre      *CondClause
+	Verb     string // canonical verb id, e.g. "turn-on"
+	VerbText string // surface form, e.g. "turn on"
+	Object   Object
+	Config   []ConfItem
+	Post     *CondClause
+}
+
+func (*RuleDef) isCommand() {}
+
+// CondDef defines a new condition word: "Let's call the condition that
+// <CondExpr> <name>".
+type CondDef struct {
+	Expr CondExpr
+	Name string
+}
+
+func (*CondDef) isCommand() {}
+
+// ConfDef defines a new configuration word: "Let's call the configuration
+// that <RowOfConfs> <name>".
+type ConfDef struct {
+	Confs []ConfItem
+	Name  string
+}
+
+func (*ConfDef) isCommand() {}
+
+// Object is the action target: a device name with an optional location
+// modifier ("the light at the hall").
+type Object struct {
+	Article  string // "", "a", "an", "the"
+	Device   string
+	Location string
+}
+
+// ConfItem is one element of a Configuration: either "<value> of <parameter>
+// setting" or a user-defined configuration word.
+type ConfItem struct {
+	Parameter string // canonical parameter variable; empty for bare words
+	Value     Value
+}
+
+// Value is a setting or comparison value: a number with a unit, or a word
+// (e.g. a mode name or a user-defined configuration word).
+type Value struct {
+	IsNumber bool
+	Number   float64
+	Unit     string // canonical unit ("celsius", "percent", "second")
+	UnitText string // surface form ("degrees")
+	Word     string
+}
+
+// CondClause is a pre- or post-condition: an optional leading TimeSpec and an
+// optional condition expression introduced by "if" or "when".
+type CondClause struct {
+	Keyword string // "if", "when" or "" for a bare TimeSpec
+	Time    *TimeSpec
+	Expr    CondExpr // nil for a bare TimeSpec
+}
+
+// CondExpr is a boolean combination of condition atoms.
+type CondExpr interface {
+	fmt.Stringer
+	isCondExpr()
+}
+
+// BinaryExpr combines two condition expressions with "and" or "or".
+type BinaryExpr struct {
+	Op   string // "and" | "or"
+	L, R CondExpr
+}
+
+func (*BinaryExpr) isCondExpr() {}
+
+// CondAtom is a single sensed condition: subject + state, with optional
+// period ("for 1 hour") and time ("after 22:00") qualifiers.
+type CondAtom struct {
+	Subject Subject
+	State   State
+	Period  *PeriodSpec
+	Time    *TimeSpec
+}
+
+func (*CondAtom) isCondExpr() {}
+
+// UserCond references a user-defined condition word ("hot and stuffy").
+type UserCond struct {
+	Name   string
+	Period *PeriodSpec
+	Time   *TimeSpec
+}
+
+func (*UserCond) isCondExpr() {}
+
+// SubjectKind classifies a condition subject.
+type SubjectKind int
+
+// Subject kinds.
+const (
+	SubDevice SubjectKind = iota + 1 // a device or sensor (default)
+	SubPerson                        // a named user
+	SubMe                            // "I" — the rule's owner
+	SubSomeone
+	SubNobody
+	SubEveryone
+	SubEvent // a broadcast keyword ("baseball game", "my favorite movie")
+	SubPlace // a room ("the hall is dark")
+)
+
+// Subject is the left-hand side of a condition atom.
+type Subject struct {
+	Kind     SubjectKind
+	Article  string
+	My       bool // "my favorite movie"
+	Name     string
+	Location string // "temperature at the living room"
+}
+
+// State is the sensed predicate of a condition atom.
+type State struct {
+	Kind  vocab.StateKind
+	Be    string // "", "is", "are", "am"
+	Text  string // surface form of the state phrase
+	Var   string // bool state variable ("power", "dark", "locked")
+	Bool  bool   // desired bool value
+	Op    string // gt/ge/lt/le/eq for comparisons
+	Value *Value // comparison value
+	Place string // presence target
+	Event string // arrival event canonical name
+}
+
+// TimeKind classifies a TimeOfTheDay.
+type TimeKind int
+
+// Time kinds.
+const (
+	TimeClock  TimeKind = iota + 1 // "18:00", "6 pm"
+	TimePeriod                     // "evening", "night"
+	TimeAllDay                     // whole day, used with "every <weekday>"
+)
+
+// TimeOfDay is a clock time or a named day period, optionally restricted to
+// a weekday ("every monday").
+type TimeOfDay struct {
+	Kind    TimeKind
+	Minutes int    // for TimeClock: minutes since midnight
+	Name    string // for TimePeriod
+	Every   string // weekday name, "" if unrestricted
+}
+
+// TimeSpec is a time qualifier: "after evening", "at 18:00", "until night".
+type TimeSpec struct {
+	Prep string // after | at | until | before | in | during
+	Time TimeOfDay
+}
+
+// PeriodKind classifies a PeriodSpec.
+type PeriodKind int
+
+// Period kinds.
+const (
+	PeriodFor    PeriodKind = iota + 1 // "for 1 hour"
+	PeriodFromTo                       // "from 18:00 to 22:00"
+	PeriodAfter                        // "for 10 minutes after 18:00"
+)
+
+// PeriodSpec is a duration qualifier on a condition.
+type PeriodSpec struct {
+	Kind     PeriodKind
+	Seconds  float64 // for PeriodFor / PeriodAfter
+	Amount   float64 // surface amount ("1" in "for 1 hour")
+	UnitText string  // surface unit ("hour")
+	From, To *TimeOfDay
+	After    *TimeOfDay
+}
+
+// ---- printing ----
+//
+// String renders each node back to normalized CADEL text. The language-level
+// round-trip property is Print(Parse(Print(x))) == Print(x).
+
+func (r *RuleDef) String() string {
+	var sb strings.Builder
+	if r.Pre != nil {
+		sb.WriteString(r.Pre.String())
+		sb.WriteString(", ")
+	}
+	verb := r.VerbText
+	if verb == "" {
+		verb = r.Verb
+	}
+	sb.WriteString(verb)
+	sb.WriteString(" ")
+	sb.WriteString(r.Object.String())
+	if len(r.Config) > 0 {
+		sb.WriteString(" with ")
+		parts := make([]string, len(r.Config))
+		for i, c := range r.Config {
+			parts[i] = c.String()
+		}
+		sb.WriteString(strings.Join(parts, " and "))
+	}
+	if r.Post != nil {
+		sb.WriteString(" ")
+		sb.WriteString(r.Post.String())
+	}
+	return sb.String()
+}
+
+func (d *CondDef) String() string {
+	return "let's call the condition that " + d.Expr.String() + " " + d.Name
+}
+
+func (d *ConfDef) String() string {
+	parts := make([]string, len(d.Confs))
+	for i, c := range d.Confs {
+		parts[i] = c.String()
+	}
+	return "let's call the configuration that " + strings.Join(parts, " and ") + " " + d.Name
+}
+
+func (o Object) String() string {
+	var sb strings.Builder
+	if o.Article != "" {
+		sb.WriteString(o.Article)
+		sb.WriteString(" ")
+	}
+	sb.WriteString(o.Device)
+	if o.Location != "" {
+		sb.WriteString(" at the ")
+		sb.WriteString(o.Location)
+	}
+	return sb.String()
+}
+
+func (c ConfItem) String() string {
+	if c.Parameter == "" {
+		return c.Value.String()
+	}
+	return c.Value.String() + " of " + c.Parameter + " setting"
+}
+
+func (v Value) String() string {
+	if !v.IsNumber {
+		return v.Word
+	}
+	num := strconv.FormatFloat(v.Number, 'g', -1, 64)
+	unit := v.UnitText
+	if unit == "" {
+		unit = v.Unit
+	}
+	if unit == "" {
+		return num
+	}
+	return num + " " + unit
+}
+
+func (c *CondClause) String() string {
+	var sb strings.Builder
+	if c.Time != nil {
+		sb.WriteString(c.Time.String())
+		if c.Expr != nil {
+			sb.WriteString(", ")
+		}
+	}
+	if c.Expr != nil {
+		kw := c.Keyword
+		if kw == "" {
+			kw = "if"
+		}
+		sb.WriteString(kw)
+		sb.WriteString(" ")
+		sb.WriteString(c.Expr.String())
+	}
+	return sb.String()
+}
+
+func (b *BinaryExpr) String() string {
+	l := b.L.String()
+	r := b.R.String()
+	// "and" binds tighter than "or": parenthesize inner "or" under "and".
+	if b.Op == "and" {
+		if inner, ok := b.L.(*BinaryExpr); ok && inner.Op == "or" {
+			l = "( " + l + " )"
+		}
+		if inner, ok := b.R.(*BinaryExpr); ok && inner.Op == "or" {
+			r = "( " + r + " )"
+		}
+	}
+	return l + " " + b.Op + " " + r
+}
+
+func (a *CondAtom) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Subject.String())
+	sb.WriteString(" ")
+	sb.WriteString(a.State.String())
+	if a.Period != nil {
+		sb.WriteString(" ")
+		sb.WriteString(a.Period.String())
+	}
+	if a.Time != nil {
+		sb.WriteString(" ")
+		sb.WriteString(a.Time.String())
+	}
+	return sb.String()
+}
+
+func (u *UserCond) String() string {
+	var sb strings.Builder
+	sb.WriteString(u.Name)
+	if u.Period != nil {
+		sb.WriteString(" ")
+		sb.WriteString(u.Period.String())
+	}
+	if u.Time != nil {
+		sb.WriteString(" ")
+		sb.WriteString(u.Time.String())
+	}
+	return sb.String()
+}
+
+func (s Subject) String() string {
+	var sb strings.Builder
+	switch s.Kind {
+	case SubMe:
+		return "i"
+	case SubSomeone:
+		return "someone"
+	case SubNobody:
+		return "nobody"
+	case SubEveryone:
+		return "everyone"
+	}
+	if s.Article != "" {
+		sb.WriteString(s.Article)
+		sb.WriteString(" ")
+	}
+	if s.My {
+		sb.WriteString("my ")
+	}
+	sb.WriteString(s.Name)
+	if s.Location != "" {
+		sb.WriteString(" at the ")
+		sb.WriteString(s.Location)
+	}
+	return sb.String()
+}
+
+func (s State) String() string {
+	var sb strings.Builder
+	if s.Be != "" {
+		sb.WriteString(s.Be)
+		sb.WriteString(" ")
+	}
+	sb.WriteString(s.Text)
+	switch s.Kind {
+	case vocab.StateCompare:
+		if s.Value != nil {
+			sb.WriteString(" ")
+			sb.WriteString(s.Value.String())
+		}
+	case vocab.StatePresence:
+		sb.WriteString(" the ")
+		sb.WriteString(s.Place)
+	}
+	return sb.String()
+}
+
+func (t TimeOfDay) String() string {
+	var parts []string
+	if t.Every != "" {
+		parts = append(parts, "every "+t.Every)
+	}
+	switch t.Kind {
+	case TimeClock:
+		parts = append(parts, fmt.Sprintf("%d:%02d", t.Minutes/60, t.Minutes%60))
+	case TimePeriod:
+		parts = append(parts, t.Name)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (t *TimeSpec) String() string {
+	return t.Prep + " " + t.Time.String()
+}
+
+func (p *PeriodSpec) String() string {
+	switch p.Kind {
+	case PeriodFor:
+		return "for " + strconv.FormatFloat(p.Amount, 'g', -1, 64) + " " + p.UnitText
+	case PeriodFromTo:
+		return "from " + p.From.String() + " to " + p.To.String()
+	case PeriodAfter:
+		return "for " + strconv.FormatFloat(p.Amount, 'g', -1, 64) + " " + p.UnitText +
+			" after " + p.After.String()
+	default:
+		return ""
+	}
+}
+
+// Walk visits every CondExpr node in the expression tree in depth-first
+// order.
+func Walk(e CondExpr, visit func(CondExpr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	if b, ok := e.(*BinaryExpr); ok {
+		Walk(b.L, visit)
+		Walk(b.R, visit)
+	}
+}

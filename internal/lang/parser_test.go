@@ -1,0 +1,538 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/vocab"
+)
+
+// testLexicon returns the default lexicon extended with the people, words and
+// devices used in the paper's running example (Sect. 3.1).
+func testLexicon(t *testing.T) *vocab.Lexicon {
+	t.Helper()
+	l := vocab.Default()
+	for _, p := range []string{"tom", "alan", "emily"} {
+		if err := l.Add(vocab.Entry{Phrase: p, Kind: vocab.KindPerson}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.DefineCondWord("hot and stuffy",
+		"humidity is higher than 60 percent and temperature is higher than 28 degrees", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DefineConfWord("half-lighting", "50 percent of brightness setting", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustParseRule(t *testing.T, lex *vocab.Lexicon, src string) *RuleDef {
+	t.Helper()
+	cmd, err := Parse(src, lex)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	rule, ok := cmd.(*RuleDef)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *RuleDef", src, cmd)
+	}
+	return rule
+}
+
+// TestParsePaperRule1 parses example rule (1) from Sect. 4.2.
+func TestParsePaperRule1(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If humidity is higher than 80 percent and temperature is higher than 28 degrees, "+
+			"turn on the air conditioner with 25 degrees of temperature setting.")
+
+	if rule.Verb != "turn-on" {
+		t.Errorf("verb = %q, want turn-on", rule.Verb)
+	}
+	if rule.Object.Device != "air conditioner" {
+		t.Errorf("device = %q, want air conditioner", rule.Object.Device)
+	}
+	if len(rule.Config) != 1 {
+		t.Fatalf("config = %v, want 1 item", rule.Config)
+	}
+	cfg := rule.Config[0]
+	if cfg.Parameter != "temperature" || !cfg.Value.IsNumber || cfg.Value.Number != 25 || cfg.Value.Unit != "celsius" {
+		t.Errorf("config item = %+v", cfg)
+	}
+	if rule.Pre == nil || rule.Pre.Keyword != "if" {
+		t.Fatalf("pre = %+v, want if-clause", rule.Pre)
+	}
+	and, ok := rule.Pre.Expr.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("pre expr = %T, want and", rule.Pre.Expr)
+	}
+	left, ok := and.L.(*CondAtom)
+	if !ok {
+		t.Fatalf("left = %T, want atom", and.L)
+	}
+	if left.Subject.Name != "humidity" || left.State.Op != "gt" || left.State.Value.Number != 80 {
+		t.Errorf("left atom = %+v / %+v", left.Subject, left.State)
+	}
+	right, ok := and.R.(*CondAtom)
+	if !ok {
+		t.Fatalf("right = %T, want atom", and.R)
+	}
+	if right.Subject.Name != "temperature" || right.State.Value.Number != 28 || right.State.Value.Unit != "celsius" {
+		t.Errorf("right atom = %+v / %+v", right.Subject, right.State)
+	}
+}
+
+// TestParsePaperRule2 parses example rule (2): "After evening, if someone
+// returns home and the hall is dark, turn on the light at the hall."
+func TestParsePaperRule2(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"After evening, if someone returns home and the hall is dark, turn on the light at the hall.")
+
+	if rule.Pre == nil || rule.Pre.Time == nil {
+		t.Fatal("missing pre time spec")
+	}
+	if rule.Pre.Time.Prep != "after" || rule.Pre.Time.Time.Name != "evening" {
+		t.Errorf("time spec = %+v", rule.Pre.Time)
+	}
+	and, ok := rule.Pre.Expr.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("expr = %T/%v", rule.Pre.Expr, rule.Pre.Expr)
+	}
+	left := and.L.(*CondAtom)
+	if left.Subject.Kind != SubSomeone {
+		t.Errorf("left subject kind = %v, want someone", left.Subject.Kind)
+	}
+	if left.State.Kind != vocab.StateArrival || left.State.Event != "return-home" {
+		t.Errorf("left state = %+v", left.State)
+	}
+	right := and.R.(*CondAtom)
+	if right.Subject.Kind != SubPlace || right.Subject.Name != "hall" {
+		t.Errorf("right subject = %+v", right.Subject)
+	}
+	if right.State.Kind != vocab.StateBool || right.State.Var != "dark" || !right.State.Bool {
+		t.Errorf("right state = %+v", right.State)
+	}
+	if rule.Object.Device != "light" || rule.Object.Location != "hall" {
+		t.Errorf("object = %+v", rule.Object)
+	}
+}
+
+// TestParsePaperRule3 parses example rule (3): "At night, if entrance door is
+// unlocked for 1 hour, turn on the alarm."
+func TestParsePaperRule3(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"At night, if entrance door is unlocked for 1 hour, turn on the alarm.")
+
+	if rule.Pre.Time == nil || rule.Pre.Time.Prep != "at" || rule.Pre.Time.Time.Name != "night" {
+		t.Fatalf("time spec = %+v", rule.Pre.Time)
+	}
+	atom, ok := rule.Pre.Expr.(*CondAtom)
+	if !ok {
+		t.Fatalf("expr = %T", rule.Pre.Expr)
+	}
+	if atom.Subject.Name != "entrance door" {
+		t.Errorf("subject = %q, want entrance door", atom.Subject.Name)
+	}
+	if atom.State.Var != "locked" || atom.State.Bool {
+		t.Errorf("state = %+v, want locked=false", atom.State)
+	}
+	if atom.Period == nil || atom.Period.Kind != PeriodFor || atom.Period.Seconds != 3600 {
+		t.Errorf("period = %+v, want for 3600s", atom.Period)
+	}
+	if rule.Object.Device != "alarm" {
+		t.Errorf("object = %+v", rule.Object)
+	}
+}
+
+// TestParseCondDef parses the paper's CondDef example defining
+// "hot and stuffy".
+func TestParseCondDef(t *testing.T) {
+	lex := vocab.Default() // no pre-registered user word
+	cmd, err := Parse("Let's call the condition that humidity is higher than 60 % "+
+		"and temperature is higher than 28 degrees hot and stuffy", lex)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	def, ok := cmd.(*CondDef)
+	if !ok {
+		t.Fatalf("cmd = %T, want *CondDef", cmd)
+	}
+	if def.Name != "hot and stuffy" {
+		t.Errorf("name = %q, want 'hot and stuffy'", def.Name)
+	}
+	and, ok := def.Expr.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("expr = %v", def.Expr)
+	}
+	l := and.L.(*CondAtom)
+	if l.Subject.Name != "humidity" || l.State.Value.Number != 60 || l.State.Value.Unit != "percent" {
+		t.Errorf("left = %+v/%+v", l.Subject, l.State)
+	}
+}
+
+func TestParseConfDef(t *testing.T) {
+	lex := vocab.Default()
+	cmd, err := Parse("Let's call the configuration that 50 percent of brightness setting "+
+		"and 20 percent of volume setting cozy mood", lex)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	def, ok := cmd.(*ConfDef)
+	if !ok {
+		t.Fatalf("cmd = %T, want *ConfDef", cmd)
+	}
+	if def.Name != "cozy mood" {
+		t.Errorf("name = %q, want 'cozy mood'", def.Name)
+	}
+	if len(def.Confs) != 2 {
+		t.Fatalf("confs = %v", def.Confs)
+	}
+	if def.Confs[0].Parameter != "brightness" || def.Confs[1].Parameter != "volume" {
+		t.Errorf("parameters = %q,%q", def.Confs[0].Parameter, def.Confs[1].Parameter)
+	}
+}
+
+func TestParseUserCondWord(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting "+
+			"and 60 percent of humidity setting.")
+	uc, ok := rule.Pre.Expr.(*UserCond)
+	if !ok {
+		t.Fatalf("expr = %T, want *UserCond", rule.Pre.Expr)
+	}
+	if uc.Name != "hot and stuffy" {
+		t.Errorf("name = %q", uc.Name)
+	}
+	if len(rule.Config) != 2 {
+		t.Errorf("config = %v, want 2 items", rule.Config)
+	}
+}
+
+func TestParseUserConfWord(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "When i am in the living room, turn on the floor lamp with half-lighting.")
+	if len(rule.Config) != 1 || rule.Config[0].Value.Word != "half-lighting" {
+		t.Fatalf("config = %+v", rule.Config)
+	}
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Subject.Kind != SubMe {
+		t.Errorf("subject kind = %v, want me", atom.Subject.Kind)
+	}
+	if atom.State.Kind != vocab.StatePresence || atom.State.Place != "living room" {
+		t.Errorf("state = %+v", atom.State)
+	}
+}
+
+func TestParsePresenceWithPerson(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "If alan is in the living room, turn on the tv.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Subject.Kind != SubPerson || atom.Subject.Name != "alan" {
+		t.Errorf("subject = %+v", atom.Subject)
+	}
+	if atom.State.Place != "living room" {
+		t.Errorf("place = %q", atom.State.Place)
+	}
+}
+
+func TestParseArrivalEvents(t *testing.T) {
+	lex := testLexicon(t)
+	tests := []struct {
+		src   string
+		event string
+	}{
+		{"If alan got home from work, turn on the tv.", "home-from-work"},
+		{"If emily got home from shopping, turn on the tv.", "home-from-shopping"},
+		{"If tom comes back, turn on the stereo.", "come-back"},
+	}
+	for _, tt := range tests {
+		rule := mustParseRule(t, lex, tt.src)
+		atom, ok := rule.Pre.Expr.(*CondAtom)
+		if !ok {
+			t.Fatalf("%q: expr = %T", tt.src, rule.Pre.Expr)
+		}
+		if atom.State.Kind != vocab.StateArrival || atom.State.Event != tt.event {
+			t.Errorf("%q: state = %+v, want event %s", tt.src, atom.State, tt.event)
+		}
+	}
+}
+
+func TestParseOnAir(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "If a baseball game is on air, turn on the tv.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Subject.Kind != SubEvent || atom.Subject.Name != "baseball game" {
+		t.Errorf("subject = %+v", atom.Subject)
+	}
+	if atom.State.Kind != vocab.StateOnAir {
+		t.Errorf("state = %+v", atom.State)
+	}
+
+	rule = mustParseRule(t, lex, "If my favorite movie is on air, turn on the tv.")
+	atom = rule.Pre.Expr.(*CondAtom)
+	if !atom.Subject.My || atom.Subject.Kind != SubEvent || atom.Subject.Name != "favorite movie" {
+		t.Errorf("subject = %+v", atom.Subject)
+	}
+}
+
+func TestParseNobody(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "If nobody is at home, turn off the light.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Subject.Kind != SubNobody {
+		t.Errorf("subject = %+v", atom.Subject)
+	}
+	if atom.State.Place != "home" {
+		t.Errorf("place = %q, want home", atom.State.Place)
+	}
+}
+
+func TestParseOrAndPrecedence(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If tom is at the living room or alan is at the kitchen and the hall is dark, turn on the light.")
+	or, ok := rule.Pre.Expr.(*BinaryExpr)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top = %v, want or at top (and binds tighter)", rule.Pre.Expr)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("right = %v, want and", or.R)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If ( tom is at the living room or alan is at the kitchen ) and the hall is dark, turn on the light.")
+	and, ok := rule.Pre.Expr.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("top = %v, want and at top with parens", rule.Pre.Expr)
+	}
+	if or, ok := and.L.(*BinaryExpr); !ok || or.Op != "or" {
+		t.Fatalf("left = %v, want or", and.L)
+	}
+}
+
+func TestParsePostCondition(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "Turn off the stereo when nobody is at the living room.")
+	if rule.Pre != nil {
+		t.Errorf("pre = %+v, want nil", rule.Pre)
+	}
+	if rule.Post == nil || rule.Post.Keyword != "when" {
+		t.Fatalf("post = %+v", rule.Post)
+	}
+}
+
+func TestParseBareTimePre(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "At 22:00, turn off the fluorescent light.")
+	if rule.Pre == nil || rule.Pre.Expr != nil || rule.Pre.Time == nil {
+		t.Fatalf("pre = %+v", rule.Pre)
+	}
+	if rule.Pre.Time.Time.Kind != TimeClock || rule.Pre.Time.Time.Minutes != 22*60 {
+		t.Errorf("time = %+v", rule.Pre.Time.Time)
+	}
+	if rule.Object.Device != "fluorescent light" {
+		t.Errorf("device = %q", rule.Object.Device)
+	}
+}
+
+func TestParseTimeFormats(t *testing.T) {
+	lex := testLexicon(t)
+	tests := []struct {
+		src     string
+		minutes int
+	}{
+		{"At 6 pm, turn on the light.", 18 * 60},
+		{"At 6 am, turn on the light.", 6 * 60},
+		{"At 12 am, turn on the light.", 0},
+		{"At 12 pm, turn on the light.", 12 * 60},
+		{"At 9 o'clock, turn on the light.", 9 * 60},
+		{"At 18:45, turn on the light.", 18*60 + 45},
+	}
+	for _, tt := range tests {
+		rule := mustParseRule(t, lex, tt.src)
+		if rule.Pre == nil || rule.Pre.Time == nil {
+			t.Fatalf("%q: no time", tt.src)
+		}
+		if got := rule.Pre.Time.Time.Minutes; got != tt.minutes {
+			t.Errorf("%q: minutes = %d, want %d", tt.src, got, tt.minutes)
+		}
+	}
+}
+
+func TestParseEveryWeekday(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "At every monday 8 o'clock, turn on the coffee maker.")
+	tod := rule.Pre.Time.Time
+	if tod.Every != "monday" || tod.Minutes != 8*60 {
+		t.Errorf("time = %+v", tod)
+	}
+}
+
+func TestParsePeriodFromTo(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If the tv is turned on from 22:00 to 23:00, turn off the tv.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Period == nil || atom.Period.Kind != PeriodFromTo {
+		t.Fatalf("period = %+v", atom.Period)
+	}
+	if atom.Period.From.Minutes != 22*60 || atom.Period.To.Minutes != 23*60 {
+		t.Errorf("period = %+v", atom.Period)
+	}
+}
+
+func TestParsePeriodAfter(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If the entrance door is open for 10 minutes after 22:00, turn on the alarm.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Period == nil || atom.Period.Kind != PeriodAfter || atom.Period.Seconds != 600 {
+		t.Fatalf("period = %+v", atom.Period)
+	}
+	if atom.Period.After == nil || atom.Period.After.Minutes != 22*60 {
+		t.Errorf("after = %+v", atom.Period.After)
+	}
+}
+
+func TestParseSubjectLocation(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If temperature at the living room is higher than 28 degrees, turn on the air conditioner at the living room.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.Subject.Name != "temperature" || atom.Subject.Location != "living room" {
+		t.Errorf("subject = %+v", atom.Subject)
+	}
+	if rule.Object.Location != "living room" {
+		t.Errorf("object = %+v", rule.Object)
+	}
+}
+
+func TestParseEqualityState(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "If temperature is 25 degrees, turn off the air conditioner.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.State.Op != "eq" || atom.State.Value.Number != 25 {
+		t.Errorf("state = %+v", atom.State)
+	}
+}
+
+func TestParseAtLeastAtMost(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex, "If humidity is at least 70 percent, turn on the dehumidifier.")
+	atom := rule.Pre.Expr.(*CondAtom)
+	if atom.State.Op != "ge" {
+		t.Errorf("op = %q, want ge", atom.State.Op)
+	}
+	rule = mustParseRule(t, lex, "If temperature is at most 10 degrees, turn on the heater.")
+	atom = rule.Pre.Expr.(*CondAtom)
+	if atom.State.Op != "le" {
+		t.Errorf("op = %q, want le", atom.State.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	lex := testLexicon(t)
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{name: "no verb", src: "the light."},
+		{name: "missing device", src: "turn on with 25 degrees of temperature setting."},
+		{name: "dangling condition", src: "If humidity is, turn on the fan."},
+		{name: "unclosed paren", src: "If ( humidity is over 60 percent, turn on the fan."},
+		{name: "empty input", src: ""},
+		{name: "conddef without name", src: "Let's call the condition that humidity is over 60 percent"},
+		{name: "no state", src: "If the weird gizmo whirrs strangely loudly today somehow anyway, turn on the fan."},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src, lex); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tt.src)
+			} else if !errors.Is(err, ErrParse) && !strings.Contains(err.Error(), "lang:") {
+				t.Errorf("error %v is not a parse error", err)
+			}
+		})
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	lex := testLexicon(t)
+	_, err := Parse("zzz qqq", lex)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *ParseError", err)
+	}
+	if pe.Pos < 0 || !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("bad error: %v", pe)
+	}
+}
+
+func TestParseCondExprStandalone(t *testing.T) {
+	lex := testLexicon(t)
+	expr, err := ParseCondExpr("humidity is higher than 60 percent and temperature is higher than 28 degrees", lex)
+	if err != nil {
+		t.Fatalf("ParseCondExpr: %v", err)
+	}
+	if _, ok := expr.(*BinaryExpr); !ok {
+		t.Errorf("expr = %T", expr)
+	}
+	if _, err := ParseCondExpr("turn on the tv", lex); err == nil {
+		t.Error("non-condition should fail")
+	}
+}
+
+func TestParseConfItemsStandalone(t *testing.T) {
+	lex := testLexicon(t)
+	items, err := ParseConfItems("25 degrees of temperature setting and 60 percent of humidity setting", lex)
+	if err != nil {
+		t.Fatalf("ParseConfItems: %v", err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+	if items[1].Parameter != "humidity" || items[1].Value.Number != 60 {
+		t.Errorf("item = %+v", items[1])
+	}
+}
+
+func TestParseWordConfigValue(t *testing.T) {
+	lex := testLexicon(t)
+	rule := mustParseRule(t, lex,
+		"If hot and stuffy, turn on the air conditioner with dehumidification of mode setting.")
+	if len(rule.Config) != 1 {
+		t.Fatalf("config = %v", rule.Config)
+	}
+	if rule.Config[0].Parameter != "mode" || rule.Config[0].Value.Word != "dehumidification" {
+		t.Errorf("config = %+v", rule.Config[0])
+	}
+}
+
+func TestParseScenarioRules(t *testing.T) {
+	// The full Fig. 1 rule sets for Tom, Alan and Emily must all parse.
+	lex := testLexicon(t)
+	srcs := []string{
+		"In the evening, if i am in the living room, play the stereo with jazz of mode setting and 40 percent of volume setting.",
+		"When i am in the living room, turn on the floor lamp with half-lighting.",
+		"If i am in the living room and hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting and 60 percent of humidity setting.",
+		"If alan is in the living room and a baseball game is on air, turn on the tv.",
+		"If alan is in the living room and a baseball game is on air, record the baseball game with the video recorder of mode setting.",
+		"If emily is in the living room and my favorite movie is on air, turn on the tv.",
+		"When emily is in the living room and my favorite movie is on air, play the stereo with movie of mode setting.",
+		"When emily is in the living room and my favorite movie is on air, turn on the fluorescent light.",
+		"If hot and stuffy, turn on the air conditioner with 27 degrees of temperature setting and 65 percent of humidity setting.",
+	}
+	for i, src := range srcs {
+		if _, err := Parse(src, lex); err != nil {
+			t.Errorf("rule %d: Parse(%q): %v", i, src, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lang
+
+import (
+	"testing"
+)
+
+// TestPrintRoundTrip checks the printer-stability property: parsing a
+// command, printing it, re-parsing the printed form and printing again must
+// yield the same text.
+func TestPrintRoundTrip(t *testing.T) {
+	lex := testLexicon(t)
+	srcs := []string{
+		"If humidity is higher than 80 percent and temperature is higher than 28 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+		"After evening, if someone returns home and the hall is dark, turn on the light at the hall.",
+		"At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
+		"Let's call the condition that humidity is higher than 60 % and temperature is higher than 28 degrees sweltering",
+		"Let's call the configuration that 50 percent of brightness setting and 20 percent of volume setting cozy mood",
+		"If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting and 60 percent of humidity setting.",
+		"When i am in the living room, turn on the floor lamp with half-lighting.",
+		"If alan is in the living room and a baseball game is on air, turn on the tv.",
+		"If my favorite movie is on air, turn on the tv.",
+		"Turn off the stereo when nobody is at the living room.",
+		"At 22:00, turn off the fluorescent light.",
+		"If the tv is turned on from 22:00 to 23:00, turn off the tv.",
+		"If the entrance door is open for 10 minutes after 22:00, turn on the alarm.",
+		"If temperature at the living room is higher than 28 degrees, turn on the air conditioner at the living room.",
+		"If ( tom is at the living room or alan is at the kitchen ) and the hall is dark, turn on the light.",
+		"At every monday 8 o'clock, turn on the coffee maker.",
+		"If temperature is at most 10 degrees, turn on the heater.",
+	}
+	for _, src := range srcs {
+		cmd1, err := Parse(src, lex)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed1 := cmd1.String()
+		cmd2, err := Parse(printed1, lex)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v\n(from %q)", printed1, err, src)
+			continue
+		}
+		printed2 := cmd2.String()
+		if printed1 != printed2 {
+			t.Errorf("round trip unstable:\n  src:    %q\n  first:  %q\n  second: %q", src, printed1, printed2)
+		}
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	lex := testLexicon(t)
+	cmd, err := Parse("If ( humidity is over 60 percent or temperature is over 30 degrees ) and the hall is dark, turn on the fan.", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := cmd.String()
+	reparsed, err := Parse(printed, lex)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	and, ok := reparsed.(*RuleDef).Pre.Expr.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("printed form %q lost grouping: %v", printed, reparsed.(*RuleDef).Pre.Expr)
+	}
+	if or, ok := and.L.(*BinaryExpr); !ok || or.Op != "or" {
+		t.Fatalf("printed form %q lost inner or", printed)
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	lex := testLexicon(t)
+	expr, err := ParseCondExpr("humidity is over 60 percent and temperature is over 28 degrees or the hall is dark", lex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atoms, binaries int
+	Walk(expr, func(e CondExpr) {
+		switch e.(type) {
+		case *CondAtom:
+			atoms++
+		case *BinaryExpr:
+			binaries++
+		}
+	})
+	if atoms != 3 || binaries != 2 {
+		t.Errorf("walk counted %d atoms, %d binaries; want 3, 2", atoms, binaries)
+	}
+	Walk(nil, func(CondExpr) { t.Error("walk of nil should not visit") })
+}

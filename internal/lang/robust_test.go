@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vocab"
+)
+
+// TestParseNeverPanics feeds pseudo-random token soup to the parser: it may
+// reject the input, but it must never panic or loop.
+func TestParseNeverPanics(t *testing.T) {
+	lex := vocab.Default()
+	if err := lex.DefineCondWord("hot and stuffy", "temperature is higher than 28 degrees", "t"); err != nil {
+		t.Fatal(err)
+	}
+	words := []string{
+		"if", "when", "turn", "on", "off", "the", "a", "and", "or", "(", ")",
+		"is", "are", "higher", "than", "degrees", "percent", "at", "in",
+		"after", "until", "for", "hot", "stuffy", "temperature", "humidity",
+		"tv", "light", "28", "60", "18:00", ",", ".", "with", "of", "setting",
+		"let's", "call", "condition", "that", "every", "monday", "evening",
+		"night", "someone", "nobody", "i", "am", "my", "favorite", "movie",
+		"air", "returns", "home", "dark", "unlocked", "hour", "1", "%",
+	}
+	r := rand.New(rand.NewSource(2024))
+	f := func() bool {
+		n := 1 + r.Intn(24)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[r.Intn(len(words))]
+		}
+		input := strings.Join(parts, " ")
+		// Any outcome but a panic is fine.
+		_, _ = Parse(input, lex)
+		_, _ = ParseCondExpr(input, lex)
+		_, _ = ParseConfItems(input, lex)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexNeverPanics feeds arbitrary bytes to the lexer.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		_, _ = Lex(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundTripGeneratedRules builds random but well-formed rules from
+// grammar fragments and checks the printer-stability property on each.
+func TestQuickRoundTripGeneratedRules(t *testing.T) {
+	lex := testLexicon(t)
+	r := rand.New(rand.NewSource(7))
+
+	atoms := []string{
+		"temperature is higher than %d degrees",
+		"humidity is over %d percent",
+		"the tv is turned on",
+		"the hall is dark",
+		"tom is at the living room",
+		"someone returns home",
+		"a baseball game is on air",
+		"entrance door is unlocked for 1 hour",
+		"hot and stuffy",
+	}
+	times := []string{"", "after evening, ", "at night, ", "before 22:00, "}
+	actions := []string{
+		"turn on the tv",
+		"turn off the stereo",
+		"turn on the light at the hall",
+		"turn on the air conditioner with %d degrees of temperature setting",
+		"play the stereo with jazz of mode setting",
+	}
+
+	build := func() string {
+		var sb strings.Builder
+		sb.WriteString(times[r.Intn(len(times))])
+		sb.WriteString("if ")
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				if r.Intn(2) == 0 {
+					sb.WriteString(" and ")
+				} else {
+					sb.WriteString(" or ")
+				}
+			}
+			atom := atoms[r.Intn(len(atoms))]
+			if strings.Contains(atom, "%d") {
+				atom = strings.Replace(atom, "%d", itoa(10+r.Intn(80)), 1)
+			}
+			sb.WriteString(atom)
+		}
+		sb.WriteString(", ")
+		action := actions[r.Intn(len(actions))]
+		if strings.Contains(action, "%d") {
+			action = strings.Replace(action, "%d", itoa(15+r.Intn(15)), 1)
+		}
+		sb.WriteString(action)
+		sb.WriteString(".")
+		return sb.String()
+	}
+
+	for i := 0; i < 300; i++ {
+		src := build()
+		cmd1, err := Parse(src, lex)
+		if err != nil {
+			t.Fatalf("generated rule failed to parse: %q: %v", src, err)
+		}
+		printed1 := cmd1.String()
+		cmd2, err := Parse(printed1, lex)
+		if err != nil {
+			t.Fatalf("printed form failed to reparse: %q (from %q): %v", printed1, src, err)
+		}
+		if printed2 := cmd2.String(); printed1 != printed2 {
+			t.Fatalf("round trip unstable:\n  src: %q\n  1st: %q\n  2nd: %q", src, printed1, printed2)
+		}
+	}
+}
+
+func itoa(v int) string {
+	digits := "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var out []byte
+	for v > 0 {
+		out = append([]byte{digits[v%10]}, out...)
+		v /= 10
+	}
+	return string(out)
+}

@@ -1,0 +1,247 @@
+// Package lookup implements the rule description support module's retrieval
+// service (Sect. 4.3, Figs. 5-6): finding sensors and devices by keyword,
+// sensor type, name, location, allowable action or user-defined word, and
+// reverse lookups from a device to the actions it allows and the words that
+// involve it. GUI and voice front ends are thin shells over this API.
+package lookup
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/lang"
+	"repro/internal/upnp"
+	"repro/internal/vocab"
+)
+
+// capability describes what a service URN lets a device do.
+type capability struct {
+	measures []string // sensor variables the service reports
+	controls []string // parameters the service can set
+	verbs    []string // canonical verbs the service accepts
+}
+
+var capabilities = map[string]capability{
+	device.SvcTempSensor:  {measures: []string{"temperature"}},
+	device.SvcHumidSensor: {measures: []string{"humidity"}},
+	device.SvcLightSensor: {measures: []string{"dark", "illuminance"}},
+	device.SvcPresence:    {measures: []string{"presence"}},
+	device.SvcEPG:         {measures: []string{"programs"}},
+	device.SvcSwitchPower: {verbs: []string{"turn-on", "turn-off"}},
+	device.SvcDimming:     {controls: []string{"brightness"}, verbs: []string{"dim", "brighten"}},
+	device.SvcThermostat:  {controls: []string{"temperature", "humidity", "mode"}},
+	device.SvcChannel:     {controls: []string{"channel"}},
+	device.SvcPlayback:    {controls: []string{"volume", "mode"}, verbs: []string{"play", "stop", "mute"}},
+	device.SvcRecording:   {controls: []string{"mode"}, verbs: []string{"record", "stop"}},
+	device.SvcLock:        {verbs: []string{"lock", "unlock"}},
+}
+
+// Query selects devices. Empty fields match everything; non-empty fields
+// must all match (the GUI's combined retrieval of Fig. 5/6).
+type Query struct {
+	// Keyword substring-matches the friendly name, device type or location.
+	Keyword string
+	// SensorType matches devices that measure or control the variable
+	// ("temperature" finds thermometers and air conditioners, as in the
+	// paper's example).
+	SensorType string
+	// Name exact-matches the friendly name.
+	Name string
+	// Location exact-matches the room.
+	Location string
+	// Verb matches devices accepting the canonical action ("turn-on").
+	Verb string
+	// Word matches devices whose variables appear in the user-defined
+	// condition word's definition ("hot and stuffy" finds the thermometer
+	// and hygrometer).
+	Word string
+}
+
+// Service answers retrieval queries over discovered devices.
+type Service struct {
+	lex      *vocab.Lexicon
+	compiler *core.Compiler
+}
+
+// New returns a lookup service over the lexicon.
+func New(lex *vocab.Lexicon) *Service {
+	return &Service{lex: lex, compiler: core.NewCompiler(lex)}
+}
+
+// Find returns the devices matching the query, sorted by friendly name then
+// location for deterministic display.
+func (s *Service) Find(devices []*upnp.RemoteDevice, q Query) []*upnp.RemoteDevice {
+	wordVars, wordOK := s.wordVariables(q.Word)
+	var out []*upnp.RemoteDevice
+	for _, d := range devices {
+		if q.Name != "" && d.FriendlyName != q.Name {
+			continue
+		}
+		if q.Location != "" && d.Location != q.Location {
+			continue
+		}
+		if q.Keyword != "" && !keywordMatch(d, q.Keyword) {
+			continue
+		}
+		if q.SensorType != "" && !touchesVariable(d, q.SensorType) {
+			continue
+		}
+		if q.Verb != "" && !allowsVerb(d, q.Verb) {
+			continue
+		}
+		if q.Word != "" {
+			if !wordOK || !touchesAny(d, wordVars) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FriendlyName != out[j].FriendlyName {
+			return out[i].FriendlyName < out[j].FriendlyName
+		}
+		return out[i].Location < out[j].Location
+	})
+	return out
+}
+
+// AllowedVerbs returns the canonical verbs a device accepts (Fig. 6's
+// action list).
+func (s *Service) AllowedVerbs(d *upnp.RemoteDevice) []string {
+	verbSet := make(map[string]bool)
+	for _, svc := range d.Services {
+		for _, v := range capabilities[svc.ServiceType].verbs {
+			verbSet[v] = true
+		}
+	}
+	out := make([]string, 0, len(verbSet))
+	for v := range verbSet {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Controls returns the parameters a device can be configured with.
+func (s *Service) Controls(d *upnp.RemoteDevice) []string {
+	set := make(map[string]bool)
+	for _, svc := range d.Services {
+		for _, p := range capabilities[svc.ServiceType].controls {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Measures returns the sensor variables a device reports.
+func (s *Service) Measures(d *upnp.RemoteDevice) []string {
+	set := make(map[string]bool)
+	for _, svc := range d.Services {
+		for _, v := range capabilities[svc.ServiceType].measures {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WordsFor returns the user-defined condition words whose definitions read
+// variables this device measures or controls — the reverse lookup of
+// Sect. 4.3(i).
+func (s *Service) WordsFor(d *upnp.RemoteDevice) []string {
+	var out []string
+	for _, entry := range s.lex.Entries(vocab.KindCondWord) {
+		vars, ok := s.wordVariables(entry.Phrase)
+		if !ok {
+			continue
+		}
+		if touchesAny(d, vars) {
+			out = append(out, entry.Phrase)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// wordVariables compiles a user-defined condition word and returns the base
+// variable names its definition reads.
+func (s *Service) wordVariables(word string) (map[string]bool, bool) {
+	if word == "" {
+		return nil, false
+	}
+	// Parsing the bare word expands it through the lexicon's CondWord table.
+	expr, err := lang.ParseCondExpr(word, s.lex)
+	if err != nil {
+		return nil, false
+	}
+	cond, err := s.compiler.CompileCondExpr(expr, "lookup")
+	if err != nil {
+		return nil, false
+	}
+	vars := make(map[string]bool)
+	for _, v := range cond.Vars(nil) {
+		// Strip any location prefix: "living room/temperature" → "temperature".
+		if i := strings.LastIndexByte(v, '/'); i >= 0 {
+			v = v[i+1:]
+		}
+		vars[v] = true
+	}
+	return vars, true
+}
+
+func keywordMatch(d *upnp.RemoteDevice, keyword string) bool {
+	kw := strings.ToLower(keyword)
+	return strings.Contains(strings.ToLower(d.FriendlyName), kw) ||
+		strings.Contains(strings.ToLower(d.DeviceType), kw) ||
+		strings.Contains(strings.ToLower(d.Location), kw)
+}
+
+// touchesVariable reports whether the device measures or controls the
+// variable.
+func touchesVariable(d *upnp.RemoteDevice, name string) bool {
+	for _, svc := range d.Services {
+		cap := capabilities[svc.ServiceType]
+		for _, v := range cap.measures {
+			if v == name {
+				return true
+			}
+		}
+		for _, v := range cap.controls {
+			if v == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func touchesAny(d *upnp.RemoteDevice, vars map[string]bool) bool {
+	for v := range vars {
+		if touchesVariable(d, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func allowsVerb(d *upnp.RemoteDevice, verb string) bool {
+	for _, svc := range d.Services {
+		for _, v := range capabilities[svc.ServiceType].verbs {
+			if v == verb {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package lookup
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/upnp"
+	"repro/internal/vocab"
+)
+
+func rd(name, devType, location string, serviceTypes ...string) *upnp.RemoteDevice {
+	d := &upnp.RemoteDevice{
+		UDN:          "uuid:" + name,
+		FriendlyName: name,
+		DeviceType:   devType,
+		Location:     location,
+	}
+	for _, st := range serviceTypes {
+		d.Services = append(d.Services, upnp.RemoteService{ServiceType: st})
+	}
+	return d
+}
+
+func fixtureDevices() []*upnp.RemoteDevice {
+	return []*upnp.RemoteDevice{
+		rd("thermometer", device.TypeThermometer, "living room", device.SvcTempSensor),
+		rd("hygrometer", device.TypeHygrometer, "living room", device.SvcHumidSensor),
+		rd("air conditioner", device.TypeAirConditioner, "living room", device.SvcSwitchPower, device.SvcThermostat),
+		rd("tv", device.TypeTV, "living room", device.SvcSwitchPower, device.SvcChannel, device.SvcPlayback),
+		rd("light", device.TypeLight, "hall", device.SvcSwitchPower, device.SvcDimming),
+		rd("light sensor", device.TypeLightSensor, "hall", device.SvcLightSensor),
+		rd("entrance door", device.TypeDoorLock, "entrance", device.SvcLock),
+	}
+}
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	lex := vocab.Default()
+	if err := lex.DefineCondWord("hot and stuffy",
+		"humidity is higher than 60 percent and temperature is higher than 28 degrees", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lex.DefineCondWord("gloomy", "the hall is dark", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	return New(lex)
+}
+
+func names(devs []*upnp.RemoteDevice) string {
+	out := make([]string, len(devs))
+	for i, d := range devs {
+		out[i] = d.FriendlyName
+	}
+	return strings.Join(out, ",")
+}
+
+// TestFindBySensorType reproduces the paper's example: "the air-conditioner,
+// the temperature meter and so on can be retrieved by specifying temperature
+// as the sensor type."
+func TestFindBySensorType(t *testing.T) {
+	s := newService(t)
+	got := s.Find(fixtureDevices(), Query{SensorType: "temperature"})
+	if names(got) != "air conditioner,thermometer" {
+		t.Errorf("temperature devices = %s", names(got))
+	}
+	got = s.Find(fixtureDevices(), Query{SensorType: "humidity"})
+	if names(got) != "air conditioner,hygrometer" {
+		t.Errorf("humidity devices = %s", names(got))
+	}
+}
+
+// TestFindByUserWord reproduces Fig. 5: "sensors which can measure
+// temperature and humidity can be retrieved by the word 'hot and stuffy'."
+func TestFindByUserWord(t *testing.T) {
+	s := newService(t)
+	got := s.Find(fixtureDevices(), Query{Word: "hot and stuffy"})
+	if names(got) != "air conditioner,hygrometer,thermometer" {
+		t.Errorf("hot-and-stuffy devices = %s", names(got))
+	}
+	// A word over a boolean place state finds the light sensor.
+	got = s.Find(fixtureDevices(), Query{Word: "gloomy"})
+	if names(got) != "light sensor" {
+		t.Errorf("gloomy devices = %s", names(got))
+	}
+	// Unknown words match nothing.
+	if got := s.Find(fixtureDevices(), Query{Word: "sparkling"}); len(got) != 0 {
+		t.Errorf("unknown word matched %s", names(got))
+	}
+}
+
+func TestFindByNameLocationKeyword(t *testing.T) {
+	s := newService(t)
+	if got := s.Find(fixtureDevices(), Query{Name: "tv"}); names(got) != "tv" {
+		t.Errorf("by name = %s", names(got))
+	}
+	if got := s.Find(fixtureDevices(), Query{Location: "hall"}); names(got) != "light,light sensor" {
+		t.Errorf("by location = %s", names(got))
+	}
+	if got := s.Find(fixtureDevices(), Query{Keyword: "door"}); names(got) != "entrance door" {
+		t.Errorf("by keyword = %s", names(got))
+	}
+	// Keyword also hits locations.
+	if got := s.Find(fixtureDevices(), Query{Keyword: "living"}); len(got) != 4 {
+		t.Errorf("by location keyword = %s", names(got))
+	}
+}
+
+func TestFindByVerb(t *testing.T) {
+	s := newService(t)
+	got := s.Find(fixtureDevices(), Query{Verb: "turn-on"})
+	if names(got) != "air conditioner,light,tv" {
+		t.Errorf("turn-on devices = %s", names(got))
+	}
+	if got := s.Find(fixtureDevices(), Query{Verb: "unlock"}); names(got) != "entrance door" {
+		t.Errorf("unlock devices = %s", names(got))
+	}
+}
+
+func TestFindCombinedFilters(t *testing.T) {
+	s := newService(t)
+	got := s.Find(fixtureDevices(), Query{SensorType: "temperature", Verb: "turn-on"})
+	if names(got) != "air conditioner" {
+		t.Errorf("combined = %s", names(got))
+	}
+	// Contradictory filters match nothing.
+	if got := s.Find(fixtureDevices(), Query{Name: "tv", Location: "hall"}); len(got) != 0 {
+		t.Errorf("contradictory filters matched %s", names(got))
+	}
+}
+
+func TestFindEmptyQueryReturnsAllSorted(t *testing.T) {
+	s := newService(t)
+	got := s.Find(fixtureDevices(), Query{})
+	if len(got) != len(fixtureDevices()) {
+		t.Fatalf("got %d devices", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].FriendlyName > got[i].FriendlyName {
+			t.Fatalf("not sorted: %s", names(got))
+		}
+	}
+}
+
+func TestAllowedVerbs(t *testing.T) {
+	s := newService(t)
+	tv := fixtureDevices()[3]
+	verbs := strings.Join(s.AllowedVerbs(tv), ",")
+	for _, want := range []string{"turn-on", "turn-off", "play", "stop"} {
+		if !strings.Contains(verbs, want) {
+			t.Errorf("tv verbs %s missing %s", verbs, want)
+		}
+	}
+	door := fixtureDevices()[6]
+	if got := strings.Join(s.AllowedVerbs(door), ","); got != "lock,unlock" {
+		t.Errorf("door verbs = %s", got)
+	}
+}
+
+func TestControlsAndMeasures(t *testing.T) {
+	s := newService(t)
+	ac := fixtureDevices()[2]
+	if got := strings.Join(s.Controls(ac), ","); got != "humidity,mode,temperature" {
+		t.Errorf("ac controls = %s", got)
+	}
+	th := fixtureDevices()[0]
+	if got := strings.Join(s.Measures(th), ","); got != "temperature" {
+		t.Errorf("thermometer measures = %s", got)
+	}
+	if got := s.Measures(fixtureDevices()[3]); len(got) != 0 {
+		t.Errorf("tv measures = %v", got)
+	}
+}
+
+// TestWordsFor reproduces the reverse lookup: "information about sensor
+// types and the user defined words can be retrieved by specifying sensors."
+func TestWordsFor(t *testing.T) {
+	s := newService(t)
+	th := fixtureDevices()[0]
+	if got := strings.Join(s.WordsFor(th), ","); got != "hot and stuffy" {
+		t.Errorf("thermometer words = %s", got)
+	}
+	ls := fixtureDevices()[5]
+	if got := strings.Join(s.WordsFor(ls), ","); got != "gloomy" {
+		t.Errorf("light sensor words = %s", got)
+	}
+	door := fixtureDevices()[6]
+	if got := s.WordsFor(door); len(got) != 0 {
+		t.Errorf("door words = %v", got)
+	}
+}

@@ -1,0 +1,7 @@
+package registry
+
+import "time"
+
+func baseTime() time.Time {
+	return time.Date(2005, 3, 7, 18, 30, 0, 0, time.UTC)
+}

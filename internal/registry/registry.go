@@ -1,0 +1,227 @@
+// Package registry implements the CADEL rule database: indexed storage for
+// compiled rule objects with the access paths the paper's home server needs —
+// most importantly the "extract all rules controlling the same device"
+// operation that feeds conflict detection (the paper measures it at 10 ms or
+// less over 10,000 rules).
+//
+// Rules serialize as their original CADEL source text plus metadata; import
+// recompiles the source, so the database file format is human-readable CADEL,
+// mirroring the paper's "CADEL DB".
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Errors reported by the database.
+var (
+	ErrDuplicateID = errors.New("registry: rule id already registered")
+	ErrNotFound    = errors.New("registry: rule not found")
+)
+
+// DB is a concurrency-safe, indexed rule database.
+type DB struct {
+	mu       sync.RWMutex
+	rules    map[string]*core.Rule
+	byName   map[string][]*core.Rule // device name → rules
+	byOwner  map[string][]*core.Rule
+	byVar    map[string][]*core.Rule // condition variable → rules
+	seq      uint64
+	inserted []string // insertion order of rule IDs
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		rules:   make(map[string]*core.Rule),
+		byName:  make(map[string][]*core.Rule),
+		byOwner: make(map[string][]*core.Rule),
+		byVar:   make(map[string][]*core.Rule),
+	}
+}
+
+// Add registers a rule and assigns its sequence number.
+func (db *DB) Add(r *core.Rule) error {
+	if r == nil || r.ID == "" {
+		return errors.New("registry: rule must have an id")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rules[r.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, r.ID)
+	}
+	db.seq++
+	r.Seq = db.seq
+	db.rules[r.ID] = r
+	db.byName[r.Device.Name] = append(db.byName[r.Device.Name], r)
+	db.byOwner[r.Owner] = append(db.byOwner[r.Owner], r)
+	for _, v := range r.Vars() {
+		db.byVar[v] = append(db.byVar[v], r)
+	}
+	db.inserted = append(db.inserted, r.ID)
+	return nil
+}
+
+// Remove deletes a rule by id.
+func (db *DB) Remove(id string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.rules[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(db.rules, id)
+	db.byName[r.Device.Name] = removeRule(db.byName[r.Device.Name], id)
+	db.byOwner[r.Owner] = removeRule(db.byOwner[r.Owner], id)
+	for _, v := range r.Vars() {
+		db.byVar[v] = removeRule(db.byVar[v], id)
+	}
+	for i, insertedID := range db.inserted {
+		if insertedID == id {
+			db.inserted = append(db.inserted[:i:i], db.inserted[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func removeRule(list []*core.Rule, id string) []*core.Rule {
+	for i, r := range list {
+		if r.ID == id {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Get returns the rule with the given id.
+func (db *DB) Get(id string) (*core.Rule, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rules[id]
+	return r, ok
+}
+
+// Len returns the number of registered rules.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.rules)
+}
+
+// All returns every rule in insertion order.
+func (db *DB) All() []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*core.Rule, 0, len(db.inserted))
+	for _, id := range db.inserted {
+		if r, ok := db.rules[id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SameDevice returns all rules whose target matches the reference — the
+// indexed extraction step of the paper's conflict check (experiment E2a).
+func (db *DB) SameDevice(ref core.DeviceRef) []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	candidates := db.byName[ref.Name]
+	out := make([]*core.Rule, 0, len(candidates))
+	for _, r := range candidates {
+		if r.Device.Matches(ref) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SameDeviceScan is the unindexed baseline for the ablation benchmark: a
+// linear scan over every rule.
+func (db *DB) SameDeviceScan(ref core.DeviceRef) []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*core.Rule
+	for _, id := range db.inserted {
+		r := db.rules[id]
+		if r != nil && r.Device.Matches(ref) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByOwner returns the rules registered by a user, in insertion order.
+func (db *DB) ByOwner(owner string) []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*core.Rule, len(db.byOwner[owner]))
+	copy(out, db.byOwner[owner])
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ByVar returns the rules whose conditions read the given variable. The
+// execution engine uses this to re-evaluate only affected rules on a sensor
+// event.
+func (db *DB) ByVar(name string) []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*core.Rule, len(db.byVar[name]))
+	copy(out, db.byVar[name])
+	return out
+}
+
+// exportedRule is the serialized form: CADEL source plus metadata.
+type exportedRule struct {
+	ID     string `json:"id"`
+	Owner  string `json:"owner"`
+	Source string `json:"source"`
+}
+
+type exportDoc struct {
+	Rules []exportedRule `json:"rules"`
+}
+
+// Export serializes all rules (insertion order) as JSON-wrapped CADEL
+// source. This is the import/export mechanism of Sect. 4.3(iv).
+func (db *DB) Export() ([]byte, error) {
+	rules := db.All()
+	doc := exportDoc{Rules: make([]exportedRule, 0, len(rules))}
+	for _, r := range rules {
+		doc.Rules = append(doc.Rules, exportedRule{ID: r.ID, Owner: r.Owner, Source: r.Source})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// CompileFunc recompiles one exported rule. The server wires this to the
+// CADEL parser + compiler.
+type CompileFunc func(source, id, owner string) (*core.Rule, error)
+
+// Import adds every rule from an Export document, recompiling each source.
+// It stops at the first error.
+func (db *DB) Import(data []byte, compile CompileFunc) (int, error) {
+	var doc exportDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("registry: decode import: %w", err)
+	}
+	count := 0
+	for _, er := range doc.Rules {
+		rule, err := compile(er.Source, er.ID, er.Owner)
+		if err != nil {
+			return count, fmt.Errorf("registry: recompile %q: %w", er.ID, err)
+		}
+		if err := db.Add(rule); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}

@@ -1,0 +1,392 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func mustFeasible(t *testing.T, cs []Constraint) Result {
+	t.Helper()
+	res, err := Feasible(cs)
+	if err != nil {
+		t.Fatalf("Feasible(%v) error: %v", cs, err)
+	}
+	return res
+}
+
+func checkWitness(t *testing.T, cs []Constraint, point map[string]float64) {
+	t.Helper()
+	for _, c := range cs {
+		lhs := 0.0
+		for name, coef := range c.Coeffs {
+			lhs += coef * point[name]
+		}
+		ok := false
+		switch c.Rel {
+		case LE:
+			ok = lhs <= c.RHS+1e-6
+		case GE:
+			ok = lhs >= c.RHS-1e-6
+		case LT:
+			ok = lhs < c.RHS+1e-9
+		case GT:
+			ok = lhs > c.RHS-1e-9
+		case EQ:
+			ok = math.Abs(lhs-c.RHS) <= 1e-6
+		}
+		if !ok {
+			t.Errorf("witness %v violates %v (lhs=%v)", point, c, lhs)
+		}
+	}
+}
+
+func TestFeasibleEmptySystem(t *testing.T) {
+	res := mustFeasible(t, nil)
+	if !res.Feasible {
+		t.Error("empty system must be feasible")
+	}
+}
+
+func TestFeasibleSimpleBounds(t *testing.T) {
+	tests := []struct {
+		name string
+		cs   []Constraint
+		want bool
+	}{
+		{
+			name: "paper hot-and-stuffy pair", // temp>28 ∧ temp>26: consistent
+			cs:   []Constraint{Bound("temp", GT, 28), Bound("temp", GT, 26)},
+			want: true,
+		},
+		{
+			name: "contradictory bounds",
+			cs:   []Constraint{Bound("temp", GT, 28), Bound("temp", LT, 25)},
+			want: false,
+		},
+		{
+			name: "strict same point",
+			cs:   []Constraint{Bound("x", GT, 5), Bound("x", LT, 5)},
+			want: false,
+		},
+		{
+			name: "loose same point",
+			cs:   []Constraint{Bound("x", GE, 5), Bound("x", LE, 5)},
+			want: true,
+		},
+		{
+			name: "strict above loose below",
+			cs:   []Constraint{Bound("x", GT, 5), Bound("x", LE, 5)},
+			want: false,
+		},
+		{
+			name: "equality consistent",
+			cs:   []Constraint{Bound("x", EQ, 3), Bound("x", LE, 4)},
+			want: true,
+		},
+		{
+			name: "equality inconsistent",
+			cs:   []Constraint{Bound("x", EQ, 3), Bound("x", GE, 4)},
+			want: false,
+		},
+		{
+			name: "negative values",
+			cs:   []Constraint{Bound("x", LE, -5), Bound("x", GE, -10)},
+			want: true,
+		},
+		{
+			name: "negative infeasible",
+			cs:   []Constraint{Bound("x", LE, -10), Bound("x", GE, -5)},
+			want: false,
+		},
+		{
+			name: "four inequalities two vars (paper E2b shape)",
+			cs: []Constraint{
+				Bound("temp", GT, 28), Bound("humid", GT, 60),
+				Bound("temp", GT, 25), Bound("humid", GT, 55),
+			},
+			want: true,
+		},
+		{
+			name: "four inequalities disjoint bands",
+			cs: []Constraint{
+				Bound("temp", GE, 28), Bound("temp", LE, 30),
+				Bound("temp", GE, 31), Bound("temp", LE, 35),
+			},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := mustFeasible(t, tt.cs)
+			if res.Feasible != tt.want {
+				t.Fatalf("Feasible = %v, want %v", res.Feasible, tt.want)
+			}
+			if res.Feasible {
+				checkWitness(t, tt.cs, res.Point)
+			}
+		})
+	}
+}
+
+func TestFeasibleMultiVariableCoupling(t *testing.T) {
+	// x + y <= 10, x >= 4, y >= 4: feasible (x=4,y=4).
+	cs := []Constraint{
+		{Coeffs: map[string]float64{"x": 1, "y": 1}, Rel: LE, RHS: 10},
+		Bound("x", GE, 4),
+		Bound("y", GE, 4),
+	}
+	res := mustFeasible(t, cs)
+	if !res.Feasible {
+		t.Fatal("coupled system should be feasible")
+	}
+	checkWitness(t, cs, res.Point)
+
+	// x + y <= 10, x >= 6, y >= 6: infeasible.
+	cs[1] = Bound("x", GE, 6)
+	cs[2] = Bound("y", GE, 6)
+	if res := mustFeasible(t, cs); res.Feasible {
+		t.Fatal("x+y<=10, x>=6, y>=6 should be infeasible")
+	}
+}
+
+func TestFeasibleStrictCoupling(t *testing.T) {
+	// x + y < 10 with x > 5 and y > 5 is infeasible even though the
+	// non-strict relaxation touches at x+y=10.
+	cs := []Constraint{
+		{Coeffs: map[string]float64{"x": 1, "y": 1}, Rel: LT, RHS: 10},
+		Bound("x", GT, 5),
+		Bound("y", GT, 5),
+	}
+	if res := mustFeasible(t, cs); res.Feasible {
+		t.Fatal("strict coupled system should be infeasible")
+	}
+	// Loosen one bound and it becomes feasible.
+	cs[1] = Bound("x", GT, 3)
+	res := mustFeasible(t, cs)
+	if !res.Feasible {
+		t.Fatal("loosened system should be feasible")
+	}
+	checkWitness(t, cs, res.Point)
+}
+
+func TestFeasibleEqualitySystem(t *testing.T) {
+	// x + y == 10, x - y == 2  → x=6, y=4.
+	cs := []Constraint{
+		{Coeffs: map[string]float64{"x": 1, "y": 1}, Rel: EQ, RHS: 10},
+		{Coeffs: map[string]float64{"x": 1, "y": -1}, Rel: EQ, RHS: 2},
+	}
+	res := mustFeasible(t, cs)
+	if !res.Feasible {
+		t.Fatal("linear equalities should be feasible")
+	}
+	if math.Abs(res.Point["x"]-6) > 1e-6 || math.Abs(res.Point["y"]-4) > 1e-6 {
+		t.Errorf("witness = %v, want x=6,y=4", res.Point)
+	}
+}
+
+func TestFeasibleRejectsBadInput(t *testing.T) {
+	if _, err := Feasible([]Constraint{{Coeffs: map[string]float64{"x": math.NaN()}, Rel: LE, RHS: 0}}); err == nil {
+		t.Error("NaN coefficient should error")
+	}
+	if _, err := Feasible([]Constraint{{Coeffs: map[string]float64{"x": 1}, Rel: Relation(99), RHS: 0}}); err == nil {
+		t.Error("bad relation should error")
+	}
+	if _, err := Feasible([]Constraint{{Coeffs: map[string]float64{"x": 1}, Rel: LE, RHS: math.Inf(1)}}); err == nil {
+		t.Error("infinite RHS should error")
+	}
+}
+
+func TestMaximize(t *testing.T) {
+	// max x+y st x<=4, y<=3 → 7.
+	val, point, st := Maximize(
+		map[string]float64{"x": 1, "y": 1},
+		[]Constraint{Bound("x", LE, 4), Bound("y", LE, 3), Bound("x", GE, 0), Bound("y", GE, 0)},
+	)
+	if st != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", st)
+	}
+	if math.Abs(val-7) > 1e-6 {
+		t.Errorf("optimum = %v, want 7", val)
+	}
+	if math.Abs(point["x"]-4) > 1e-6 || math.Abs(point["y"]-3) > 1e-6 {
+		t.Errorf("point = %v, want x=4,y=3", point)
+	}
+}
+
+func TestMaximizeUnbounded(t *testing.T) {
+	_, _, st := Maximize(map[string]float64{"x": 1}, []Constraint{Bound("x", GE, 0)})
+	if st != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", st)
+	}
+}
+
+func TestMaximizeInfeasible(t *testing.T) {
+	_, _, st := Maximize(map[string]float64{"x": 1},
+		[]Constraint{Bound("x", LE, 0), Bound("x", GE, 1)})
+	if st != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", st)
+	}
+}
+
+func TestMaximizeNegativeOptimum(t *testing.T) {
+	// max x st x <= -5 (x free) → -5.
+	val, point, st := Maximize(map[string]float64{"x": 1}, []Constraint{Bound("x", LE, -5)})
+	if st != StatusOptimal {
+		t.Fatalf("status = %v, want optimal", st)
+	}
+	if math.Abs(val+5) > 1e-6 {
+		t.Errorf("optimum = %v, want -5", val)
+	}
+	if math.Abs(point["x"]+5) > 1e-6 {
+		t.Errorf("point = %v, want x=-5", point)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Coeffs: map[string]float64{"temp": 1, "humid": -2}, Rel: LE, RHS: 10}
+	if got, want := c.String(), "-2*humid + temp <= 10"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := Bound("x", GT, 28).String(), "x > 28"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// relToIval converts a single-variable constraint to an interval for the
+// oracle comparison.
+func relToIval(rel Relation, rhs float64) interval.Interval {
+	switch rel {
+	case LE:
+		return interval.AtMost(rhs)
+	case GE:
+		return interval.AtLeast(rhs)
+	case LT:
+		return interval.LessThan(rhs)
+	case GT:
+		return interval.GreaterThan(rhs)
+	case EQ:
+		return interval.Point(rhs)
+	}
+	return interval.Full()
+}
+
+// TestQuickAgreesWithIntervalOracle cross-checks the simplex solver against
+// interval propagation on random systems of single-variable bounds, where
+// interval intersection is exact.
+func TestQuickAgreesWithIntervalOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	rels := []Relation{LE, GE, LT, GT, EQ}
+	vars := []string{"a", "b", "c"}
+	f := func() bool {
+		n := 1 + r.Intn(6)
+		cs := make([]Constraint, 0, n)
+		box := interval.NewBox()
+		for i := 0; i < n; i++ {
+			name := vars[r.Intn(len(vars))]
+			rel := rels[r.Intn(len(rels))]
+			rhs := float64(r.Intn(21) - 10)
+			cs = append(cs, Bound(name, rel, rhs))
+			box.Constrain(name, relToIval(rel, rhs))
+		}
+		res, err := Feasible(cs)
+		if err != nil {
+			return false
+		}
+		return res.Feasible == box.Feasible()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonotone verifies that adding a constraint never turns an
+// infeasible system feasible.
+func TestQuickMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	rels := []Relation{LE, GE, LT, GT}
+	f := func() bool {
+		n := 1 + r.Intn(5)
+		cs := make([]Constraint, 0, n+1)
+		for i := 0; i < n; i++ {
+			coeffs := map[string]float64{
+				"x": float64(r.Intn(5) - 2),
+				"y": float64(r.Intn(5) - 2),
+			}
+			cs = append(cs, Constraint{Coeffs: coeffs, Rel: rels[r.Intn(len(rels))], RHS: float64(r.Intn(21) - 10)})
+		}
+		before, err := Feasible(cs)
+		if err != nil {
+			return false
+		}
+		extra := Bound("x", rels[r.Intn(len(rels))], float64(r.Intn(21)-10))
+		after, err := Feasible(append(cs, extra))
+		if err != nil {
+			return false
+		}
+		if !before.Feasible && after.Feasible {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWitnessSatisfies verifies every reported witness satisfies its
+// system.
+func TestQuickWitnessSatisfies(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rels := []Relation{LE, GE, LT, GT, EQ}
+	f := func() bool {
+		n := 1 + r.Intn(5)
+		cs := make([]Constraint, 0, n)
+		for i := 0; i < n; i++ {
+			coeffs := map[string]float64{"x": float64(r.Intn(3) + 1)}
+			if r.Intn(2) == 0 {
+				coeffs["y"] = float64(r.Intn(5) - 2)
+			}
+			cs = append(cs, Constraint{Coeffs: coeffs, Rel: rels[r.Intn(len(rels))], RHS: float64(r.Intn(21) - 10)})
+		}
+		res, err := Feasible(cs)
+		if err != nil || !res.Feasible {
+			return err == nil
+		}
+		for _, c := range cs {
+			lhs := 0.0
+			for name, coef := range c.Coeffs {
+				lhs += coef * res.Point[name]
+			}
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					return false
+				}
+			case LT:
+				if lhs >= c.RHS {
+					return false
+				}
+			case GT:
+				if lhs <= c.RHS {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

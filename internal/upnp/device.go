@@ -1,0 +1,308 @@
+package upnp
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// VarType is the data type of a state variable.
+type VarType string
+
+// Supported state-variable types.
+const (
+	VarBool   VarType = "boolean"
+	VarNumber VarType = "number"
+	VarString VarType = "string"
+)
+
+// StateVar is a service state variable. Evented variables push change
+// notifications to subscribers.
+type StateVar struct {
+	Name    string
+	Type    VarType
+	Evented bool
+
+	mu    sync.RWMutex
+	value string
+}
+
+// NewStateVar returns a state variable with an initial value.
+func NewStateVar(name string, typ VarType, initial string, evented bool) *StateVar {
+	return &StateVar{Name: name, Type: typ, Evented: evented, value: initial}
+}
+
+// Get returns the current value.
+func (v *StateVar) Get() string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.value
+}
+
+// Set stores a new value and reports whether it changed. Writing directly
+// bypasses eventing; hosted devices should change state through
+// DeviceHost.SetVar so subscribers are notified.
+func (v *StateVar) Set(value string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.value == value {
+		return false
+	}
+	v.value = value
+	return true
+}
+
+// Bool interprets the value as boolean ("1"/"true" are true).
+func (v *StateVar) Bool() bool {
+	val := v.Get()
+	return val == "1" || val == "true"
+}
+
+// Number interprets the value as float64, 0 when unparseable.
+func (v *StateVar) Number() float64 {
+	f, err := strconv.ParseFloat(v.Get(), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// ActionHandler executes a control action. It receives the input arguments
+// and returns output arguments.
+type ActionHandler func(args map[string]string) (map[string]string, error)
+
+// Action is an invocable service action.
+type Action struct {
+	Name    string
+	ArgsIn  []string
+	ArgsOut []string
+	Handler ActionHandler
+}
+
+// Service groups state variables and actions under a UPnP service type URN.
+type Service struct {
+	ID   string // e.g. "urn:upnp-org:serviceId:SwitchPower"
+	Type string // e.g. "urn:schemas-upnp-org:service:SwitchPower:1"
+
+	mu      sync.RWMutex
+	vars    map[string]*StateVar
+	actions map[string]*Action
+}
+
+// NewService returns an empty service.
+func NewService(id, typ string) *Service {
+	return &Service{
+		ID:      id,
+		Type:    typ,
+		vars:    make(map[string]*StateVar),
+		actions: make(map[string]*Action),
+	}
+}
+
+// AddVar registers a state variable.
+func (s *Service) AddVar(v *StateVar) *Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vars[v.Name] = v
+	return s
+}
+
+// AddAction registers an action.
+func (s *Service) AddAction(a *Action) *Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actions[a.Name] = a
+	return s
+}
+
+// Var returns a state variable by name.
+func (s *Service) Var(name string) (*StateVar, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vars[name]
+	return v, ok
+}
+
+// Vars returns all state variables sorted by name.
+func (s *Service) Vars() []*StateVar {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*StateVar, 0, len(s.vars))
+	for _, v := range s.vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ActionByName returns an action.
+func (s *Service) ActionByName(name string) (*Action, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.actions[name]
+	return a, ok
+}
+
+// Actions returns all actions sorted by name.
+func (s *Service) Actions() []*Action {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Action, 0, len(s.actions))
+	for _, a := range s.actions {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Device is a hostable UPnP device.
+type Device struct {
+	UDN          string // "uuid:..."
+	DeviceType   string // "urn:schemas-upnp-org:device:AirConditioner:1"
+	FriendlyName string // "air conditioner"
+	Location     string // room hint extension ("living room")
+	Manufacturer string
+	Services     []*Service
+}
+
+// Service returns the device service with the given type.
+func (d *Device) Service(serviceType string) (*Service, bool) {
+	for _, s := range d.Services {
+		if s.Type == serviceType {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// usn builds the unique service name advertised for the device.
+func (d *Device) usn() string {
+	return d.UDN + "::" + d.DeviceType
+}
+
+// ---- description documents ----
+
+// descRoot is the XML device description served over HTTP.
+type descRoot struct {
+	XMLName     xml.Name    `xml:"root"`
+	XMLNS       string      `xml:"xmlns,attr"`
+	SpecVersion specVersion `xml:"specVersion"`
+	Device      descDevice  `xml:"device"`
+}
+
+type specVersion struct {
+	Major int `xml:"major"`
+	Minor int `xml:"minor"`
+}
+
+type descDevice struct {
+	DeviceType   string        `xml:"deviceType"`
+	FriendlyName string        `xml:"friendlyName"`
+	Manufacturer string        `xml:"manufacturer"`
+	UDN          string        `xml:"UDN"`
+	RoomHint     string        `xml:"roomHint,omitempty"`
+	Services     []descService `xml:"serviceList>service"`
+}
+
+type descService struct {
+	ServiceType string `xml:"serviceType"`
+	ServiceID   string `xml:"serviceId"`
+	SCPDURL     string `xml:"SCPDURL"`
+	ControlURL  string `xml:"controlURL"`
+	EventSubURL string `xml:"eventSubURL"`
+}
+
+// MarshalDescription renders the device description document.
+func MarshalDescription(d *Device) ([]byte, error) {
+	doc := descRoot{
+		XMLNS:       "urn:schemas-upnp-org:device-1-0",
+		SpecVersion: specVersion{Major: 1, Minor: 0},
+		Device: descDevice{
+			DeviceType:   d.DeviceType,
+			FriendlyName: d.FriendlyName,
+			Manufacturer: d.Manufacturer,
+			UDN:          d.UDN,
+			RoomHint:     d.Location,
+		},
+	}
+	for _, s := range d.Services {
+		doc.Device.Services = append(doc.Device.Services, descService{
+			ServiceType: s.Type,
+			ServiceID:   s.ID,
+			SCPDURL:     fmt.Sprintf("/scpd/%s/%s.xml", d.UDN, s.ID),
+			ControlURL:  fmt.Sprintf("/control/%s/%s", d.UDN, s.ID),
+			EventSubURL: fmt.Sprintf("/event/%s/%s", d.UDN, s.ID),
+		})
+	}
+	data, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("upnp: marshal description: %w", err)
+	}
+	return append([]byte(xml.Header), data...), nil
+}
+
+// UnmarshalDescription parses a device description document.
+func UnmarshalDescription(data []byte) (*RemoteDevice, error) {
+	var doc descRoot
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("upnp: parse description: %w", err)
+	}
+	rd := &RemoteDevice{
+		UDN:          doc.Device.UDN,
+		DeviceType:   doc.Device.DeviceType,
+		FriendlyName: doc.Device.FriendlyName,
+		Location:     doc.Device.RoomHint,
+	}
+	for _, s := range doc.Device.Services {
+		rd.Services = append(rd.Services, RemoteService{
+			ServiceType: s.ServiceType,
+			ServiceID:   s.ServiceID,
+			ControlURL:  s.ControlURL,
+			EventSubURL: s.EventSubURL,
+			SCPDURL:     s.SCPDURL,
+		})
+	}
+	return rd, nil
+}
+
+// ---- SCPD (service description) ----
+
+type scpdRoot struct {
+	XMLName xml.Name     `xml:"scpd"`
+	XMLNS   string       `xml:"xmlns,attr"`
+	Actions []scpdAction `xml:"actionList>action"`
+	Vars    []scpdVar    `xml:"serviceStateTable>stateVariable"`
+}
+
+type scpdAction struct {
+	Name string   `xml:"name"`
+	Args []string `xml:"argumentList>argument>name"`
+}
+
+type scpdVar struct {
+	Name     string `xml:"name"`
+	DataType string `xml:"dataType"`
+	Evented  string `xml:"sendEvents,attr"`
+}
+
+// MarshalSCPD renders the service control protocol description.
+func MarshalSCPD(s *Service) ([]byte, error) {
+	doc := scpdRoot{XMLNS: "urn:schemas-upnp-org:service-1-0"}
+	for _, a := range s.Actions() {
+		doc.Actions = append(doc.Actions, scpdAction{Name: a.Name, Args: a.ArgsIn})
+	}
+	for _, v := range s.Vars() {
+		ev := "no"
+		if v.Evented {
+			ev = "yes"
+		}
+		doc.Vars = append(doc.Vars, scpdVar{Name: v.Name, DataType: string(v.Type), Evented: ev})
+	}
+	data, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("upnp: marshal scpd: %w", err)
+	}
+	return append([]byte(xml.Header), data...), nil
+}

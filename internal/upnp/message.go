@@ -1,0 +1,130 @@
+package upnp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SSDP message kinds.
+const (
+	methodMSearch  = "M-SEARCH"
+	methodNotify   = "NOTIFY"
+	statusResponse = "HTTP/1.1 200 OK"
+
+	// NTS values.
+	ntsAlive  = "ssdp:alive"
+	ntsByebye = "ssdp:byebye"
+
+	// Well-known search targets.
+	TargetAll        = "ssdp:all"
+	TargetRootDevice = "upnp:rootdevice"
+)
+
+// ssdpMessage is a parsed SSDP datagram: a start line plus headers.
+type ssdpMessage struct {
+	StartLine string
+	Headers   map[string]string
+}
+
+func (m *ssdpMessage) header(name string) string {
+	return m.Headers[strings.ToUpper(name)]
+}
+
+func (m *ssdpMessage) isMSearch() bool {
+	return strings.HasPrefix(m.StartLine, methodMSearch)
+}
+
+func (m *ssdpMessage) isNotify() bool {
+	return strings.HasPrefix(m.StartLine, methodNotify)
+}
+
+func (m *ssdpMessage) isResponse() bool {
+	return strings.HasPrefix(m.StartLine, "HTTP/1.1 200")
+}
+
+// parseSSDP parses an SSDP datagram. Header names are uppercased.
+func parseSSDP(data []byte) (*ssdpMessage, error) {
+	text := string(data)
+	lines := strings.Split(text, "\r\n")
+	if len(lines) < 1 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("upnp: empty SSDP datagram")
+	}
+	msg := &ssdpMessage{
+		StartLine: strings.TrimSpace(lines[0]),
+		Headers:   make(map[string]string, len(lines)-1),
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue // tolerate malformed header lines
+		}
+		name := strings.ToUpper(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		msg.Headers[name] = value
+	}
+	return msg, nil
+}
+
+// buildSSDP serializes a start line and ordered header pairs.
+func buildSSDP(startLine string, headers [][2]string) []byte {
+	var sb strings.Builder
+	sb.WriteString(startLine)
+	sb.WriteString("\r\n")
+	for _, h := range headers {
+		sb.WriteString(h[0])
+		sb.WriteString(": ")
+		sb.WriteString(h[1])
+		sb.WriteString("\r\n")
+	}
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}
+
+// buildMSearch composes an M-SEARCH discovery request for the target.
+func buildMSearch(target string, mxSeconds int) []byte {
+	return buildSSDP("M-SEARCH * HTTP/1.1", [][2]string{
+		{"HOST", "239.255.255.250:1900"},
+		{"MAN", `"ssdp:discover"`},
+		{"MX", fmt.Sprintf("%d", mxSeconds)},
+		{"ST", target},
+	})
+}
+
+// buildSearchResponse composes a unicast response to an M-SEARCH.
+func buildSearchResponse(st, usn, location, server string) []byte {
+	return buildSSDP(statusResponse, [][2]string{
+		{"CACHE-CONTROL", "max-age=1800"},
+		{"ST", st},
+		{"USN", usn},
+		{"LOCATION", location},
+		{"SERVER", server},
+		{"EXT", ""},
+	})
+}
+
+// buildAlive composes a NOTIFY ssdp:alive announcement.
+func buildAlive(nt, usn, location, server string) []byte {
+	return buildSSDP("NOTIFY * HTTP/1.1", [][2]string{
+		{"HOST", "239.255.255.250:1900"},
+		{"CACHE-CONTROL", "max-age=1800"},
+		{"NT", nt},
+		{"NTS", ntsAlive},
+		{"USN", usn},
+		{"LOCATION", location},
+		{"SERVER", server},
+	})
+}
+
+// buildByebye composes a NOTIFY ssdp:byebye announcement.
+func buildByebye(nt, usn string) []byte {
+	return buildSSDP("NOTIFY * HTTP/1.1", [][2]string{
+		{"HOST", "239.255.255.250:1900"},
+		{"NT", nt},
+		{"NTS", ntsByebye},
+		{"USN", usn},
+	})
+}

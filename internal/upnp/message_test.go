@@ -1,0 +1,241 @@
+package upnp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSSDPRoundTrip(t *testing.T) {
+	raw := buildMSearch("ssdp:all", 1)
+	msg, err := parseSSDP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.isMSearch() {
+		t.Error("not recognized as M-SEARCH")
+	}
+	if msg.header("ST") != "ssdp:all" {
+		t.Errorf("ST = %q", msg.header("ST"))
+	}
+	if msg.header("MAN") != `"ssdp:discover"` {
+		t.Errorf("MAN = %q", msg.header("MAN"))
+	}
+}
+
+func TestSearchResponseRoundTrip(t *testing.T) {
+	raw := buildSearchResponse("ssdp:all", "uuid:x::urn:type", "http://127.0.0.1:1/desc/uuid:x.xml", "srv/1.0")
+	msg, err := parseSSDP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msg.isResponse() {
+		t.Error("not recognized as response")
+	}
+	if msg.header("USN") != "uuid:x::urn:type" {
+		t.Errorf("USN = %q", msg.header("USN"))
+	}
+	if !strings.HasPrefix(msg.header("LOCATION"), "http://") {
+		t.Errorf("LOCATION = %q", msg.header("LOCATION"))
+	}
+}
+
+func TestNotifyRoundTrip(t *testing.T) {
+	alive, err := parseSSDP(buildAlive("urn:dev", "uuid:y::urn:dev", "http://h/desc.xml", "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alive.isNotify() || alive.header("NTS") != "ssdp:alive" {
+		t.Errorf("alive = %+v", alive)
+	}
+	bye, err := parseSSDP(buildByebye("urn:dev", "uuid:y::urn:dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bye.isNotify() || bye.header("NTS") != "ssdp:byebye" {
+		t.Errorf("byebye = %+v", bye)
+	}
+}
+
+func TestParseSSDPHeaderCaseInsensitive(t *testing.T) {
+	msg, err := parseSSDP([]byte("NOTIFY * HTTP/1.1\r\nnts: ssdp:alive\r\nLoCaTiOn: http://x\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.header("NTS") != "ssdp:alive" || msg.header("location") != "http://x" {
+		t.Errorf("headers = %+v", msg.Headers)
+	}
+}
+
+func TestParseSSDPMalformed(t *testing.T) {
+	if _, err := parseSSDP([]byte("")); err == nil {
+		t.Error("empty datagram should fail")
+	}
+	// Garbage header lines are tolerated.
+	msg, err := parseSSDP([]byte("M-SEARCH * HTTP/1.1\r\nno-colon-here\r\nST: x\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.header("ST") != "x" {
+		t.Error("valid headers should survive malformed neighbours")
+	}
+}
+
+func TestSOAPRoundTrip(t *testing.T) {
+	body := buildSOAP("SetTarget", "urn:schemas-upnp-org:service:SwitchPower:1",
+		map[string]string{"newTargetValue": "1", "mode": "cool & dry"})
+	action, args, err := parseSOAP(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "SetTarget" {
+		t.Errorf("action = %q", action)
+	}
+	if args["newTargetValue"] != "1" {
+		t.Errorf("args = %v", args)
+	}
+	if args["mode"] != "cool & dry" {
+		t.Errorf("xml escaping broken: %v", args)
+	}
+}
+
+func TestSOAPNoArgs(t *testing.T) {
+	body := buildSOAP("GetStatus", "urn:svc", nil)
+	action, args, err := parseSOAP(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != "GetStatus" || len(args) != 0 {
+		t.Errorf("action=%q args=%v", action, args)
+	}
+}
+
+func TestSOAPInvalid(t *testing.T) {
+	if _, _, err := parseSOAP(strings.NewReader("<s:Envelope></s:Envelope>")); err == nil {
+		t.Error("envelope without body action should fail")
+	}
+	if _, _, err := parseSOAP(strings.NewReader("not xml at all <<<")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestPropertySetRoundTrip(t *testing.T) {
+	body := buildPropertySet(map[string]string{"temperature": "28.5", "power": "1"})
+	vars, err := parsePropertySet(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars["temperature"] != "28.5" || vars["power"] != "1" {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	dev := &Device{
+		UDN:          "uuid:ac-1",
+		DeviceType:   "urn:schemas-upnp-org:device:AirConditioner:1",
+		FriendlyName: "air conditioner",
+		Location:     "living room",
+		Manufacturer: "repro",
+		Services: []*Service{
+			NewService("urn:upnp-org:serviceId:Thermo", "urn:schemas-upnp-org:service:Thermostat:1").
+				AddVar(NewStateVar("temperature", VarNumber, "25", true)).
+				AddAction(&Action{Name: "SetTemperature", ArgsIn: []string{"value"}}),
+		},
+	}
+	data, err := MarshalDescription(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := UnmarshalDescription(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.UDN != dev.UDN || rd.FriendlyName != dev.FriendlyName || rd.Location != "living room" {
+		t.Errorf("round trip = %+v", rd)
+	}
+	if len(rd.Services) != 1 {
+		t.Fatalf("services = %v", rd.Services)
+	}
+	svc := rd.Services[0]
+	if svc.ServiceType != "urn:schemas-upnp-org:service:Thermostat:1" {
+		t.Errorf("service type = %q", svc.ServiceType)
+	}
+	if !strings.Contains(svc.ControlURL, "uuid:ac-1") {
+		t.Errorf("control url = %q", svc.ControlURL)
+	}
+}
+
+func TestSCPDMarshal(t *testing.T) {
+	svc := NewService("id", "urn:svc").
+		AddVar(NewStateVar("power", VarBool, "0", true)).
+		AddAction(&Action{Name: "SetPower", ArgsIn: []string{"value"}})
+	data, err := MarshalSCPD(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"SetPower", "power", "boolean", `sendEvents="yes"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scpd missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStateVar(t *testing.T) {
+	v := NewStateVar("temperature", VarNumber, "25", true)
+	if v.Number() != 25 {
+		t.Errorf("Number = %v", v.Number())
+	}
+	if changed := v.Set("25"); changed {
+		t.Error("same value should not report change")
+	}
+	if changed := v.Set("26"); !changed {
+		t.Error("new value should report change")
+	}
+	b := NewStateVar("power", VarBool, "0", true)
+	if b.Bool() {
+		t.Error("0 should be false")
+	}
+	b.Set("1")
+	if !b.Bool() {
+		t.Error("1 should be true")
+	}
+	b.Set("true")
+	if !b.Bool() {
+		t.Error("true should be true")
+	}
+	bad := NewStateVar("x", VarNumber, "zzz", false)
+	if bad.Number() != 0 {
+		t.Error("unparseable number should be 0")
+	}
+}
+
+func TestDeviceServiceLookup(t *testing.T) {
+	svc := NewService("id", "urn:svc:1")
+	dev := &Device{UDN: "uuid:d", Services: []*Service{svc}}
+	if _, ok := dev.Service("urn:svc:1"); !ok {
+		t.Error("service lookup failed")
+	}
+	if _, ok := dev.Service("urn:other"); ok {
+		t.Error("bogus service lookup succeeded")
+	}
+}
+
+func TestMatchesTarget(t *testing.T) {
+	dev := &Device{
+		UDN:        "uuid:d1",
+		DeviceType: "urn:dev:Light:1",
+		Services:   []*Service{NewService("sid", "urn:svc:Dimming:1")},
+	}
+	for _, st := range []string{TargetAll, TargetRootDevice, "uuid:d1", "urn:dev:Light:1", "urn:svc:Dimming:1", ""} {
+		if !matchesTarget(dev, st) {
+			t.Errorf("should match %q", st)
+		}
+	}
+	for _, st := range []string{"uuid:other", "urn:dev:TV:1", "urn:svc:Other:1"} {
+		if matchesTarget(dev, st) {
+			t.Errorf("should not match %q", st)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package upnp
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// buildSOAP composes a control request (or response) envelope for an action
+// invocation in the given service namespace.
+func buildSOAP(action, serviceType string, args map[string]string) []byte {
+	var sb strings.Builder
+	sb.WriteString(xml.Header)
+	sb.WriteString(`<s:Envelope xmlns:s="http://schemas.xmlsoap.org/soap/envelope/" ` +
+		`s:encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"><s:Body>`)
+	fmt.Fprintf(&sb, `<u:%s xmlns:u="%s">`, action, serviceType)
+	names := make([]string, 0, len(args))
+	for name := range args {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var buf bytes.Buffer
+		_ = xml.EscapeText(&buf, []byte(args[name]))
+		fmt.Fprintf(&sb, "<%s>%s</%s>", name, buf.String(), name)
+	}
+	fmt.Fprintf(&sb, "</u:%s></s:Body></s:Envelope>", action)
+	return []byte(sb.String())
+}
+
+// parseSOAP extracts the action name (local name of the first element inside
+// Body, with any "Response" suffix retained) and its argument elements.
+func parseSOAP(r io.Reader) (action string, args map[string]string, err error) {
+	dec := xml.NewDecoder(r)
+	args = make(map[string]string)
+	inBody := false
+	depth := 0
+	var currentArg string
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("upnp: parse soap: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch {
+			case t.Name.Local == "Body":
+				inBody = true
+			case inBody && depth == 0:
+				action = t.Name.Local
+				depth = 1
+			case inBody && depth == 1:
+				currentArg = t.Name.Local
+				args[currentArg] = ""
+				depth = 2
+			case inBody && depth >= 2:
+				depth++
+			}
+		case xml.CharData:
+			if depth == 2 && currentArg != "" {
+				args[currentArg] += string(t)
+			}
+		case xml.EndElement:
+			switch {
+			case t.Name.Local == "Body":
+				inBody = false
+			case inBody && depth > 0:
+				depth--
+				if depth == 1 {
+					currentArg = ""
+				}
+			}
+		}
+	}
+	if action == "" {
+		return "", nil, fmt.Errorf("upnp: soap envelope has no action element")
+	}
+	return action, args, nil
+}
+
+// buildPropertySet composes a GENA event NOTIFY body for changed variables.
+func buildPropertySet(vars map[string]string) []byte {
+	var sb strings.Builder
+	sb.WriteString(xml.Header)
+	sb.WriteString(`<e:propertyset xmlns:e="urn:schemas-upnp-org:event-1-0">`)
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var buf bytes.Buffer
+		_ = xml.EscapeText(&buf, []byte(vars[name]))
+		fmt.Fprintf(&sb, "<e:property><%s>%s</%s></e:property>", name, buf.String(), name)
+	}
+	sb.WriteString(`</e:propertyset>`)
+	return []byte(sb.String())
+}
+
+// parsePropertySet extracts variable names and values from a GENA NOTIFY
+// body.
+func parsePropertySet(r io.Reader) (map[string]string, error) {
+	dec := xml.NewDecoder(r)
+	out := make(map[string]string)
+	depth := 0 // 1 = propertyset, 2 = property, 3 = variable
+	var current string
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("upnp: parse propertyset: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 3 {
+				current = t.Name.Local
+				out[current] = ""
+			}
+		case xml.CharData:
+			if depth == 3 && current != "" {
+				out[current] += string(t)
+			}
+		case xml.EndElement:
+			if depth == 3 {
+				current = ""
+			}
+			depth--
+		}
+	}
+	return out, nil
+}

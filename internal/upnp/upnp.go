@@ -1,0 +1,71 @@
+// Package upnp is a from-scratch micro-UPnP stack: SSDP discovery over UDP,
+// device description documents over HTTP, action control and state-variable
+// eventing. It stands in for the CyberLink UPnP library the paper's
+// prototype used as its communication interface module.
+//
+// One deliberate substitution (documented in DESIGN.md): instead of IP
+// multicast — typically unavailable in sandboxes and containers — a Network
+// value models the LAN segment. Every device host and control point
+// registers its UDP endpoint with the Network, and "multicast" sends the
+// datagram to every registered member over real loopback UDP. All message
+// parsing, description fetching, control and eventing use genuine UDP/HTTP
+// I/O, so discovery latency (experiment E1) is measured over a real network
+// stack.
+package upnp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Network models one LAN segment: the set of UDP endpoints that receive
+// SSDP "multicast" traffic.
+type Network struct {
+	mu      sync.RWMutex
+	members map[string]*net.UDPAddr
+}
+
+// NewNetwork returns an empty network segment.
+func NewNetwork() *Network {
+	return &Network{members: make(map[string]*net.UDPAddr)}
+}
+
+// Join registers a member endpoint and returns an unregister function.
+func (n *Network) Join(addr *net.UDPAddr) (leave func()) {
+	key := addr.String()
+	n.mu.Lock()
+	n.members[key] = addr
+	n.mu.Unlock()
+	return func() {
+		n.mu.Lock()
+		delete(n.members, key)
+		n.mu.Unlock()
+	}
+}
+
+// Members returns a snapshot of all registered endpoints.
+func (n *Network) Members() []*net.UDPAddr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*net.UDPAddr, 0, len(n.members))
+	for _, a := range n.members {
+		out = append(out, a)
+	}
+	return out
+}
+
+// multicast sends the payload to every member except the sender itself.
+func (n *Network) multicast(conn *net.UDPConn, payload []byte) error {
+	self := conn.LocalAddr().String()
+	var firstErr error
+	for _, addr := range n.Members() {
+		if addr.String() == self {
+			continue
+		}
+		if _, err := conn.WriteToUDP(payload, addr); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("upnp: multicast to %s: %w", addr, err)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,404 @@
+package upnp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	searchWindow = 500 * time.Millisecond
+	lightType    = "urn:schemas-upnp-org:device:Light:1"
+	switchSvc    = "urn:schemas-upnp-org:service:SwitchPower:1"
+	dimSvc       = "urn:schemas-upnp-org:service:Dimming:1"
+)
+
+// newLight builds a virtual light device with a switchable power service.
+func newLight(id int) *Device {
+	power := NewStateVar("power", VarBool, "0", true)
+	svc := NewService("urn:upnp-org:serviceId:SwitchPower", switchSvc).
+		AddVar(power).
+		AddAction(&Action{
+			Name:   "SetPower",
+			ArgsIn: []string{"value"},
+			Handler: func(args map[string]string) (map[string]string, error) {
+				power.Set(args["value"])
+				return map[string]string{"result": "ok"}, nil
+			},
+		}).
+		AddAction(&Action{
+			Name:    "GetPower",
+			ArgsOut: []string{"value"},
+			Handler: func(map[string]string) (map[string]string, error) {
+				return map[string]string{"value": power.Get()}, nil
+			},
+		})
+	return &Device{
+		UDN:          fmt.Sprintf("uuid:light-%d", id),
+		DeviceType:   lightType,
+		FriendlyName: fmt.Sprintf("light %d", id),
+		Location:     "hall",
+		Services:     []*Service{svc},
+	}
+}
+
+func newHostCP(t *testing.T) (*Network, *DeviceHost, *ControlPoint) {
+	t.Helper()
+	network := NewNetwork()
+	host, err := NewDeviceHost(network)
+	if err != nil {
+		t.Fatalf("NewDeviceHost: %v", err)
+	}
+	t.Cleanup(func() { _ = host.Close() })
+	cp, err := NewControlPoint(network)
+	if err != nil {
+		t.Fatalf("NewControlPoint: %v", err)
+	}
+	t.Cleanup(func() { _ = cp.Close() })
+	return network, host, cp
+}
+
+func TestDiscoveryByName(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	for i := 0; i < 5; i++ {
+		if err := host.Publish(newLight(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := cp.FindByName("light 3", searchWindow)
+	if err != nil {
+		t.Fatalf("FindByName: %v", err)
+	}
+	if rd.UDN != "uuid:light-3" {
+		t.Errorf("UDN = %q", rd.UDN)
+	}
+	if rd.Location != "hall" {
+		t.Errorf("room hint = %q", rd.Location)
+	}
+}
+
+func TestDiscoveryByServiceAndType(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	if err := host.Publish(newLight(1)); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByService(switchSvc, searchWindow)
+	if err != nil {
+		t.Fatalf("FindByService: %v", err)
+	}
+	if rd.DeviceType != lightType {
+		t.Errorf("device type = %q", rd.DeviceType)
+	}
+	rd2, err := cp.FindByType(lightType, searchWindow)
+	if err != nil {
+		t.Fatalf("FindByType: %v", err)
+	}
+	if rd2.UDN != rd.UDN {
+		t.Error("type and service searches disagree")
+	}
+	if _, err := cp.FindByService(dimSvc, 50*time.Millisecond); err == nil {
+		t.Error("absent service should not be found")
+	}
+}
+
+func TestAliveAnnouncementPopulatesCache(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	// Publish AFTER the control point is up: the alive NOTIFY alone should
+	// populate the cache without any M-SEARCH.
+	if err := host.Publish(newLight(7)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(searchWindow)
+	for time.Now().Before(deadline) {
+		if _, ok := cp.DeviceByUDN("uuid:light-7"); ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("alive announcement did not reach the control point cache")
+}
+
+func TestByebyeRemovesDevice(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	if err := host.Publish(newLight(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.FindByName("light 9", searchWindow); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Unpublish("uuid:light-9"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(searchWindow)
+	for time.Now().Before(deadline) {
+		if _, ok := cp.DeviceByUDN("uuid:light-9"); !ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("byebye did not remove the device")
+}
+
+func TestInvokeAction(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	light := newLight(2)
+	if err := host.Publish(light); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByName("light 2", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Invoke(rd, switchSvc, "SetPower", map[string]string{"value": "1"}); err != nil {
+		t.Fatalf("Invoke SetPower: %v", err)
+	}
+	out, err := cp.Invoke(rd, switchSvc, "GetPower", nil)
+	if err != nil {
+		t.Fatalf("Invoke GetPower: %v", err)
+	}
+	if out["value"] != "1" {
+		t.Errorf("power = %q, want 1", out["value"])
+	}
+	svc, _ := light.Service(switchSvc)
+	v, _ := svc.Var("power")
+	if !v.Bool() {
+		t.Error("host-side state variable not updated")
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	if err := host.Publish(newLight(4)); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByName("light 4", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.Invoke(rd, switchSvc, "NoSuchAction", nil); err == nil {
+		t.Error("unknown action should error")
+	}
+	if _, err := cp.Invoke(rd, "urn:no:such:svc", "SetPower", nil); err == nil {
+		t.Error("unknown service should error")
+	}
+}
+
+func TestEventSubscription(t *testing.T) {
+	_, host, cp := newHostCP(t)
+	if err := host.Publish(newLight(5)); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cp.FindByName("light 5", searchWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	got := make(map[string]string)
+	notify := make(chan struct{}, 8)
+	cancel, err := cp.Subscribe(rd, switchSvc, func(vars map[string]string) {
+		mu.Lock()
+		for k, v := range vars {
+			got[k] = v
+		}
+		mu.Unlock()
+		notify <- struct{}{}
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	// Initial event carries current state.
+	select {
+	case <-notify:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no initial event")
+	}
+	mu.Lock()
+	if got["power"] != "0" {
+		t.Errorf("initial power = %q, want 0", got["power"])
+	}
+	mu.Unlock()
+
+	// A state change is pushed.
+	if err := host.SetVar("uuid:light-5", switchSvc, "power", "1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-notify:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no change event")
+	}
+	mu.Lock()
+	if got["power"] != "1" {
+		t.Errorf("power = %q, want 1", got["power"])
+	}
+	mu.Unlock()
+
+	// Setting the same value again must not notify.
+	if err := host.SetVar("uuid:light-5", switchSvc, "power", "1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-notify:
+		t.Error("unchanged value should not notify")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// After unsubscribe, no more events.
+	if err := cancel(); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	if err := host.SetVar("uuid:light-5", switchSvc, "power", "0"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-notify:
+		t.Error("event after unsubscribe")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestSubscribeLocal(t *testing.T) {
+	_, host, _ := newHostCP(t)
+	if err := host.Publish(newLight(6)); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []map[string]string
+	cancel, err := host.SubscribeLocal("uuid:light-6", switchSvc, func(vars map[string]string) {
+		mu.Lock()
+		events = append(events, vars)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("SubscribeLocal: %v", err)
+	}
+	mu.Lock()
+	if len(events) != 1 || events[0]["power"] != "0" {
+		t.Fatalf("initial local event = %v", events)
+	}
+	mu.Unlock()
+	if err := host.SetVar("uuid:light-6", switchSvc, "power", "1"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(events) != 2 || events[1]["power"] != "1" {
+		t.Fatalf("events = %v", events)
+	}
+	mu.Unlock()
+	cancel()
+	if err := host.SetVar("uuid:light-6", switchSvc, "power", "0"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(events) != 2 {
+		t.Error("event delivered after cancel")
+	}
+	mu.Unlock()
+}
+
+func TestPublishValidation(t *testing.T) {
+	_, host, _ := newHostCP(t)
+	if err := host.Publish(&Device{}); err == nil {
+		t.Error("device without UDN should fail")
+	}
+	light := newLight(8)
+	if err := host.Publish(light); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Publish(light); err == nil {
+		t.Error("duplicate publish should fail")
+	}
+	if err := host.Unpublish("uuid:nope"); err == nil {
+		t.Error("unpublishing unknown device should fail")
+	}
+	if err := host.SetVar("uuid:nope", switchSvc, "power", "1"); err == nil {
+		t.Error("SetVar on unknown device should fail")
+	}
+	if err := host.SetVar("uuid:light-8", "urn:no", "power", "1"); err == nil {
+		t.Error("SetVar on unknown service should fail")
+	}
+	if err := host.SetVar("uuid:light-8", switchSvc, "nope", "1"); err == nil {
+		t.Error("SetVar on unknown variable should fail")
+	}
+}
+
+func TestFifty(t *testing.T) {
+	// The paper's experiment shape: 50 virtual devices, retrieve one by
+	// name and one by service name.
+	_, host, cp := newHostCP(t)
+	for i := 0; i < 50; i++ {
+		if err := host.Publish(newLight(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	rd, err := cp.FindByName("light 42", 2*time.Second)
+	if err != nil {
+		t.Fatalf("FindByName over 50 devices: %v", err)
+	}
+	elapsed := time.Since(start)
+	if rd.UDN != "uuid:light-42" {
+		t.Errorf("UDN = %q", rd.UDN)
+	}
+	// The paper reports <= 10ms on 2005 hardware; allow generous slack for
+	// CI noise while still catching pathological regressions.
+	if elapsed > time.Second {
+		t.Errorf("retrieval took %v", elapsed)
+	}
+	// FindByName returns as soon as its match appears; the remaining
+	// responses keep arriving asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(cp.Devices()) < 50 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if devices := cp.Devices(); len(devices) != 50 {
+		t.Errorf("cache has %d devices, want 50", len(devices))
+	}
+}
+
+func TestNetworkJoinLeave(t *testing.T) {
+	n := NewNetwork()
+	if len(n.Members()) != 0 {
+		t.Error("new network not empty")
+	}
+	host, err := NewDeviceHost(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Members()) != 1 {
+		t.Errorf("members = %d, want 1", len(n.Members()))
+	}
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Members()) != 0 {
+		t.Errorf("members after close = %d, want 0", len(n.Members()))
+	}
+}
+
+func TestCloseIdempotentShutdown(t *testing.T) {
+	network := NewNetwork()
+	host, err := NewDeviceHost(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Publish(newLight(0)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewControlPoint(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.FindByName("light 0", searchWindow); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Errorf("cp close: %v", err)
+	}
+	if err := host.Close(); err != nil {
+		t.Errorf("host close: %v", err)
+	}
+}

@@ -1,0 +1,322 @@
+// Package vocab holds the CADEL lexicon: the multi-word phrase tables for
+// verbs, states, parameters, units, places, periods and the user-defined
+// condition/configuration words created with CondDef / ConfDef commands.
+//
+// The paper's rule description support module lets users retrieve sensors and
+// devices by keyword, sensor type or user-defined word, and lets each user
+// coin new words ("hot and stuffy", "half-lighting") that stand for compound
+// contexts or device configurations. The lexicon is the shared dictionary
+// that both the parser (phrase recognition) and the lookup service (word →
+// sensor mapping) consult.
+package vocab
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies lexicon entries.
+type Kind int
+
+// Lexicon entry kinds.
+const (
+	KindVerb Kind = iota + 1
+	KindState
+	KindParameter
+	KindUnit
+	KindPlace
+	KindPerson
+	KindDevice
+	KindEvent
+	KindCondWord
+	KindConfWord
+	KindPeriodName
+	KindWeekday
+)
+
+var kindNames = map[Kind]string{
+	KindVerb:       "verb",
+	KindState:      "state",
+	KindParameter:  "parameter",
+	KindUnit:       "unit",
+	KindPlace:      "place",
+	KindPerson:     "person",
+	KindDevice:     "device",
+	KindEvent:      "event",
+	KindCondWord:   "cond-word",
+	KindConfWord:   "conf-word",
+	KindPeriodName: "period",
+	KindWeekday:    "weekday",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// StateKind classifies how a state phrase is interpreted when compiled.
+type StateKind string
+
+// State phrase interpretations.
+const (
+	StateBool     StateKind = "bool"     // "turned on", "dark", "unlocked"
+	StateCompare  StateKind = "compare"  // "is higher than 28 degrees"
+	StatePresence StateKind = "presence" // "is at the living room"
+	StateArrival  StateKind = "arrival"  // "returns home", "got home from work"
+	StateOnAir    StateKind = "onair"    // "is on air"
+)
+
+// Meta keys used by entries.
+const (
+	MetaStateKind = "state-kind" // StateKind value for KindState
+	MetaVar       = "var"        // state variable / parameter canonical variable
+	MetaBool      = "bool"       // "true"/"false" for StateBool
+	MetaOp        = "op"         // gt/ge/lt/le/eq for StateCompare
+	MetaEvent     = "event"      // arrival event name for StateArrival
+	MetaUnitCanon = "unit"       // canonical unit for KindUnit and KindParameter
+	MetaScale     = "scale"      // multiplier to canonical unit (e.g. hours → seconds)
+	MetaFromMin   = "from-min"   // period name start, minutes since midnight
+	MetaToMin     = "to-min"     // period name end, minutes since midnight
+	MetaSource    = "source"     // original CADEL text for user-defined words
+	MetaOwner     = "owner"      // user who defined the word
+	MetaDay       = "day"        // weekday number 0=Sunday
+)
+
+// Entry is a single lexicon item. Phrase is the lowercase, single-spaced
+// surface form; Canon is the canonical identifier used by the compiler
+// (defaults to Phrase).
+type Entry struct {
+	Phrase string            `json:"phrase"`
+	Kind   Kind              `json:"kind"`
+	Canon  string            `json:"canon"`
+	Meta   map[string]string `json:"meta,omitempty"`
+}
+
+func (e Entry) tokens() []string {
+	return strings.Fields(e.Phrase)
+}
+
+// MetaValue returns the value for a meta key, empty when absent.
+func (e Entry) MetaValue(key string) string {
+	return e.Meta[key]
+}
+
+// Errors reported by the lexicon.
+var (
+	ErrDuplicate = errors.New("vocab: word already defined")
+	ErrNotFound  = errors.New("vocab: word not found")
+	ErrEmpty     = errors.New("vocab: empty phrase")
+)
+
+// Lexicon is a concurrency-safe dictionary of phrases. The zero value is not
+// usable; construct with New or Default.
+type Lexicon struct {
+	mu        sync.RWMutex
+	byKind    map[Kind]map[string]Entry
+	firstWord map[string][]Entry // sorted by token count, longest first
+}
+
+// New returns an empty lexicon.
+func New() *Lexicon {
+	return &Lexicon{
+		byKind:    make(map[Kind]map[string]Entry),
+		firstWord: make(map[string][]Entry),
+	}
+}
+
+// Normalize lowercases and single-spaces a phrase.
+func Normalize(phrase string) string {
+	return strings.Join(strings.Fields(strings.ToLower(phrase)), " ")
+}
+
+// Add inserts an entry. It fails with ErrDuplicate if the same phrase is
+// already present under the same kind.
+func (l *Lexicon) Add(e Entry) error {
+	e.Phrase = Normalize(e.Phrase)
+	if e.Phrase == "" {
+		return ErrEmpty
+	}
+	if e.Canon == "" {
+		e.Canon = e.Phrase
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	km := l.byKind[e.Kind]
+	if km == nil {
+		km = make(map[string]Entry)
+		l.byKind[e.Kind] = km
+	}
+	if _, ok := km[e.Phrase]; ok {
+		return fmt.Errorf("%w: %q (%v)", ErrDuplicate, e.Phrase, e.Kind)
+	}
+	km[e.Phrase] = e
+	l.insertFirstWord(e)
+	return nil
+}
+
+// MustAdd is Add for static tables; it panics on error and is used only while
+// building the default lexicon.
+func (l *Lexicon) MustAdd(e Entry) {
+	if err := l.Add(e); err != nil {
+		panic(err)
+	}
+}
+
+func (l *Lexicon) insertFirstWord(e Entry) {
+	toks := e.tokens()
+	head := toks[0]
+	list := append(l.firstWord[head], e)
+	sort.SliceStable(list, func(i, j int) bool {
+		return len(list[i].tokens()) > len(list[j].tokens())
+	})
+	l.firstWord[head] = list
+}
+
+// Remove deletes a phrase of the given kind.
+func (l *Lexicon) Remove(kind Kind, phrase string) error {
+	phrase = Normalize(phrase)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	km := l.byKind[kind]
+	if _, ok := km[phrase]; !ok {
+		return fmt.Errorf("%w: %q (%v)", ErrNotFound, phrase, kind)
+	}
+	delete(km, phrase)
+	head := strings.Fields(phrase)[0]
+	list := l.firstWord[head]
+	for i, e := range list {
+		if e.Kind == kind && e.Phrase == phrase {
+			l.firstWord[head] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Lookup returns the entry for an exact phrase of the given kind.
+func (l *Lexicon) Lookup(kind Kind, phrase string) (Entry, bool) {
+	phrase = Normalize(phrase)
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.byKind[kind][phrase]
+	return e, ok
+}
+
+// MatchLongest finds the longest entry of one of the given kinds whose phrase
+// equals a prefix of tokens. It returns the entry and the number of tokens
+// consumed.
+func (l *Lexicon) MatchLongest(tokens []string, kinds ...Kind) (Entry, int, bool) {
+	if len(tokens) == 0 {
+		return Entry{}, 0, false
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	kindSet := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		kindSet[k] = true
+	}
+	for _, e := range l.firstWord[tokens[0]] {
+		if len(kinds) > 0 && !kindSet[e.Kind] {
+			continue
+		}
+		etoks := e.tokens()
+		if len(etoks) > len(tokens) {
+			continue
+		}
+		match := true
+		for i, w := range etoks {
+			if tokens[i] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return e, len(etoks), true
+		}
+	}
+	return Entry{}, 0, false
+}
+
+// Entries returns all entries of a kind, sorted by phrase.
+func (l *Lexicon) Entries(kind Kind) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Entry, 0, len(l.byKind[kind]))
+	for _, e := range l.byKind[kind] {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phrase < out[j].Phrase })
+	return out
+}
+
+// DefineCondWord registers a user-defined condition word (CondDef). The
+// source is the CADEL condition expression text the word stands for.
+func (l *Lexicon) DefineCondWord(name, source, owner string) error {
+	return l.Add(Entry{
+		Phrase: name,
+		Kind:   KindCondWord,
+		Meta:   map[string]string{MetaSource: source, MetaOwner: owner},
+	})
+}
+
+// DefineConfWord registers a user-defined configuration word (ConfDef).
+func (l *Lexicon) DefineConfWord(name, source, owner string) error {
+	return l.Add(Entry{
+		Phrase: name,
+		Kind:   KindConfWord,
+		Meta:   map[string]string{MetaSource: source, MetaOwner: owner},
+	})
+}
+
+// lexiconJSON is the serialized form.
+type lexiconJSON struct {
+	Entries []Entry `json:"entries"`
+}
+
+// MarshalJSON serializes all entries.
+func (l *Lexicon) MarshalJSON() ([]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var doc lexiconJSON
+	kinds := make([]Kind, 0, len(l.byKind))
+	for k := range l.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		phrases := make([]string, 0, len(l.byKind[k]))
+		for p := range l.byKind[k] {
+			phrases = append(phrases, p)
+		}
+		sort.Strings(phrases)
+		for _, p := range phrases {
+			doc.Entries = append(doc.Entries, l.byKind[k][p])
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON replaces the lexicon content with the serialized entries.
+func (l *Lexicon) UnmarshalJSON(data []byte) error {
+	var doc lexiconJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.byKind = make(map[Kind]map[string]Entry)
+	l.firstWord = make(map[string][]Entry)
+	l.mu.Unlock()
+	for _, e := range doc.Entries {
+		if err := l.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
