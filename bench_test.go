@@ -358,18 +358,20 @@ func BenchmarkCompileRule(b *testing.B) {
 
 // ---- execution engine ----
 
-// BenchmarkEngineEvaluate measures one full evaluation pass over 100 rules
-// (the engine's unit of work per sensor event).
-func BenchmarkEngineEvaluate(b *testing.B) {
+// engineBenchDB builds n rules, each reading its own room's temperature (a
+// qualified variable), so a single sensor event touches the dependency set
+// of exactly one rule.
+func engineBenchDB(b *testing.B, n int) *registry.DB {
+	b.Helper()
 	db := registry.New()
-	for i := 0; i < 100; i++ {
+	for i := 0; i < n; i++ {
 		rule := &core.Rule{
 			ID:     fmt.Sprintf("r%d", i),
 			Owner:  "u",
 			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
 			Action: core.Action{Verb: "turn-on"},
 			Cond: &core.And{Terms: []core.Condition{
-				&core.Compare{Var: "temperature", Op: simplex.GT, Value: float64(20 + i%15)},
+				&core.Compare{Var: fmt.Sprintf("room%d/temperature", i), Op: simplex.GT, Value: float64(20 + i%15)},
 				&core.Presence{Person: "tom", Place: "living room"},
 			}},
 		}
@@ -377,15 +379,56 @@ func BenchmarkEngineEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	return db
+}
+
+// benchmarkEngineEvaluate measures one evaluation pass per sensor event: a
+// single-key context change (room0's temperature, with value(i) per
+// iteration) over n registered rules. The incremental evaluator re-checks
+// only the one affected rule via the dependency index; the full scan walks
+// all n.
+func benchmarkEngineEvaluate(b *testing.B, n int, value func(i int) string, opts ...engine.Option) {
+	db := engineBenchDB(b, n)
 	now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
-	e := engine.New(db, conflict.NewTable(), func() time.Time { return now }, nil)
+	e := engine.New(db, conflict.NewTable(), func() time.Time { return now }, nil, opts...)
 	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
 		map[string]string{"presence-tom": "living room"})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "living room",
-			map[string]string{"temperature": fmt.Sprintf("%d", 10+i%30)})
+		e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0",
+			map[string]string{"temperature": value(i)})
 	}
+}
+
+// belowThreshold keeps room0's temperature under every rule's threshold so
+// no readiness flips: the benchmark isolates pure evaluation cost.
+func belowThreshold(i int) string { return fmt.Sprintf("%d", 10+i%10) }
+
+// BenchmarkEngineEvaluate compares the incremental evaluator against the
+// full-scan oracle at 100, 1k and 10k rules. The acceptance target is a
+// ≥ 10x gap at 10k rules for a single-key change.
+func BenchmarkEngineEvaluate(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("incremental-%d", n), func(b *testing.B) {
+			benchmarkEngineEvaluate(b, n, belowThreshold)
+		})
+		b.Run(fmt.Sprintf("fullscan-%d", n), func(b *testing.B) {
+			benchmarkEngineEvaluate(b, n, belowThreshold, engine.WithFullScan())
+		})
+	}
+}
+
+// BenchmarkEngineEvaluateFiring is the same single-key workload but with the
+// sensor value crossing rule 0's threshold every iteration, so each pass
+// flips readiness, re-arbitrates the device and appends to the fired log —
+// the full hot path, not just evaluation.
+func BenchmarkEngineEvaluateFiring(b *testing.B) {
+	benchmarkEngineEvaluate(b, 1000, func(i int) string {
+		if i%2 == 0 {
+			return "40"
+		}
+		return "10"
+	})
 }
 
 // BenchmarkRegistryAdd measures rule insertion with index maintenance.

@@ -95,6 +95,7 @@ type options struct {
 	eventTTL time.Duration
 	onFire   func(Fired)
 	interval bool
+	fullScan bool
 	perms    *auth.Store
 }
 
@@ -123,6 +124,15 @@ func WithOnFire(fn func(Fired)) Option {
 // design; results are identical, see the benchmarks).
 func WithIntervalFastPath() Option {
 	return optionFunc(func(o *options) { o.interval = true })
+}
+
+// WithFullScanEngine makes the rule execution module re-evaluate every
+// registered rule on every context change, as the paper's prototype does,
+// instead of the default incremental evaluation that only re-checks rules
+// whose condition dependencies were touched. Mostly useful as an oracle or
+// baseline; results are identical (see the engine's equivalence tests).
+func WithFullScanEngine() Option {
+	return optionFunc(func(o *options) { o.fullScan = true })
 }
 
 // WithPermissions installs a privilege store (the paper's future-work
@@ -176,6 +186,9 @@ func NewServer(network *Network, opts ...Option) (*Server, error) {
 	engineOpts := []engine.Option{engine.WithEventTTL(o.eventTTL)}
 	if o.onFire != nil {
 		engineOpts = append(engineOpts, engine.WithOnFire(o.onFire))
+	}
+	if o.fullScan {
+		engineOpts = append(engineOpts, engine.WithFullScan())
 	}
 	s.engine = engine.New(s.db, s.priorities, o.now, s.dispatch, engineOpts...)
 	return s, nil

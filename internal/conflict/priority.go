@@ -38,6 +38,7 @@ func (o Order) String() string {
 type Table struct {
 	mu     sync.RWMutex
 	orders []Order
+	gen    uint64 // bumped on every Set
 }
 
 // NewTable returns an empty priority table.
@@ -50,6 +51,7 @@ func NewTable() *Table {
 func (t *Table) Set(o Order) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.gen++
 	for i, existing := range t.orders {
 		if existing.Device.Key() == o.Device.Key() && existing.ContextSource == o.ContextSource {
 			t.orders[i] = o
@@ -57,6 +59,24 @@ func (t *Table) Set(o Order) {
 		}
 	}
 	t.orders = append(t.orders, o)
+}
+
+// Generation returns a counter that increments on every Set. The execution
+// engine compares it against the generation of its last evaluation pass to
+// notice priority edits without re-arbitrating every device every time.
+func (t *Table) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+// Orders returns a snapshot of every registered order in registration order.
+func (t *Table) Orders() []Order {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Order, len(t.orders))
+	copy(out, t.orders)
+	return out
 }
 
 // OrdersFor returns every order whose device matches, contextual orders

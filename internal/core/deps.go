@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// Dependency keys name the slices of Context a condition reads. The engine
+// marks the same keys dirty when it writes the context, and the registry
+// indexes rules by them, so a sensor event only re-evaluates the rules whose
+// dependency set it intersects.
+//
+// Namespaces keep the key spaces from colliding:
+//
+//	num/<var>      numeric sensor reading (Context.Numbers)
+//	bool/<var>     boolean device/sensor state (Context.Bools)
+//	loc/<person>   one user's location (Context.Locations)
+//	loc/*          any user's location (nobody/everyone/someone)
+//	event/<name>   an arrival event by canonical name (Context.Events)
+//	epg/programs   the on-air programme list (Context.Programs)
+const (
+	// LocationWildcardKey is read by conditions quantifying over every
+	// user's location (nobody, everyone, "someone at ...").
+	LocationWildcardKey = "loc/*"
+	// ProgramsDepKey is read by on-air conditions.
+	ProgramsDepKey = "epg/programs"
+)
+
+// NumberDepKey returns the dependency key for a numeric variable as written
+// in a condition ("temperature" or "living room/temperature").
+func NumberDepKey(name string) string { return "num/" + name }
+
+// BoolDepKey returns the dependency key for a boolean variable.
+func BoolDepKey(name string) string { return "bool/" + name }
+
+// LocationDepKey returns the dependency key for one user's location.
+func LocationDepKey(person string) string { return "loc/" + person }
+
+// EventDepKey returns the dependency key for an arrival event name.
+func EventDepKey(event string) string { return "event/" + event }
+
+// NumberDirtyKeys returns the dependency keys invalidated by writing the
+// numeric context entry key. A qualified entry ("living room/temperature")
+// also invalidates the unqualified name, because Context.Number resolves
+// unqualified variables by suffix match over every qualified entry.
+func NumberDirtyKeys(key string) []string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return []string{NumberDepKey(key), NumberDepKey(key[i+1:])}
+	}
+	return []string{NumberDepKey(key)}
+}
+
+// BoolDirtyKeys is NumberDirtyKeys for boolean context entries.
+func BoolDirtyKeys(key string) []string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return []string{BoolDepKey(key), BoolDepKey(key[i+1:])}
+	}
+	return []string{BoolDepKey(key)}
+}
+
+// LocationDirtyKeys returns the dependency keys invalidated by moving one
+// user: the user's own key plus the wildcard read by quantified conditions.
+func LocationDirtyKeys(person string) []string {
+	return []string{LocationDepKey(person), LocationWildcardKey}
+}
+
+// DepSet is the result of dependency extraction over a condition tree: the
+// context keys the condition reads, plus whether its truth can change with
+// the passage of time alone (time windows, duration holds, and arrival
+// events, whose freshness expires).
+type DepSet struct {
+	Keys map[string]struct{}
+	// Time marks conditions whose value can flip between two evaluations of
+	// the same context state as the clock advances.
+	Time bool
+}
+
+// Has reports whether the set contains the key.
+func (d DepSet) Has(key string) bool {
+	_, ok := d.Keys[key]
+	return ok
+}
+
+// Intersects reports whether any of the set's keys appears in dirty.
+func (d DepSet) Intersects(dirty map[string]struct{}) bool {
+	if len(d.Keys) <= len(dirty) {
+		for k := range d.Keys {
+			if _, ok := dirty[k]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for k := range dirty {
+		if _, ok := d.Keys[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedKeys returns the keys in sorted order (for tests and display).
+func (d DepSet) SortedKeys() []string {
+	out := make([]string, 0, len(d.Keys))
+	for k := range d.Keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CondDeps extracts the dependency set of a condition tree. A nil condition
+// (and Always) reads nothing and never changes. Condition implementations
+// outside this package are unknown to the extractor and are conservatively
+// reported as time-dependent, so an indexing engine still re-evaluates them
+// every pass.
+func CondDeps(c Condition) DepSet {
+	d := DepSet{Keys: make(map[string]struct{})}
+	addCondDeps(c, &d)
+	return d
+}
+
+func addCondDeps(c Condition, d *DepSet) {
+	switch n := c.(type) {
+	case nil:
+	case *And:
+		for _, t := range n.Terms {
+			addCondDeps(t, d)
+		}
+	case *Or:
+		for _, t := range n.Terms {
+			addCondDeps(t, d)
+		}
+	case *Compare:
+		d.Keys[NumberDepKey(n.Var)] = struct{}{}
+	case *BoolIs:
+		d.Keys[BoolDepKey(n.Var)] = struct{}{}
+	case *Presence:
+		if n.Person == Someone {
+			d.Keys[LocationWildcardKey] = struct{}{}
+		} else {
+			d.Keys[LocationDepKey(n.Person)] = struct{}{}
+		}
+	case *Nobody:
+		d.Keys[LocationWildcardKey] = struct{}{}
+	case *Everyone:
+		d.Keys[LocationWildcardKey] = struct{}{}
+	case *Arrival:
+		// Arrival freshness expires after the event TTL, so the condition is
+		// additionally time-dependent.
+		d.Keys[EventDepKey(n.Event)] = struct{}{}
+		d.Time = true
+	case *OnAir:
+		// Favourite keywords (Context.Favorites) are engine configuration,
+		// not sensor state; the engine re-evaluates everything when they
+		// change, so they are not part of the key space.
+		d.Keys[ProgramsDepKey] = struct{}{}
+	case *TimeWindow:
+		d.Time = true
+	case *Duration:
+		addCondDeps(n.Inner, d)
+		d.Time = true
+	case Always, *Always:
+	default:
+		d.Time = true
+	}
+}

@@ -4,6 +4,17 @@
 // device with the context-attached priority table, and dispatches the
 // winning actions to the appliances.
 //
+// Evaluation is incremental. Every context write marks the dependency keys
+// it invalidates (core.NumberDirtyKeys and friends) in a dirty set, and an
+// evaluation pass only re-evaluates the rules whose dependency set
+// (core.CondDeps, inverted-indexed by registry.DB.ByDep) intersects it —
+// plus the time-dependent rules whenever the clock has advanced, and rules
+// added since the last pass. Per-rule readiness is cached between passes, so
+// arbitration reconciles only the devices whose ready-set actually changed,
+// or whose contextual priority order was touched by the dirty keys. The
+// naive evaluator that re-walks every rule on every event is retained behind
+// WithFullScan as the oracle for equivalence tests and benchmarks.
+//
 // Arbitration is reconciliation-style: for every device the engine tracks
 // which rule currently "owns" it (the highest-priority rule whose condition
 // holds). When ownership changes — a higher-priority user's rule becomes
@@ -55,6 +66,13 @@ func (f Fired) String() string {
 	return sb.String()
 }
 
+// orderDep caches the dependency set of one contextual priority order, so a
+// pass can tell whether the dirty keys may have flipped which order applies.
+type orderDep struct {
+	device core.DeviceRef
+	deps   core.DepSet
+}
+
 // Engine is the rule execution module.
 type Engine struct {
 	mu         sync.Mutex
@@ -63,6 +81,21 @@ type Engine struct {
 	priorities *conflict.Table
 	dispatch   Dispatcher
 	now        func() time.Time
+
+	fullScan bool // evaluate every rule on every pass (oracle mode)
+
+	// Incremental-evaluation state (unused in full-scan mode).
+	dirty      map[string]struct{}   // dependency keys written since the last pass
+	allDirty   bool                  // re-evaluate everything on the next pass
+	dbGen      uint64                // registry generation at the last pass
+	tblGen     uint64                // priority-table generation at the last pass
+	tblDeps    []orderDep            // cached contextual-order dependencies for tblGen
+	lastEvalAt time.Time             // clock reading of the last pass
+	timeRules  []*core.Rule          // cached db.TimeDependent() for dbGen
+	known      map[string]*core.Rule // rules the engine has synced from the db
+	ready      map[string]bool       // rule ID → readiness at the last pass
+	readyByDev map[string]map[string]*core.Rule
+	refs       map[string]core.DeviceRef // device key → reference
 
 	owners map[string]string // device key → owning rule ID
 	log    []Fired
@@ -87,6 +120,14 @@ func WithOnFire(fn func(Fired)) Option {
 	return optionFunc(func(e *Engine) { e.onFire = fn })
 }
 
+// WithFullScan disables incremental evaluation: every pass re-evaluates
+// every registered rule and re-arbitrates every device, exactly as the
+// paper's prototype does. Tests use a full-scan engine as the oracle the
+// incremental evaluator must agree with; benchmarks use it as the baseline.
+func WithFullScan() Option {
+	return optionFunc(func(e *Engine) { e.fullScan = true })
+}
+
 // New builds an engine over a rule database and priority table. now supplies
 // the (simulated or wall) clock; dispatch applies actions.
 func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, dispatch Dispatcher, opts ...Option) *Engine {
@@ -96,6 +137,12 @@ func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, disp
 		priorities: priorities,
 		dispatch:   dispatch,
 		now:        now,
+		dirty:      make(map[string]struct{}),
+		allDirty:   true,
+		known:      make(map[string]*core.Rule),
+		ready:      make(map[string]bool),
+		readyByDev: make(map[string]map[string]*core.Rule),
+		refs:       make(map[string]core.DeviceRef),
 		owners:     make(map[string]string),
 	}
 	for _, o := range opts {
@@ -120,10 +167,24 @@ func (e *Engine) Log() []Fired {
 	return out
 }
 
+// Owners returns a snapshot of the device → owning-rule-ID map.
+func (e *Engine) Owners() map[string]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]string, len(e.owners))
+	for k, v := range e.owners {
+		out[k] = v
+	}
+	return out
+}
+
 // SetFavorites registers a user's favourite keywords ("my favorite movie").
+// Favourites are configuration rather than sensor state, so the next pass
+// re-evaluates everything.
 func (e *Engine) SetFavorites(user string, keywords []string) {
 	e.mu.Lock()
 	e.ctx.Favorites[user] = append([]string(nil), keywords...)
+	e.allDirty = true
 	e.mu.Unlock()
 	e.Tick()
 }
@@ -132,6 +193,7 @@ func (e *Engine) SetFavorites(user string, keywords []string) {
 func (e *Engine) SetUsers(users []string) {
 	e.mu.Lock()
 	e.ctx.Users = append([]string(nil), users...)
+	e.allDirty = true
 	e.mu.Unlock()
 	e.Tick()
 }
@@ -140,7 +202,8 @@ func (e *Engine) SetUsers(users []string) {
 
 // HandleDeviceEvent ingests a UPnP property-change event from a device: the
 // server passes the device's identity and the changed variables; the engine
-// maps them onto context keys and re-evaluates.
+// maps them onto context keys, marks the matching dependency keys dirty, and
+// re-evaluates.
 func (e *Engine) HandleDeviceEvent(deviceType, friendlyName, location string, vars map[string]string) {
 	e.mu.Lock()
 	for name, value := range vars {
@@ -151,12 +214,14 @@ func (e *Engine) HandleDeviceEvent(deviceType, friendlyName, location string, va
 			if f, err := strconv.ParseFloat(value, 64); err == nil {
 				for _, key := range device.ContextKeys(deviceType, friendlyName, location, name) {
 					e.ctx.Numbers[key] = f
+					e.markDirtyLocked(core.NumberDirtyKeys(key))
 				}
 			}
 		case device.VarKindBool:
 			b := value == "1" || value == "true"
 			for _, key := range device.ContextKeys(deviceType, friendlyName, location, name) {
 				e.ctx.Bools[key] = b
+				e.markDirtyLocked(core.BoolDirtyKeys(key))
 			}
 		default:
 			// String vars (mode) are not observable by CADEL conditions in
@@ -166,25 +231,34 @@ func (e *Engine) HandleDeviceEvent(deviceType, friendlyName, location string, va
 	e.evaluateLocked()
 }
 
+func (e *Engine) markDirtyLocked(keys []string) {
+	for _, k := range keys {
+		e.dirty[k] = struct{}{}
+	}
+}
+
 func (e *Engine) applySpecialLocked(name, value string) {
 	switch {
 	case strings.HasPrefix(name, "presence-"):
 		user := strings.TrimPrefix(name, "presence-")
 		e.ctx.Locations[user] = value
+		e.markDirtyLocked(core.LocationDirtyKeys(user))
 	case name == "event":
 		// "person|event|seq"
 		parts := strings.SplitN(value, "|", 3)
 		if len(parts) >= 2 && parts[0] != "" {
 			e.ctx.Now = e.now()
 			e.ctx.RecordEvent(parts[0], parts[1])
+			e.markDirtyLocked([]string{core.EventDepKey(parts[1])})
 		}
 	case name == "programs":
 		e.ctx.Programs = device.DecodePrograms(value)
+		e.markDirtyLocked([]string{core.ProgramsDepKey})
 	}
 }
 
-// Tick re-evaluates all rules at the current time; the server calls it after
-// advancing the simulation clock so time windows and duration conditions
+// Tick re-evaluates at the current time; the server calls it after advancing
+// the simulation clock so time windows, duration conditions and event TTLs
 // progress.
 func (e *Engine) Tick() {
 	e.mu.Lock()
@@ -195,21 +269,55 @@ func (e *Engine) Tick() {
 // and releases it before invoking dispatch callbacks.
 func (e *Engine) evaluateLocked() {
 	e.ctx.Now = e.now()
+	var fired []Fired
+	if e.fullScan {
+		fired = e.fullScanPassLocked()
+	} else {
+		fired = e.incrementalPassLocked()
+	}
+
+	dispatch := e.dispatch
+	onFire := e.onFire
+	e.mu.Unlock()
+
+	for i := range fired {
+		if dispatch != nil {
+			fired[i].Err = dispatch(fired[i].Rule.Device, fired[i].Rule.Action)
+		}
+		e.mu.Lock()
+		e.log = append(e.log, fired[i])
+		e.mu.Unlock()
+		if onFire != nil {
+			onFire(fired[i])
+		}
+	}
+}
+
+// maintainHoldsLocked updates the context's duration-hold marks for one
+// rule's condition tree.
+func (e *Engine) maintainHoldsLocked(r *core.Rule) {
+	core.WalkCond(r.Cond, func(c core.Condition) {
+		d, ok := c.(*core.Duration)
+		if !ok {
+			return
+		}
+		if d.Inner.Eval(e.ctx) {
+			e.ctx.MarkHeld(d.Key)
+		} else {
+			e.ctx.ClearHeld(d.Key)
+		}
+	})
+}
+
+// fullScanPassLocked is the naive evaluator: walk every rule, rebuild every
+// device's ready-set, re-arbitrate every device.
+func (e *Engine) fullScanPassLocked() []Fired {
+	clear(e.dirty) // tracked but unused in oracle mode
 	rules := e.db.All()
 
 	// Maintain duration holds.
 	for _, r := range rules {
-		core.WalkCond(r.Cond, func(c core.Condition) {
-			d, ok := c.(*core.Duration)
-			if !ok {
-				return
-			}
-			if d.Inner.Eval(e.ctx) {
-				e.ctx.MarkHeld(d.Key)
-			} else {
-				e.ctx.ClearHeld(d.Key)
-			}
-		})
+		e.maintainHoldsLocked(r)
 	}
 
 	// Group ready rules by device.
@@ -245,26 +353,186 @@ func (e *Engine) evaluateLocked() {
 	}
 	// Devices whose owning rule lapsed lose their owner; the device keeps
 	// its last state (the paper defines no un-do semantics).
-	for key, ruleID := range e.owners {
+	for key := range e.owners {
 		if _, still := ready[key]; !still {
 			delete(e.owners, key)
-			_ = ruleID
+		}
+	}
+	return fired
+}
+
+// incrementalPassLocked re-evaluates only the rules the dirty keys (plus
+// time, plus rule churn) can have affected, then re-arbitrates only the
+// devices whose ready-set changed or whose contextual priority order was
+// touched.
+func (e *Engine) incrementalPassLocked() []Fired {
+	nowChanged := !e.ctx.Now.Equal(e.lastEvalAt)
+	e.lastEvalAt = e.ctx.Now
+
+	// Device keys whose ready-set changed this pass.
+	changed := make(map[string]struct{})
+
+	// Sync rule additions and removals with the database.
+	var added []*core.Rule
+	if g := e.db.Generation(); g != e.dbGen {
+		e.dbGen = g
+		e.timeRules = e.db.TimeDependent()
+		all := e.db.All()
+		current := make(map[string]*core.Rule, len(all))
+		for _, r := range all {
+			current[r.ID] = r
+			// A pointer mismatch means the ID was removed and re-registered
+			// with a different rule between passes: evict the stale cached
+			// state below, then treat the replacement as newly added.
+			if known, ok := e.known[r.ID]; !ok || known != r {
+				added = append(added, r)
+			}
+		}
+		for id, r := range e.known {
+			if current[id] == r {
+				continue
+			}
+			delete(e.known, id)
+			delete(e.ready, id)
+			key := r.Device.Key()
+			if m := e.readyByDev[key]; m != nil {
+				if _, was := m[id]; was {
+					delete(m, id)
+					changed[key] = struct{}{}
+				}
+			}
+		}
+		for _, r := range added {
+			e.known[r.ID] = r
 		}
 	}
 
-	dispatch := e.dispatch
-	onFire := e.onFire
-	e.mu.Unlock()
-
-	for i := range fired {
-		if dispatch != nil {
-			fired[i].Err = dispatch(fired[i].Rule.Device, fired[i].Rule.Action)
+	// Collect the candidate rules to re-evaluate.
+	candidates := make(map[string]*core.Rule)
+	if e.allDirty {
+		for id, r := range e.known {
+			candidates[id] = r
 		}
-		e.mu.Lock()
-		e.log = append(e.log, fired[i])
-		e.mu.Unlock()
-		if onFire != nil {
-			onFire(fired[i])
+	} else {
+		// The index can return rules added to the db after this pass's
+		// generation sync; only evaluate rules the sync has seen (the rest
+		// are picked up as added on the next pass), or cached state could
+		// outlive a rule the eviction loop never knew about.
+		for key := range e.dirty {
+			for _, r := range e.db.ByDep(key) {
+				if e.known[r.ID] == r {
+					candidates[r.ID] = r
+				}
+			}
+		}
+		if nowChanged {
+			for _, r := range e.timeRules {
+				if e.known[r.ID] == r {
+					candidates[r.ID] = r
+				}
+			}
+		}
+		for _, r := range added {
+			candidates[r.ID] = r
 		}
 	}
+
+	// Maintain duration holds before readiness: all duration rules are
+	// time-dependent, so whenever time advanced they are all candidates and
+	// the hold marks stay exactly as the full scan would leave them.
+	for _, r := range candidates {
+		e.maintainHoldsLocked(r)
+	}
+
+	// Re-evaluate candidates and diff cached readiness.
+	for id, r := range candidates {
+		rdy := r.Ready(e.ctx)
+		if rdy == e.ready[id] {
+			continue
+		}
+		e.ready[id] = rdy
+		key := r.Device.Key()
+		if rdy {
+			m := e.readyByDev[key]
+			if m == nil {
+				m = make(map[string]*core.Rule)
+				e.readyByDev[key] = m
+				e.refs[key] = r.Device
+			}
+			m[id] = r
+		} else if m := e.readyByDev[key]; m != nil {
+			delete(m, id)
+		}
+		changed[key] = struct{}{}
+	}
+
+	// Decide which devices to re-arbitrate: those whose ready-set changed,
+	// plus those whose contextual priority order may have flipped.
+	arbitrate := changed
+	if g := e.priorities.Generation(); g != e.tblGen {
+		e.tblGen = g
+		e.tblDeps = e.tblDeps[:0]
+		for _, o := range e.priorities.Orders() {
+			if o.Context != nil {
+				e.tblDeps = append(e.tblDeps, orderDep{device: o.Device, deps: core.CondDeps(o.Context)})
+			}
+		}
+		// The table itself changed: every owned or ready device may rank
+		// differently now.
+		for key, m := range e.readyByDev {
+			if len(m) > 0 {
+				arbitrate[key] = struct{}{}
+			}
+		}
+	} else {
+		for _, od := range e.tblDeps {
+			touched := e.allDirty || (od.deps.Time && nowChanged) || od.deps.Intersects(e.dirty)
+			if !touched {
+				continue
+			}
+			for key, m := range e.readyByDev {
+				if len(m) > 0 && od.device.Matches(e.refs[key]) {
+					arbitrate[key] = struct{}{}
+				}
+			}
+		}
+	}
+
+	// Reconcile ownership for the affected devices, in sorted key order so
+	// the fired log is deterministic (and identical to the full scan's).
+	var fired []Fired
+	keys := make([]string, 0, len(arbitrate))
+	for key := range arbitrate {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		m := e.readyByDev[key]
+		if len(m) == 0 {
+			delete(e.owners, key)
+			delete(e.readyByDev, key)
+			delete(e.refs, key)
+			continue
+		}
+		list := make([]*core.Rule, 0, len(m))
+		for _, r := range m {
+			list = append(list, r)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+		ranked := e.priorities.Arbitrate(e.refs[key], e.ctx, list)
+		winner := ranked[0]
+		if e.owners[key] == winner.ID {
+			continue
+		}
+		e.owners[key] = winner.ID
+		fired = append(fired, Fired{
+			Time:       e.ctx.Now,
+			Rule:       winner,
+			Suppressed: ranked[1:],
+		})
+	}
+
+	clear(e.dirty)
+	e.allDirty = false
+	return fired
 }

@@ -31,7 +31,9 @@ type DB struct {
 	rules    map[string]*core.Rule
 	byName   map[string][]*core.Rule // device name → rules
 	byOwner  map[string][]*core.Rule
-	byVar    map[string][]*core.Rule // condition variable → rules
+	byDep    map[string][]*core.Rule // context dependency key → rules
+	timeDep  []*core.Rule            // rules whose readiness can change with time alone
+	gen      uint64                  // bumped on every Add/Remove
 	seq      uint64
 	inserted []string // insertion order of rule IDs
 }
@@ -42,7 +44,7 @@ func New() *DB {
 		rules:   make(map[string]*core.Rule),
 		byName:  make(map[string][]*core.Rule),
 		byOwner: make(map[string][]*core.Rule),
-		byVar:   make(map[string][]*core.Rule),
+		byDep:   make(map[string][]*core.Rule),
 	}
 }
 
@@ -61,10 +63,15 @@ func (db *DB) Add(r *core.Rule) error {
 	db.rules[r.ID] = r
 	db.byName[r.Device.Name] = append(db.byName[r.Device.Name], r)
 	db.byOwner[r.Owner] = append(db.byOwner[r.Owner], r)
-	for _, v := range r.Vars() {
-		db.byVar[v] = append(db.byVar[v], r)
+	deps := core.CondDeps(r.Cond)
+	for key := range deps.Keys {
+		db.byDep[key] = append(db.byDep[key], r)
+	}
+	if deps.Time {
+		db.timeDep = append(db.timeDep, r)
 	}
 	db.inserted = append(db.inserted, r.ID)
+	db.gen++
 	return nil
 }
 
@@ -79,8 +86,12 @@ func (db *DB) Remove(id string) error {
 	delete(db.rules, id)
 	db.byName[r.Device.Name] = removeRule(db.byName[r.Device.Name], id)
 	db.byOwner[r.Owner] = removeRule(db.byOwner[r.Owner], id)
-	for _, v := range r.Vars() {
-		db.byVar[v] = removeRule(db.byVar[v], id)
+	deps := core.CondDeps(r.Cond)
+	for key := range deps.Keys {
+		db.byDep[key] = removeRule(db.byDep[key], id)
+	}
+	if deps.Time {
+		db.timeDep = removeRule(db.timeDep, id)
 	}
 	for i, insertedID := range db.inserted {
 		if insertedID == id {
@@ -88,6 +99,7 @@ func (db *DB) Remove(id string) error {
 			break
 		}
 	}
+	db.gen++
 	return nil
 }
 
@@ -168,15 +180,37 @@ func (db *DB) ByOwner(owner string) []*core.Rule {
 	return out
 }
 
-// ByVar returns the rules whose conditions read the given variable. The
-// execution engine uses this to re-evaluate only affected rules on a sensor
-// event.
-func (db *DB) ByVar(name string) []*core.Rule {
+// ByDep returns the rules whose dependency set (core.CondDeps) contains the
+// given context key. This is the inverted index behind the engine's
+// incremental evaluation: a dirtied key maps straight to the rules it can
+// affect.
+func (db *DB) ByDep(key string) []*core.Rule {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]*core.Rule, len(db.byVar[name]))
-	copy(out, db.byVar[name])
+	out := make([]*core.Rule, len(db.byDep[key]))
+	copy(out, db.byDep[key])
 	return out
+}
+
+// TimeDependent returns the rules whose readiness can change with the
+// passage of time alone (time windows, duration holds, arrival TTLs). The
+// engine re-evaluates them whenever the clock advances, regardless of which
+// context keys were dirtied.
+func (db *DB) TimeDependent() []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*core.Rule, len(db.timeDep))
+	copy(out, db.timeDep)
+	return out
+}
+
+// Generation returns a counter that increments on every Add and Remove. The
+// engine compares it against the generation of its last pass to detect rule
+// churn without diffing the whole database.
+func (db *DB) Generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
 }
 
 // exportedRule is the serialized form: CADEL source plus metadata.

@@ -126,7 +126,7 @@ func TestSameDeviceScanAgrees(t *testing.T) {
 	}
 }
 
-func TestByOwnerAndByVar(t *testing.T) {
+func TestByOwnerAndByDep(t *testing.T) {
 	db := New()
 	r1 := simpleRule("r1", "tom", "tv")
 	r2 := simpleRule("r2", "alan", "tv")
@@ -143,16 +143,16 @@ func TestByOwnerAndByVar(t *testing.T) {
 	if got := db.ByOwner("tom"); len(got) != 2 {
 		t.Errorf("tom rules = %d, want 2", len(got))
 	}
-	if got := db.ByVar("temperature"); len(got) != 2 {
+	if got := db.ByDep(core.NumberDepKey("temperature")); len(got) != 2 {
 		t.Errorf("temperature rules = %d, want 2", len(got))
 	}
-	if got := db.ByVar("hall/dark"); len(got) != 1 || got[0].ID != "r3" {
+	if got := db.ByDep(core.BoolDepKey("hall/dark")); len(got) != 1 || got[0].ID != "r3" {
 		t.Errorf("hall/dark rules = %v", got)
 	}
 	if err := db.Remove("r1"); err != nil {
 		t.Fatal(err)
 	}
-	if got := db.ByVar("temperature"); len(got) != 1 {
+	if got := db.ByDep(core.NumberDepKey("temperature")); len(got) != 1 {
 		t.Errorf("temperature rules after removal = %d, want 1", len(got))
 	}
 }
