@@ -18,6 +18,7 @@ package cadel
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/interval"
 	"repro/internal/lang"
 	"repro/internal/registry"
@@ -429,6 +431,105 @@ func BenchmarkEngineEvaluateFiring(b *testing.B) {
 		}
 		return "10"
 	})
+}
+
+// ---- fleet hub ----
+
+// buildFleetHub seeds a hub with n homes, each holding one user and one
+// temperature rule. The homes share one lexicon: none of them defines words,
+// and a per-home vocab.Default() would dominate setup at 100k homes.
+func buildFleetHub(b *testing.B, homes, shards int) (*fleet.Hub, []string) {
+	b.Helper()
+	lex := vocab.Default()
+	now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
+	hub, err := fleet.NewHub(
+		fleet.WithShards(shards),
+		fleet.WithClock(func() time.Time { return now }),
+		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
+		fleet.WithLogLimit(64),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = hub.Close() })
+	ids := make([]string, homes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("home-%06d", i)
+		if err := hub.RegisterUser(ids[i], "u"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hub.Submit(ids[i],
+			"If temperature is higher than 28 degrees, turn on the air conditioner.", "u"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return hub, ids
+}
+
+// benchmarkFleetIngest measures end-to-end ingestion throughput: b.N sensor
+// events spread round-robin over the homes, every event flipping its home's
+// rule readiness (so each coalesced pass re-arbitrates and fires), timed
+// until the last shard has drained. The reported events/sec is the number to
+// compare across shard counts.
+func benchmarkFleetIngest(b *testing.B, homes, shards int) {
+	hub, ids := buildFleetHub(b, homes, shards)
+	var idx atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := idx.Add(1)
+			home := ids[i%uint64(homes)]
+			v := "31"
+			if (i/uint64(homes))%2 == 1 {
+				v = "20"
+			}
+			if err := hub.PostEvent(home, device.TypeThermometer, "thermometer",
+				"living room", map[string]string{"temperature": v}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := hub.Quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFleetIngest sweeps fleet size × shard count. The ISSUE's
+// acceptance target is ≥ 3x events/sec at 4 shards vs 1 shard on the
+// 10k-home workload; cmd/fleetbench emits the same sweep as BENCH_fleet.json
+// for CI trend tracking.
+func BenchmarkFleetIngest(b *testing.B) {
+	for _, homes := range []int{1000, 10000, 100000} {
+		for _, shards := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("homes=%d/shards=%d", homes, shards), func(b *testing.B) {
+				benchmarkFleetIngest(b, homes, shards)
+			})
+		}
+	}
+}
+
+// BenchmarkFleetSubmit measures rule registration throughput across a
+// sharded hub (parse + compile + consistency + conflict check + store-less
+// registration), round-robin over 1000 homes.
+func BenchmarkFleetSubmit(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			hub, ids := buildFleetHub(b, 1000, shards)
+			var idx atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := idx.Add(1)
+					if _, err := hub.Submit(ids[i%uint64(len(ids))],
+						"If humidity is higher than 60 percent, turn on the fan.", "u"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkRegistryAdd measures rule insertion with index maintenance.

@@ -6,7 +6,13 @@
 // A Server ties the framework's five modules together (Fig. 3 of the
 // paper): the rule description support module (lexicon + lookup service),
 // the CADEL rule database, the consistency & conflict check module, the
-// rule execution module, and the UPnP communication interface.
+// rule execution module, and the UPnP communication interface. Since the
+// fleet subsystem landed, a Server is a thin single-home client of a
+// fleet.Hub: the rule database, priority table and execution engine live in
+// the hub's one home, and the Server contributes what is inherently local —
+// UPnP discovery, event subscriptions, the lookup service, and action
+// dispatch to the discovered appliances. Multi-home deployments use
+// internal/fleet's Hub directly (cmd/homeserver -fleet).
 //
 // Typical use:
 //
@@ -21,11 +27,8 @@
 package cadel
 
 import (
-	"errors"
 	"fmt"
-	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -33,9 +36,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/engine"
-	"repro/internal/lang"
+	"repro/internal/fleet"
 	"repro/internal/lookup"
-	"repro/internal/registry"
 	"repro/internal/upnp"
 	"repro/internal/vocab"
 )
@@ -58,34 +60,24 @@ type (
 	Query = lookup.Query
 	// RemoteDevice is a discovered UPnP device.
 	RemoteDevice = upnp.RemoteDevice
+	// SubmitResult reports the outcome of registering a CADEL command.
+	SubmitResult = fleet.Result
 )
 
 // NewNetwork creates a LAN segment.
 func NewNetwork() *Network { return upnp.NewNetwork() }
 
-// Errors reported by the server.
+// Errors reported by the server (defined by the fleet subsystem).
 var (
 	// ErrInconsistent marks a rule whose condition can never hold; the
 	// server refuses it so the user can fix the condition (Sect. 4.4).
-	ErrInconsistent = errors.New("cadel: rule condition can never hold")
+	ErrInconsistent = fleet.ErrInconsistent
 	// ErrUnknownUser marks a submission by an unregistered user.
-	ErrUnknownUser = errors.New("cadel: unknown user")
+	ErrUnknownUser = fleet.ErrUnknownUser
 	// ErrForbidden marks a rule whose owner lacks the privilege for the
 	// target device and action (the paper's future-work security check).
-	ErrForbidden = errors.New("cadel: user may not perform this action on this device")
+	ErrForbidden = fleet.ErrForbidden
 )
-
-// SubmitResult reports the outcome of registering a CADEL command.
-type SubmitResult struct {
-	// Rule is the registered rule object; nil for CondDef/ConfDef commands.
-	Rule *Rule
-	// DefinedWord is the new word for CondDef/ConfDef commands.
-	DefinedWord string
-	// Conflicts lists existing rules the new rule can conflict with. The
-	// rule is registered regardless; the caller should present the list and
-	// record a priority order (Fig. 7), e.g. via SetPriority.
-	Conflicts []Conflict
-}
 
 // Option configures a Server.
 type Option interface{ apply(*options) }
@@ -114,7 +106,8 @@ func WithEventTTL(ttl time.Duration) Option {
 	return optionFunc(func(o *options) { o.eventTTL = ttl })
 }
 
-// WithOnFire installs a callback invoked after every dispatched action.
+// WithOnFire installs a callback invoked after every dispatched action. It
+// runs on the hub's shard goroutine; it must not call back into the Server.
 func WithOnFire(fn func(Fired)) Option {
 	return optionFunc(func(o *options) { o.onFire = fn })
 }
@@ -142,23 +135,19 @@ func WithPermissions(store *auth.Store) Option {
 	return optionFunc(func(o *options) { o.perms = store })
 }
 
-// Server is the CADEL home server.
-type Server struct {
-	lex        *vocab.Lexicon
-	compiler   *core.Compiler
-	db         *registry.DB
-	priorities *conflict.Table
-	checker    conflict.Checker
-	engine     *engine.Engine
-	cp         *upnp.ControlPoint
-	lookup     *lookup.Service
-	perms      *auth.Store
-	now        func() time.Time
+// localHome is the id of the Server's single home inside its hub.
+const localHome = "home"
 
-	mu      sync.Mutex
-	users   []string
-	unsubs  []func() error
-	ruleSeq atomic.Uint64
+// Server is the CADEL home server: a fleet.Hub scoped to one home, plus the
+// UPnP communication interface and the lookup service.
+type Server struct {
+	hub    *fleet.Hub
+	lex    *vocab.Lexicon
+	cp     *upnp.ControlPoint
+	lookup *lookup.Service
+
+	mu     sync.Mutex
+	unsubs []func() error
 }
 
 // NewServer starts a home server on the network.
@@ -173,28 +162,45 @@ func NewServer(network *Network, opts ...Option) (*Server, error) {
 	}
 	lex := vocab.Default()
 	s := &Server{
-		lex:        lex,
-		compiler:   core.NewCompiler(lex),
-		db:         registry.New(),
-		priorities: conflict.NewTable(),
-		checker:    conflict.Checker{UseIntervalFastPath: o.interval},
-		cp:         cp,
-		lookup:     lookup.New(lex),
-		perms:      o.perms,
-		now:        o.now,
+		lex:    lex,
+		cp:     cp,
+		lookup: lookup.New(lex),
 	}
-	engineOpts := []engine.Option{engine.WithEventTTL(o.eventTTL)}
+	hubOpts := []fleet.HubOption{
+		fleet.WithShards(1),
+		fleet.WithClock(o.now),
+		fleet.WithEventTTL(o.eventTTL),
+		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
+		fleet.WithDispatcher(func(_ string, ref core.DeviceRef, action core.Action) error {
+			return s.dispatch(ref, action)
+		}),
+	}
 	if o.onFire != nil {
-		engineOpts = append(engineOpts, engine.WithOnFire(o.onFire))
+		fn := o.onFire
+		hubOpts = append(hubOpts, fleet.WithOnFire(func(_ string, f Fired) { fn(f) }))
 	}
 	if o.fullScan {
-		engineOpts = append(engineOpts, engine.WithFullScan())
+		hubOpts = append(hubOpts, fleet.WithFullScan())
 	}
-	s.engine = engine.New(s.db, s.priorities, o.now, s.dispatch, engineOpts...)
+	if o.interval {
+		hubOpts = append(hubOpts, fleet.WithIntervalFeasibility())
+	}
+	if o.perms != nil {
+		perms := o.perms
+		hubOpts = append(hubOpts, fleet.WithAuthorizer(
+			func(_, owner string, ref core.DeviceRef, verb string) bool {
+				return perms.Allowed(owner, ref, verb)
+			}))
+	}
+	s.hub, err = fleet.NewHub(hubOpts...)
+	if err != nil {
+		_ = cp.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
-// Close stops the server and its subscriptions.
+// Close stops the server, its subscriptions and its hub.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	unsubs := s.unsubs
@@ -203,7 +209,11 @@ func (s *Server) Close() error {
 	for _, u := range unsubs {
 		_ = u()
 	}
-	return s.cp.Close()
+	err := s.cp.Close()
+	if herr := s.hub.Close(); err == nil {
+		err = herr
+	}
+	return err
 }
 
 // ---- users ----
@@ -211,40 +221,13 @@ func (s *Server) Close() error {
 // RegisterUser adds a home user with optional favourite keywords (used by
 // "my favorite movie is on air").
 func (s *Server) RegisterUser(name string, favorites ...string) error {
-	name = vocab.Normalize(name)
-	if name == "" {
-		return errors.New("cadel: empty user name")
-	}
-	if err := s.lex.Add(vocab.Entry{Phrase: name, Kind: vocab.KindPerson}); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.users = append(s.users, name)
-	users := append([]string(nil), s.users...)
-	s.mu.Unlock()
-	s.engine.SetUsers(users)
-	if len(favorites) > 0 {
-		s.engine.SetFavorites(name, favorites)
-	}
-	return nil
+	return s.hub.RegisterUser(localHome, name, favorites...)
 }
 
 // Users returns the registered users.
 func (s *Server) Users() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]string(nil), s.users...)
-}
-
-func (s *Server) isUser(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, u := range s.users {
-		if u == name {
-			return true
-		}
-	}
-	return false
+	users, _ := s.hub.Users(localHome)
+	return users
 }
 
 // ---- devices ----
@@ -262,15 +245,16 @@ func (s *Server) DiscoverDevices(window time.Duration) (int, error) {
 	return len(devices), firstErr
 }
 
-// watch subscribes to all services of a device and feeds events to the
-// engine.
+// watch subscribes to all services of a device and feeds events to the hub.
+// Ingestion is asynchronous, but the hub's mailbox is FIFO per home: any
+// Server call made after a subscription callback returns observes the event.
 func (s *Server) watch(rd *upnp.RemoteDevice) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, svc := range rd.Services {
 		rd := rd
 		cancel, err := s.cp.Subscribe(rd, svc.ServiceType, func(vars map[string]string) {
-			s.engine.HandleDeviceEvent(rd.DeviceType, rd.FriendlyName, rd.Location, vars)
+			_ = s.hub.PostEvent(localHome, rd.DeviceType, rd.FriendlyName, rd.Location, vars)
 		})
 		if err != nil {
 			return fmt.Errorf("cadel: watch %s/%s: %w", rd.FriendlyName, svc.ServiceType, err)
@@ -308,109 +292,31 @@ func (s *Server) WordsFor(rd *RemoteDevice) []string { return s.lookup.WordsFor(
 // are rejected with ErrInconsistent) and the conflict check (conflicting
 // rules are registered and reported so the user can set a priority order).
 func (s *Server) Submit(source, owner string) (*SubmitResult, error) {
-	owner = vocab.Normalize(owner)
-	if !s.isUser(owner) {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, owner)
-	}
-	cmd, err := lang.Parse(source, s.lex)
-	if err != nil {
-		return nil, err
-	}
-	switch c := cmd.(type) {
-	case *lang.CondDef:
-		exprSource := c.Expr.String()
-		// Validate the definition compiles before registering the word.
-		if _, err := s.compiler.CompileCondExpr(c.Expr, owner); err != nil {
-			return nil, err
-		}
-		if err := s.lex.DefineCondWord(c.Name, exprSource, owner); err != nil {
-			return nil, err
-		}
-		return &SubmitResult{DefinedWord: vocab.Normalize(c.Name)}, nil
-	case *lang.ConfDef:
-		parts := make([]string, len(c.Confs))
-		for i, item := range c.Confs {
-			parts[i] = item.String()
-		}
-		confSource := joinAnd(parts)
-		if err := s.lex.DefineConfWord(c.Name, confSource, owner); err != nil {
-			return nil, err
-		}
-		return &SubmitResult{DefinedWord: vocab.Normalize(c.Name)}, nil
-	case *lang.RuleDef:
-		id := fmt.Sprintf("%s-%s", owner, strconv.FormatUint(s.ruleSeq.Add(1), 10))
-		rule, err := s.compiler.CompileRule(c, id, owner)
-		if err != nil {
-			return nil, err
-		}
-		if s.perms != nil && !s.perms.Allowed(owner, rule.Device, rule.Action.Verb) {
-			return nil, fmt.Errorf("%w: %s on %s by %s", ErrForbidden, rule.Action.Verb, rule.Device, owner)
-		}
-		ok, err := s.checker.Consistent(rule)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("%w: %s", ErrInconsistent, rule.Cond)
-		}
-		candidates := s.db.SameDevice(rule.Device)
-		conflicts, err := s.checker.FindConflicts(rule, candidates)
-		if err != nil {
-			return nil, err
-		}
-		if err := s.db.Add(rule); err != nil {
-			return nil, err
-		}
-		s.engine.Tick()
-		return &SubmitResult{Rule: rule, Conflicts: conflicts}, nil
-	default:
-		return nil, fmt.Errorf("cadel: unsupported command %T", cmd)
-	}
-}
-
-func joinAnd(parts []string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += " and "
-		}
-		out += p
-	}
-	return out
+	return s.hub.Submit(localHome, source, owner)
 }
 
 // RemoveRule deletes a rule by id.
-func (s *Server) RemoveRule(id string) error { return s.db.Remove(id) }
+func (s *Server) RemoveRule(id string) error { return s.hub.RemoveRule(localHome, id) }
 
 // Rules returns all registered rules in registration order.
-func (s *Server) Rules() []*Rule { return s.db.All() }
+func (s *Server) Rules() []*Rule {
+	rules, _ := s.hub.Rules(localHome)
+	return rules
+}
 
 // RulesByOwner returns one user's rules.
 func (s *Server) RulesByOwner(owner string) []*Rule {
-	return s.db.ByOwner(vocab.Normalize(owner))
+	rules, _ := s.hub.RulesByOwner(localHome, owner)
+	return rules
 }
 
 // ExportRules serializes the rule database (Sect. 4.3(iv)).
-func (s *Server) ExportRules() ([]byte, error) { return s.db.Export() }
+func (s *Server) ExportRules() ([]byte, error) { return s.hub.ExportRules(localHome) }
 
 // ImportRules loads rules exported by ExportRules, recompiling their CADEL
 // sources against this server's lexicon.
 func (s *Server) ImportRules(data []byte) (int, error) {
-	n, err := s.db.Import(data, func(source, id, owner string) (*core.Rule, error) {
-		cmd, err := lang.Parse(source, s.lex)
-		if err != nil {
-			return nil, err
-		}
-		def, ok := cmd.(*lang.RuleDef)
-		if !ok {
-			return nil, fmt.Errorf("cadel: import: %q is not a rule", source)
-		}
-		return s.compiler.CompileRule(def, id, owner)
-	})
-	if n > 0 {
-		s.engine.Tick()
-	}
-	return n, err
+	return s.hub.ImportRules(localHome, data)
 }
 
 // SetPriority records a priority order for a device: users listed highest
@@ -418,43 +324,36 @@ func (s *Server) ImportRules(data []byte) (int, error) {
 // ("alan got home from work"). An empty context makes it the device's
 // default order (Sect. 3.2, Fig. 7).
 func (s *Server) SetPriority(ref DeviceRef, users []string, contextSource string) error {
-	order := conflict.Order{Device: ref, ContextSource: contextSource}
-	for _, u := range users {
-		order.Users = append(order.Users, vocab.Normalize(u))
-	}
-	if contextSource != "" {
-		expr, err := lang.ParseCondExpr(contextSource, s.lex)
-		if err != nil {
-			return fmt.Errorf("cadel: priority context: %w", err)
-		}
-		cond, err := s.compiler.CompileCondExpr(expr, "")
-		if err != nil {
-			return fmt.Errorf("cadel: priority context: %w", err)
-		}
-		order.Context = cond
-	}
-	s.priorities.Set(order)
-	s.engine.Tick()
-	return nil
+	return s.hub.SetPriority(localHome, ref, users, contextSource)
 }
 
 // PriorityOrders returns the orders applying to a device, contextual orders
 // first.
 func (s *Server) PriorityOrders(ref DeviceRef) []conflict.Order {
-	return s.priorities.OrdersFor(ref)
+	orders, _ := s.hub.PriorityOrders(localHome, ref)
+	return orders
 }
 
 // ---- runtime ----
 
 // Tick re-evaluates all rules at the current clock time. Call it after
 // advancing a simulation clock.
-func (s *Server) Tick() { s.engine.Tick() }
+func (s *Server) Tick() { _ = s.hub.Tick(localHome) }
 
 // Log returns the executed-action log.
-func (s *Server) Log() []Fired { return s.engine.Log() }
+func (s *Server) Log() []Fired {
+	log, _ := s.hub.Log(localHome)
+	return log
+}
 
 // Snapshot returns a copy of the current context.
-func (s *Server) Snapshot() *Context { return s.engine.Context() }
+func (s *Server) Snapshot() *Context {
+	ctx, _ := s.hub.Context(localHome)
+	return ctx
+}
+
+// Hub exposes the server's underlying single-home fleet hub.
+func (s *Server) Hub() *fleet.Hub { return s.hub }
 
 // dispatch routes a rule action to the matching discovered device.
 func (s *Server) dispatch(ref core.DeviceRef, action core.Action) error {

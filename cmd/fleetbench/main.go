@@ -1,0 +1,173 @@
+// Command fleetbench measures fleet-hub ingestion throughput across shard
+// counts and writes the result as JSON, so CI can track the perf trajectory
+// (BENCH_fleet.json).
+//
+//	$ fleetbench -homes 10000 -events 200000 -shards 1,4,16 -out BENCH_fleet.json
+//
+// Every home holds one user and one temperature rule; events sweep the homes
+// round-robin with values that flip each rule's readiness, so a pass
+// re-arbitrates and fires — the full hot path. The run ends when every shard
+// has drained (hub.Quiesce), so the rate includes evaluation and dispatch,
+// not just enqueueing. coalesce_factor is events per evaluation pass: > 1
+// means bursts collapsed into shared passes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/vocab"
+)
+
+type shardResult struct {
+	Shards         int     `json:"shards"`
+	Seconds        float64 `json:"seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	CoalesceFactor float64 `json:"coalesce_factor"`
+}
+
+type report struct {
+	Name      string        `json:"name"`
+	Homes     int           `json:"homes"`
+	Events    int           `json:"events"`
+	Producers int           `json:"producers"`
+	MaxProcs  int           `json:"maxprocs"`
+	Results   []shardResult `json:"results"`
+}
+
+func main() {
+	homes := flag.Int("homes", 10000, "number of homes")
+	events := flag.Int("events", 200000, "number of events to ingest per shard count")
+	shardList := flag.String("shards", "1,4,16", "comma-separated shard counts")
+	producers := flag.Int("producers", 4, "event producer goroutines")
+	out := flag.String("out", "BENCH_fleet.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Name:      "fleet-ingest",
+		Homes:     *homes,
+		Events:    *events,
+		Producers: *producers,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, s := range strings.Split(*shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad shard count %q: %v", s, err)
+		}
+		res, err := run(*homes, *events, n, *producers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("shards=%-3d %9.0f events/sec  (%.2fs, coalesce %.1f)\n",
+			n, res.EventsPerSec, res.Seconds, res.CoalesceFactor)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func run(homes, events, shards, producers int) (shardResult, error) {
+	lex := vocab.Default()
+	epoch := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
+	hub, err := fleet.NewHub(
+		fleet.WithShards(shards),
+		fleet.WithClock(func() time.Time { return epoch }),
+		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
+		fleet.WithLogLimit(64),
+	)
+	if err != nil {
+		return shardResult{}, err
+	}
+	defer func() { _ = hub.Close() }()
+
+	ids := make([]string, homes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("home-%06d", i)
+		if err := hub.RegisterUser(ids[i], "u"); err != nil {
+			return shardResult{}, err
+		}
+		if _, err := hub.Submit(ids[i],
+			"If temperature is higher than 28 degrees, turn on the air conditioner.", "u"); err != nil {
+			return shardResult{}, err
+		}
+	}
+
+	before, err := hub.Stats()
+	if err != nil {
+		return shardResult{}, err
+	}
+
+	var idx atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := idx.Add(1)
+				if i > uint64(events) {
+					return
+				}
+				home := ids[i%uint64(homes)]
+				v := "31"
+				if (i/uint64(homes))%2 == 1 {
+					v = "20"
+				}
+				if err := hub.PostEvent(home, device.TypeThermometer, "thermometer",
+					"living room", map[string]string{"temperature": v}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		// A failed producer means fewer events than configured were ingested;
+		// publishing events/elapsed anyway would inflate the tracked number.
+		return shardResult{}, fmt.Errorf("fleetbench: ingestion failed: %w", err)
+	default:
+	}
+	if err := hub.Quiesce(); err != nil {
+		return shardResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	st, err := hub.Stats()
+	if err != nil {
+		return shardResult{}, err
+	}
+	// Count only the event phase's passes; setup (submits, user ticks) ran
+	// its own passes before the clock started.
+	coalesce := 0.0
+	if delta := st.Passes - before.Passes; delta > 0 {
+		coalesce = float64(st.Events) / float64(delta)
+	}
+	return shardResult{
+		Shards:         shards,
+		Seconds:        elapsed.Seconds(),
+		EventsPerSec:   float64(events) / elapsed.Seconds(),
+		CoalesceFactor: coalesce,
+	}, nil
+}

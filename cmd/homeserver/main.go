@@ -24,6 +24,18 @@
 //	:priority DEVICE u1>u2>... [CTX]  set a priority order
 //	:tick DURATION                  advance the simulation clock (e.g. 30m)
 //	:rules | :log | :export | :quit
+//
+// Multi-home mode: -fleet ADDR runs a sharded fleet hub instead of the
+// single-home shell, serving the /fleet JSON API (submit rules, post sensor
+// events, read per-home fired-action logs) for any number of homes:
+//
+//	$ homeserver -fleet :8090 -shards 8 -store ./fleet-db
+//	$ curl -X POST localhost:8090/fleet/homes/alpha/users -d '{"name":"tom"}'
+//	$ curl -X POST localhost:8090/fleet/homes/alpha/rules \
+//	      -d '{"source":"Turn on the light at the hall.","owner":"tom"}'
+//
+// With -store the hub journals every home's rules to an append-only
+// JSON-lines log and rehydrates them on restart.
 package main
 
 import (
@@ -39,6 +51,7 @@ import (
 	"time"
 
 	cadel "repro"
+	"repro/internal/fleet"
 	"repro/internal/home"
 	"repro/internal/httpapi"
 )
@@ -51,7 +64,14 @@ func main() {
 
 func run() error {
 	httpAddr := flag.String("http", "", "also serve the JSON API for interface devices (e.g. :8080)")
+	fleetAddr := flag.String("fleet", "", "run in multi-home mode, serving the fleet JSON API on this address (e.g. :8090)")
+	shards := flag.Int("shards", 0, "fleet mode: shard count (0 = one per CPU)")
+	storeDir := flag.String("store", "", "fleet mode: persist rules to this directory (append-only JSONL, rehydrated on restart)")
+	workers := flag.Int("dispatch-workers", 4, "fleet mode: dispatch worker pool size")
 	flag.Parse()
+	if *fleetAddr != "" {
+		return runFleet(*fleetAddr, *shards, *storeDir, *workers)
+	}
 
 	network := cadel.NewNetwork()
 	hm, err := home.New(network, home.DefaultConfig())
@@ -127,6 +147,38 @@ func run() error {
 		fmt.Print("cadel> ")
 	}
 	return sc.Err()
+}
+
+// runFleet serves the sharded multi-home hub over HTTP until the process is
+// stopped. Homes are created on first touch through the API; fired actions
+// are logged per home (no real appliances are attached in this mode).
+func runFleet(addr string, shards int, storeDir string, workers int) error {
+	opts := []fleet.HubOption{
+		fleet.WithDispatchWorkers(workers),
+		fleet.WithLogLimit(1024),
+	}
+	if shards > 0 {
+		opts = append(opts, fleet.WithShards(shards))
+	}
+	if storeDir != "" {
+		st, err := fleet.OpenFileStore(storeDir)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, fleet.WithStore(st))
+	}
+	hub, err := fleet.NewHub(opts...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hub.Close() }()
+	st, err := hub.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cadel fleet hub — %d shards, %d homes rehydrated, API at http://localhost%s/fleet/\n",
+		st.Shards, st.Homes, addr)
+	return http.ListenAndServe(addr, fleet.NewHTTPHandler(hub))
 }
 
 func colon(hm *home.Home, srv *cadel.Server, owner *string, line string) error {

@@ -73,6 +73,24 @@ type DepSet struct {
 	// Time marks conditions whose value can flip between two evaluations of
 	// the same context state as the clock advances.
 	Time bool
+	// Unknown marks trees containing a condition kind the extractor could
+	// not analyse. Such trees are conservatively time-dependent (correct but
+	// unindexable); deps_test.go proves no kind the compiler emits sets it.
+	Unknown bool
+}
+
+// AddKey records one context key the condition reads.
+func (d *DepSet) AddKey(key string) {
+	d.Keys[key] = struct{}{}
+}
+
+// DepsProvider lets condition kinds defined outside this package report
+// their dependencies instead of falling into the conservative
+// time-dependent bucket: AddCondDeps must record every context key the
+// condition reads (DepSet.AddKey) and set Time if its truth can change with
+// the clock alone.
+type DepsProvider interface {
+	AddCondDeps(d *DepSet)
 }
 
 // Has reports whether the set contains the key.
@@ -110,10 +128,11 @@ func (d DepSet) SortedKeys() []string {
 }
 
 // CondDeps extracts the dependency set of a condition tree. A nil condition
-// (and Always) reads nothing and never changes. Condition implementations
-// outside this package are unknown to the extractor and are conservatively
-// reported as time-dependent, so an indexing engine still re-evaluates them
-// every pass.
+// (and Always) reads nothing and never changes. Every condition kind the
+// compiler emits is analysed exactly; implementations outside this package
+// either report themselves through DepsProvider or are conservatively
+// marked time-dependent (and Unknown), so an indexing engine still
+// re-evaluates them every pass.
 func CondDeps(c Condition) DepSet {
 	d := DepSet{Keys: make(map[string]struct{})}
 	addCondDeps(c, &d)
@@ -162,6 +181,11 @@ func addCondDeps(c Condition, d *DepSet) {
 		d.Time = true
 	case Always, *Always:
 	default:
+		if p, ok := c.(DepsProvider); ok {
+			p.AddCondDeps(d)
+			return
+		}
 		d.Time = true
+		d.Unknown = true
 	}
 }

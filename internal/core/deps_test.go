@@ -95,6 +95,11 @@ func TestCondDepsPerKind(t *testing.T) {
 			if got.Time != tc.wantTime {
 				t.Errorf("time = %v, want %v", got.Time, tc.wantTime)
 			}
+			// Completeness: no kind the compiler can emit falls into the
+			// conservative unknown bucket that defeats indexing.
+			if got.Unknown {
+				t.Errorf("condition kind %T is unknown to the extractor", tc.cond)
+			}
 		})
 	}
 }
@@ -103,10 +108,45 @@ func TestCondDepsPerKind(t *testing.T) {
 type unknownCond struct{ Always }
 
 // TestCondDepsUnknownKindIsTimeDependent checks the conservative fallback:
-// a condition the extractor cannot analyse must be re-evaluated every pass.
+// a condition the extractor cannot analyse must be re-evaluated every pass,
+// and is flagged Unknown so tests (and tooling) can detect the coverage gap.
 func TestCondDepsUnknownKindIsTimeDependent(t *testing.T) {
-	if got := CondDeps(unknownCond{}); !got.Time {
+	got := CondDeps(unknownCond{})
+	if !got.Time {
 		t.Error("unknown condition kind must be conservatively time-dependent")
+	}
+	if !got.Unknown {
+		t.Error("unknown condition kind must be flagged Unknown")
+	}
+}
+
+// providerCond is an external condition kind that reports its dependencies
+// through the DepsProvider interface instead of the conservative bucket.
+type providerCond struct{ Always }
+
+func (providerCond) AddCondDeps(d *DepSet) {
+	d.AddKey(NumberDepKey("co2"))
+}
+
+// TestCondDepsProvider checks that external condition kinds can opt into
+// exact extraction: their reported keys are indexed and they are neither
+// time-dependent nor unknown.
+func TestCondDepsProvider(t *testing.T) {
+	got := CondDeps(providerCond{})
+	if got.Unknown || got.Time {
+		t.Errorf("provider kind misclassified: unknown=%v time=%v", got.Unknown, got.Time)
+	}
+	if !got.Has("num/co2") {
+		t.Errorf("provider keys = %v, want num/co2", got.SortedKeys())
+	}
+	// Inside a tree, provider deps merge with the analysed kinds'.
+	tree := &And{Terms: []Condition{
+		providerCond{},
+		&TimeWindow{FromMin: 0, ToMin: 60, Weekday: -1},
+	}}
+	merged := CondDeps(tree)
+	if !merged.Has("num/co2") || !merged.Time || merged.Unknown {
+		t.Errorf("merged = keys %v time %v unknown %v", merged.SortedKeys(), merged.Time, merged.Unknown)
 	}
 }
 

@@ -41,6 +41,14 @@ import (
 // to UPnP control; tests plug in fakes.
 type Dispatcher func(ref core.DeviceRef, action core.Action) error
 
+// BatchDispatcher applies all actions fired by one evaluation pass as a
+// single batch, recording any dispatch error in each entry's Err field in
+// place. It is invoked outside the engine lock, at most once per pass, and
+// must not return before every entry has been dispatched (the engine appends
+// the batch to its log when it returns). The fleet hub wires this to a
+// dispatch worker pool so a pass's actions go out in parallel.
+type BatchDispatcher func(batch []Fired)
+
 // Fired records one dispatched action for the scenario log.
 type Fired struct {
 	Time       time.Time
@@ -75,14 +83,19 @@ type orderDep struct {
 
 // Engine is the rule execution module.
 type Engine struct {
-	mu         sync.Mutex
-	ctx        *core.Context
-	db         *registry.DB
-	priorities *conflict.Table
-	dispatch   Dispatcher
-	now        func() time.Time
+	mu            sync.Mutex
+	ctx           *core.Context
+	db            *registry.DB
+	priorities    *conflict.Table
+	dispatch      Dispatcher
+	batchDispatch BatchDispatcher // when set, replaces the per-action dispatcher
+	now           func() time.Time
 
 	fullScan bool // evaluate every rule on every pass (oracle mode)
+
+	passes  uint64 // evaluation passes run
+	batches uint64 // dispatch batches handed out (≤ one per pass)
+	logCap  int    // keep at most this many log entries; 0 = unbounded
 
 	// Incremental-evaluation state (unused in full-scan mode).
 	dirty      map[string]struct{}   // dependency keys written since the last pass
@@ -118,6 +131,21 @@ func WithEventTTL(ttl time.Duration) Option {
 // every dispatched action.
 func WithOnFire(fn func(Fired)) Option {
 	return optionFunc(func(e *Engine) { e.onFire = fn })
+}
+
+// WithBatchDispatcher routes each pass's fired actions through fn as one
+// batch instead of the per-action Dispatcher. fn must fill every entry's Err
+// before returning; the engine then appends the whole batch to its log under
+// a single lock acquisition.
+func WithBatchDispatcher(fn BatchDispatcher) Option {
+	return optionFunc(func(e *Engine) { e.batchDispatch = fn })
+}
+
+// WithLogLimit caps the fired-action log at roughly n entries, discarding the
+// oldest. A fleet-scale hub sets a cap so millions of long-lived homes do not
+// grow their logs without bound; the default (0) keeps everything.
+func WithLogLimit(n int) Option {
+	return optionFunc(func(e *Engine) { e.logCap = n })
 }
 
 // WithFullScan disables incremental evaluation: every pass re-evaluates
@@ -167,6 +195,24 @@ func (e *Engine) Log() []Fired {
 	return out
 }
 
+// Passes returns the number of evaluation passes the engine has run. The
+// fleet hub reads it to measure ingestion coalescing (events handled per
+// pass), and tests use it to pin down "a burst is one pass" semantics.
+func (e *Engine) Passes() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.passes
+}
+
+// DispatchBatches returns how many dispatch batches the engine has handed
+// out. Every pass dispatches its fired set as at most one batch, so this is
+// bounded by Passes.
+func (e *Engine) DispatchBatches() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.batches
+}
+
 // Owners returns a snapshot of the device → owning-rule-ID map.
 func (e *Engine) Owners() map[string]string {
 	e.mu.Lock()
@@ -206,6 +252,21 @@ func (e *Engine) SetUsers(users []string) {
 // re-evaluates.
 func (e *Engine) HandleDeviceEvent(deviceType, friendlyName, location string, vars map[string]string) {
 	e.mu.Lock()
+	e.ingestLocked(deviceType, friendlyName, location, vars)
+	e.evaluateLocked()
+}
+
+// Ingest applies a device event's context writes and dirty-key marks without
+// running an evaluation pass. The fleet hub uses it to coalesce an event
+// burst: ingest every event of the burst, then run a single Tick, which
+// evaluates all the accumulated dirty keys in one pass.
+func (e *Engine) Ingest(deviceType, friendlyName, location string, vars map[string]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ingestLocked(deviceType, friendlyName, location, vars)
+}
+
+func (e *Engine) ingestLocked(deviceType, friendlyName, location string, vars map[string]string) {
 	for name, value := range vars {
 		switch device.KindOfVar(name) {
 		case device.VarKindSpecial:
@@ -228,7 +289,6 @@ func (e *Engine) HandleDeviceEvent(deviceType, friendlyName, location string, va
 			// this version; ignored.
 		}
 	}
-	e.evaluateLocked()
 }
 
 func (e *Engine) markDirtyLocked(keys []string) {
@@ -266,28 +326,50 @@ func (e *Engine) Tick() {
 }
 
 // evaluateLocked runs one reconciliation pass. It is entered with e.mu held
-// and releases it before invoking dispatch callbacks.
+// and releases it before invoking dispatch callbacks. The pass's fired set is
+// dispatched as a single batch — one BatchDispatcher call (or one loop over
+// the per-action Dispatcher) followed by one lock re-acquisition to append
+// the whole batch to the log — never a lock round-trip per action.
 func (e *Engine) evaluateLocked() {
 	e.ctx.Now = e.now()
+	e.passes++
 	var fired []Fired
 	if e.fullScan {
 		fired = e.fullScanPassLocked()
 	} else {
 		fired = e.incrementalPassLocked()
 	}
+	if len(fired) > 0 {
+		e.batches++
+	}
 
+	batchDispatch := e.batchDispatch
 	dispatch := e.dispatch
 	onFire := e.onFire
 	e.mu.Unlock()
 
-	for i := range fired {
-		if dispatch != nil {
+	if len(fired) == 0 {
+		return
+	}
+	if batchDispatch != nil {
+		batchDispatch(fired)
+	} else if dispatch != nil {
+		for i := range fired {
 			fired[i].Err = dispatch(fired[i].Rule.Device, fired[i].Rule.Action)
 		}
-		e.mu.Lock()
-		e.log = append(e.log, fired[i])
-		e.mu.Unlock()
-		if onFire != nil {
+	}
+
+	e.mu.Lock()
+	e.log = append(e.log, fired...)
+	if e.logCap > 0 && len(e.log) > 2*e.logCap {
+		// Trim with hysteresis so a capped log costs one copy per logCap
+		// appends, not one per fire.
+		e.log = append(e.log[:0:0], e.log[len(e.log)-e.logCap:]...)
+	}
+	e.mu.Unlock()
+
+	if onFire != nil {
+		for i := range fired {
 			onFire(fired[i])
 		}
 	}

@@ -1,0 +1,166 @@
+// Package fleet scales the CADEL home server from the paper's single home
+// (Fig. 3, Nishigaki et al., ICDCS 2005) to a multi-home service. A Hub owns
+// N shards; every home maps to one shard by hash, and each shard runs the
+// homes it owns — their lexicon, rule database, priority table and execution
+// engine — behind a single mailbox goroutine, so homes evaluate independently
+// and shards evaluate in parallel.
+//
+// The pipeline, stage by stage (see README.md for the sketch):
+//
+//	ingestion → shard mailbox → coalesce → engine pass → dispatch pool → store
+//
+// Ingestion is asynchronous and coalesced: PostEvent enqueues onto the
+// home's shard mailbox, and the shard drains its whole backlog at once —
+// a burst of UPnP property-change events for one home collapses into one
+// accumulated dirty-key set and a single evaluation pass instead of a pass
+// per NOTIFY. Actions fired by a pass are handed to the dispatch worker pool
+// as one batch (engine.WithBatchDispatcher), so slow appliance round-trips
+// overlap instead of serializing under the engine lock. Rule and priority
+// mutations persist through a pluggable Store; a hub restarted over the same
+// store rehydrates every home's users, words, rules and priorities.
+package fleet
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/vocab"
+)
+
+// Errors reported by the fleet.
+var (
+	// ErrClosed marks operations on a hub after Close.
+	ErrClosed = errors.New("fleet: hub closed")
+	// ErrInconsistent marks a rule whose condition can never hold; the hub
+	// refuses it so the user can fix the condition (Sect. 4.4).
+	ErrInconsistent = errors.New("fleet: rule condition can never hold")
+	// ErrUnknownUser marks a submission by a user the home has not registered.
+	ErrUnknownUser = errors.New("fleet: unknown user")
+	// ErrForbidden marks a rule whose owner lacks the privilege for the
+	// target device and action.
+	ErrForbidden = errors.New("fleet: user may not perform this action on this device")
+)
+
+// Dispatcher applies one fired action of one home to the real (or simulated)
+// appliance. The single-home server wires this to UPnP control.
+type Dispatcher func(home string, ref core.DeviceRef, action core.Action) error
+
+// OnFire observes every dispatched action. It runs on the home's shard
+// goroutine; it must not call back into the hub for the same shard.
+type OnFire func(home string, f engine.Fired)
+
+// Authorizer gates rule submission: it reports whether owner may register a
+// rule performing verb on the device. nil allows everything.
+type Authorizer func(home, owner string, device core.DeviceRef, verb string) bool
+
+// LexiconFactory builds the lexicon for a new home. The default gives every
+// home its own vocab.Default(); a benchmark over many word-less homes can
+// share one lexicon across all of them instead.
+type LexiconFactory func(home string) *vocab.Lexicon
+
+type config struct {
+	shards          int
+	dispatchWorkers int
+	now             func() time.Time
+	eventTTL        time.Duration
+	logLimit        int
+	fullScan        bool
+	intervalFeas    bool
+	dispatch        Dispatcher
+	onFire          OnFire
+	authorize       Authorizer
+	lexicon         LexiconFactory
+	store           Store
+}
+
+// HubOption configures a Hub.
+type HubOption interface{ apply(*config) }
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithShards sets the number of shards (mailbox goroutines). Homes map to
+// shards by hash; more shards mean more evaluation parallelism. Defaults to
+// the number of CPUs.
+func WithShards(n int) HubOption {
+	return optionFunc(func(c *config) { c.shards = n })
+}
+
+// WithDispatchWorkers sets the size of the dispatch worker pool shared by all
+// shards. 0 (the default) dispatches inline on the shard goroutine; with
+// workers, a pass's fired batch goes out in parallel.
+func WithDispatchWorkers(n int) HubOption {
+	return optionFunc(func(c *config) { c.dispatchWorkers = n })
+}
+
+// WithClock supplies the time source shared by every home's engine.
+func WithClock(now func() time.Time) HubOption {
+	return optionFunc(func(c *config) { c.now = now })
+}
+
+// WithEventTTL sets how long arrival events stay part of a home's context.
+func WithEventTTL(ttl time.Duration) HubOption {
+	return optionFunc(func(c *config) { c.eventTTL = ttl })
+}
+
+// WithLogLimit caps each home's fired-action log (engine.WithLogLimit).
+// 0, the default, keeps everything — set a cap for long-lived fleets.
+func WithLogLimit(n int) HubOption {
+	return optionFunc(func(c *config) { c.logLimit = n })
+}
+
+// WithFullScan puts every home's engine in full-scan (oracle) mode.
+func WithFullScan() HubOption {
+	return optionFunc(func(c *config) { c.fullScan = true })
+}
+
+// WithIntervalFeasibility switches the consistency/conflict checker to
+// interval propagation instead of the simplex method.
+func WithIntervalFeasibility() HubOption {
+	return optionFunc(func(c *config) { c.intervalFeas = true })
+}
+
+// WithDispatcher installs the action dispatcher.
+func WithDispatcher(d Dispatcher) HubOption {
+	return optionFunc(func(c *config) { c.dispatch = d })
+}
+
+// WithOnFire installs a fired-action observer.
+func WithOnFire(fn OnFire) HubOption {
+	return optionFunc(func(c *config) { c.onFire = fn })
+}
+
+// WithAuthorizer installs the rule-submission privilege check.
+func WithAuthorizer(a Authorizer) HubOption {
+	return optionFunc(func(c *config) { c.authorize = a })
+}
+
+// WithLexiconFactory overrides how a new home's lexicon is built.
+func WithLexiconFactory(f LexiconFactory) HubOption {
+	return optionFunc(func(c *config) { c.lexicon = f })
+}
+
+// WithStore attaches a persistence store. NewHub replays it to rehydrate
+// every home, then appends every later mutation. The hub takes ownership and
+// closes the store on Close.
+func WithStore(s Store) HubOption {
+	return optionFunc(func(c *config) { c.store = s })
+}
+
+// Result reports the outcome of submitting one CADEL command to a home.
+type Result struct {
+	// Rule is the registered rule object; nil for word definitions.
+	Rule *core.Rule
+	// DefinedWord is the new word for CondDef/ConfDef commands; WordKind
+	// and WordSource carry what the word stands for (used by persistence).
+	DefinedWord string
+	WordKind    vocab.Kind
+	WordSource  string
+	// Conflicts lists existing rules the new rule can conflict with. The rule
+	// is registered regardless; the caller should present the list and record
+	// a priority order (Fig. 7).
+	Conflicts []Conflict
+}

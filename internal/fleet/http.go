@@ -1,0 +1,310 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/registry"
+	"repro/internal/vocab"
+)
+
+// HTTPHandler exposes a hub's ingestion and management operations as a JSON
+// API — the fleet-scale counterpart of the single-home interface-device API:
+//
+//	POST   /fleet/homes/{home}/users     {"name","favorites"}     register a user
+//	GET    /fleet/homes/{home}/users                              list users
+//	POST   /fleet/homes/{home}/rules     {"source","owner"}       submit a CADEL command
+//	GET    /fleet/homes/{home}/rules                              list rules
+//	DELETE /fleet/homes/{home}/rules/{id}                         remove a rule
+//	POST   /fleet/homes/{home}/events    {"deviceType","name",    ingest a device event
+//	                                      "location","vars"}      (async, 202)
+//	POST   /fleet/homes/{home}/priority  {"device","users",       set a priority order
+//	                                      "context"}
+//	GET    /fleet/homes/{home}/log                                fired actions of the home
+//	GET    /fleet/homes                                           list home ids
+//	GET    /fleet/stats                                           hub counters
+//	POST   /fleet/compact                                         snapshot + truncate store
+type HTTPHandler struct {
+	hub *Hub
+	mux *http.ServeMux
+}
+
+// NewHTTPHandler builds the fleet API for a hub.
+func NewHTTPHandler(hub *Hub) *HTTPHandler {
+	h := &HTTPHandler{hub: hub, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /fleet/homes/{home}/users", h.postUsers)
+	h.mux.HandleFunc("GET /fleet/homes/{home}/users", h.getUsers)
+	h.mux.HandleFunc("POST /fleet/homes/{home}/rules", h.postRules)
+	h.mux.HandleFunc("GET /fleet/homes/{home}/rules", h.getRules)
+	h.mux.HandleFunc("DELETE /fleet/homes/{home}/rules/{id}", h.deleteRule)
+	h.mux.HandleFunc("POST /fleet/homes/{home}/events", h.postEvents)
+	h.mux.HandleFunc("POST /fleet/homes/{home}/priority", h.postPriority)
+	h.mux.HandleFunc("GET /fleet/homes/{home}/log", h.getLog)
+	h.mux.HandleFunc("GET /fleet/homes", h.getHomes)
+	h.mux.HandleFunc("GET /fleet/stats", h.getStats)
+	h.mux.HandleFunc("POST /fleet/compact", h.postCompact)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownUser):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrForbidden):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrInconsistent):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, lang.ErrParse), errors.Is(err, core.ErrCompile):
+		status = http.StatusBadRequest
+	case errors.Is(err, vocab.ErrDuplicate):
+		status = http.StatusConflict
+	case errors.Is(err, registry.ErrNotFound):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return false
+	}
+	return true
+}
+
+// ---- users ----
+
+type userRequest struct {
+	Name      string   `json:"name"`
+	Favorites []string `json:"favorites,omitempty"`
+}
+
+func (h *HTTPHandler) postUsers(w http.ResponseWriter, r *http.Request) {
+	var req userRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if vocab.Normalize(req.Name) == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "fleet: empty user name"})
+		return
+	}
+	if err := h.hub.RegisterUser(r.PathValue("home"), req.Name, req.Favorites...); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, req.Name)
+}
+
+func (h *HTTPHandler) getUsers(w http.ResponseWriter, r *http.Request) {
+	users, err := h.hub.Users(r.PathValue("home"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, users)
+}
+
+// ---- rules ----
+
+type ruleRequest struct {
+	Source string `json:"source"`
+	Owner  string `json:"owner"`
+}
+
+type ruleBody struct {
+	ID     string `json:"id"`
+	Owner  string `json:"owner"`
+	Device string `json:"device"`
+	Action string `json:"action"`
+	Cond   string `json:"cond"`
+	Source string `json:"source"`
+}
+
+type submitBody struct {
+	Rule        *ruleBody  `json:"rule,omitempty"`
+	DefinedWord string     `json:"definedWord,omitempty"`
+	Conflicts   []ruleBody `json:"conflicts,omitempty"`
+}
+
+func toRuleBody(r *core.Rule) ruleBody {
+	return ruleBody{
+		ID:     r.ID,
+		Owner:  r.Owner,
+		Device: r.Device.Key(),
+		Action: r.Action.String(),
+		Cond:   r.Cond.String(),
+		Source: r.Source,
+	}
+}
+
+func (h *HTTPHandler) postRules(w http.ResponseWriter, r *http.Request) {
+	var req ruleRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := h.hub.Submit(r.PathValue("home"), req.Source, req.Owner)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body := submitBody{DefinedWord: res.DefinedWord}
+	if res.Rule != nil {
+		rb := toRuleBody(res.Rule)
+		body.Rule = &rb
+	}
+	for _, c := range res.Conflicts {
+		body.Conflicts = append(body.Conflicts, toRuleBody(c.Existing))
+	}
+	writeJSON(w, http.StatusCreated, body)
+}
+
+func (h *HTTPHandler) getRules(w http.ResponseWriter, r *http.Request) {
+	rules, err := h.hub.Rules(r.PathValue("home"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]ruleBody, 0, len(rules))
+	for _, rule := range rules {
+		out = append(out, toRuleBody(rule))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *HTTPHandler) deleteRule(w http.ResponseWriter, r *http.Request) {
+	if err := h.hub.RemoveRule(r.PathValue("home"), r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- events ----
+
+type eventRequest struct {
+	DeviceType string            `json:"deviceType"`
+	Name       string            `json:"name"`
+	Location   string            `json:"location,omitempty"`
+	Vars       map[string]string `json:"vars"`
+	// Sync makes the call wait until the home has evaluated the event.
+	Sync bool `json:"sync,omitempty"`
+}
+
+func (h *HTTPHandler) postEvents(w http.ResponseWriter, r *http.Request) {
+	var req eventRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	home := r.PathValue("home")
+	var err error
+	if req.Sync {
+		err = h.hub.PostEventSync(home, req.DeviceType, req.Name, req.Location, req.Vars)
+	} else {
+		err = h.hub.PostEvent(home, req.DeviceType, req.Name, req.Location, req.Vars)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// ---- priorities ----
+
+type priorityRequest struct {
+	Device  core.DeviceRef `json:"device"`
+	Users   []string       `json:"users"`
+	Context string         `json:"context,omitempty"`
+}
+
+func (h *HTTPHandler) postPriority(w http.ResponseWriter, r *http.Request) {
+	var req priorityRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := h.hub.SetPriority(r.PathValue("home"), req.Device, req.Users, req.Context); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- log, homes, stats ----
+
+type firedBody struct {
+	Time   string `json:"time"`
+	Rule   string `json:"rule"`
+	Device string `json:"device"`
+	Action string `json:"action"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (h *HTTPHandler) getLog(w http.ResponseWriter, r *http.Request) {
+	log, err := h.hub.Log(r.PathValue("home"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]firedBody, 0, len(log))
+	for _, f := range log {
+		fb := firedBody{
+			Time:   f.Time.Format(time.RFC3339),
+			Rule:   f.Rule.ID,
+			Device: f.Rule.Device.Key(),
+			Action: f.Rule.Action.String(),
+		}
+		if f.Err != nil {
+			fb.Error = f.Err.Error()
+		}
+		out = append(out, fb)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *HTTPHandler) getHomes(w http.ResponseWriter, _ *http.Request) {
+	homes, err := h.hub.Homes()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, homes)
+}
+
+func (h *HTTPHandler) getStats(w http.ResponseWriter, _ *http.Request) {
+	st, err := h.hub.Stats()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *HTTPHandler) postCompact(w http.ResponseWriter, _ *http.Request) {
+	if err := h.hub.Compact(); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,782 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/vocab"
+)
+
+// task is one unit of shard work: either a coalescable device event, a
+// per-home operation, or a shard-level operation.
+type task struct {
+	home    string
+	event   *eventMsg    // coalescable ingestion
+	fn      func(*Home)  // per-home operation; receives nil if the home does not exist and create is unset
+	shardFn func(*shard) // shard-level operation (stats, barriers)
+	create  bool         // materialize the home on first touch (mutations, ingestion)
+	done    chan struct{}
+}
+
+// mailbox is an unbounded MPSC queue. Unboundedness is deliberate: a dispatch
+// callback may feed events back into the hub (an actuated appliance notifies
+// its own property change), and a bounded channel would deadlock the shard
+// against its own downstream. Production backpressure belongs at the
+// transport in front of PostEvent, not here.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a task; it reports false when the mailbox is closed.
+func (m *mailbox) put(t task) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, t)
+	if len(m.queue) == 1 {
+		m.cond.Signal()
+	}
+	return true
+}
+
+// drainInto blocks until work arrives, then hands over the ENTIRE backlog in
+// one swap — this is what turns an event flood into one coalesced batch. buf
+// is the consumer's recycled slice. ok is false once closed and empty.
+func (m *mailbox) drainInto(buf []task) (batch []task, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 {
+		if m.closed {
+			return nil, false
+		}
+		m.cond.Wait()
+	}
+	batch = m.queue
+	m.queue = buf[:0]
+	return batch, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// shard owns a partition of the hub's homes. All state below is touched only
+// by the shard's goroutine (and by replay, before that goroutine starts).
+type shard struct {
+	hub     *Hub
+	mb      *mailbox
+	homes   map[string]*Home
+	pending map[string]*Home // homes with ingested-but-unevaluated events
+	spare   []task           // recycled drain buffer
+	events  uint64           // device events ingested
+}
+
+func (s *shard) run() {
+	defer s.hub.wg.Done()
+	for {
+		batch, ok := s.mb.drainInto(s.spare)
+		if !ok {
+			s.flush()
+			return
+		}
+		for i := range batch {
+			s.exec(batch[i])
+			batch[i] = task{} // drop references for the recycled buffer
+		}
+		s.flush()
+		s.spare = batch
+	}
+}
+
+func (s *shard) exec(t task) {
+	if t.shardFn != nil {
+		s.flush()
+		t.shardFn(s)
+		if t.done != nil {
+			close(t.done)
+		}
+		return
+	}
+	// Reads on a home that was never written leave hm nil: a probe of an
+	// unknown home id must not grow the shard's home map.
+	hm := s.homes[t.home]
+	if hm == nil && t.create {
+		hm = s.home(t.home)
+	}
+	if t.event != nil {
+		hm.ApplyEvent(t.event)
+		s.pending[t.home] = hm
+		s.events++
+		if t.done != nil { // synchronous event: evaluate before acking
+			s.flush()
+			close(t.done)
+		}
+		return
+	}
+	// Operations observe fully evaluated state and run in arrival order
+	// relative to the events around them.
+	s.flush()
+	t.fn(hm)
+	if t.done != nil {
+		close(t.done)
+	}
+}
+
+// flush evaluates every home with pending ingested events: one engine pass
+// per home regardless of how many events the backlog held for it.
+func (s *shard) flush() {
+	for id, hm := range s.pending {
+		delete(s.pending, id)
+		hm.Flush()
+	}
+}
+
+// home returns the shard's home, creating it on first touch.
+func (s *shard) home(id string) *Home {
+	hm, ok := s.homes[id]
+	if !ok {
+		hm = newHome(id, &s.hub.cfg, s.hub.batchDispatcherFor(id))
+		s.homes[id] = hm
+	}
+	return hm
+}
+
+// dispatchJob is one fired action being applied by the worker pool.
+type dispatchJob struct {
+	home  string
+	batch []engine.Fired
+	i     int
+	wg    *sync.WaitGroup
+}
+
+// Hub is the sharded multi-home engine.
+type Hub struct {
+	cfg    config
+	store  Store
+	shards []*shard
+	jobs   chan dispatchJob
+	wg     sync.WaitGroup
+	poolWG sync.WaitGroup
+
+	mu        sync.RWMutex // guards closed against in-flight sends
+	closed    bool
+	compactMu sync.Mutex // serializes Compact's stop-the-world pause
+
+	events atomic.Uint64 // events accepted by PostEvent[Sync]
+}
+
+// NewHub builds and starts a hub. With a store attached, every home recorded
+// there is rehydrated — users, words, rules, priorities — before the shards
+// start serving.
+func NewHub(opts ...HubOption) (*Hub, error) {
+	cfg := config{
+		shards:   runtime.GOMAXPROCS(0),
+		now:      time.Now,
+		eventTTL: 4 * time.Hour,
+		lexicon:  func(string) *vocab.Lexicon { return vocab.Default() },
+	}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.shards < 1 {
+		cfg.shards = 1
+	}
+	h := &Hub{cfg: cfg, store: cfg.store}
+	for i := 0; i < cfg.shards; i++ {
+		h.shards = append(h.shards, &shard{
+			hub:     h,
+			mb:      newMailbox(),
+			homes:   make(map[string]*Home),
+			pending: make(map[string]*Home),
+		})
+	}
+	if cfg.dispatchWorkers > 0 {
+		h.jobs = make(chan dispatchJob, cfg.dispatchWorkers)
+		h.poolWG.Add(cfg.dispatchWorkers)
+		for i := 0; i < cfg.dispatchWorkers; i++ {
+			go h.dispatchWorker()
+		}
+	}
+	if h.store != nil {
+		if err := h.replay(); err != nil {
+			h.stopPool()
+			_ = h.store.Close() // the hub owns the store from WithStore on
+			return nil, err
+		}
+	}
+	h.wg.Add(len(h.shards))
+	for _, s := range h.shards {
+		go s.run()
+	}
+	return h, nil
+}
+
+// replay rehydrates every home from the store. It runs before the shard
+// goroutines start, so it touches shard state directly.
+func (h *Hub) replay() error {
+	return h.store.Replay(func(rec Record) error {
+		if rec.Home == "" {
+			return errors.New("fleet: record without home")
+		}
+		hm := h.shardFor(rec.Home).home(rec.Home)
+		if err := hm.applyRecord(rec); err != nil {
+			return fmt.Errorf("fleet: replay home %q: %w", rec.Home, err)
+		}
+		return nil
+	})
+}
+
+func (h *Hub) shardFor(home string) *shard {
+	// Inline FNV-1a: hash/fnv's interface value would allocate on every
+	// event in the ingestion hot path.
+	hash := uint32(2166136261)
+	for i := 0; i < len(home); i++ {
+		hash ^= uint32(home[i])
+		hash *= 16777619
+	}
+	return h.shards[hash%uint32(len(h.shards))]
+}
+
+// batchDispatcherFor wires one home's engine to the hub's dispatch path: the
+// whole fired batch of one pass goes out together — through the worker pool
+// when one is configured, inline otherwise — and Err lands back in each entry
+// before the engine logs the batch.
+func (h *Hub) batchDispatcherFor(home string) engine.BatchDispatcher {
+	return func(batch []engine.Fired) {
+		disp := h.cfg.dispatch
+		if disp == nil {
+			return
+		}
+		if h.jobs == nil || len(batch) == 1 {
+			for i := range batch {
+				batch[i].Err = disp(home, batch[i].Rule.Device, batch[i].Rule.Action)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(batch))
+		for i := range batch {
+			h.jobs <- dispatchJob{home: home, batch: batch, i: i, wg: &wg}
+		}
+		wg.Wait()
+	}
+}
+
+func (h *Hub) dispatchWorker() {
+	defer h.poolWG.Done()
+	for j := range h.jobs {
+		j.batch[j.i].Err = h.cfg.dispatch(j.home, j.batch[j.i].Rule.Device, j.batch[j.i].Rule.Action)
+		j.wg.Done()
+	}
+}
+
+func (h *Hub) stopPool() {
+	if h.jobs != nil {
+		close(h.jobs)
+		h.poolWG.Wait()
+	}
+}
+
+// Close drains and stops every shard, then the dispatch pool, then the store.
+// Operations already enqueued still complete; later ones fail with ErrClosed.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	for _, s := range h.shards {
+		s.mb.close()
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+	h.stopPool()
+	if h.store != nil {
+		return h.store.Close()
+	}
+	return nil
+}
+
+// send enqueues a task for the home's shard under the closed-check lock.
+func (h *Hub) send(home string, t task) error {
+	if home == "" {
+		return errors.New("fleet: empty home id")
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.closed || !h.shardFor(home).mb.put(t) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// do runs fn on the home's shard goroutine and waits for it; fn receives nil
+// when the home does not exist (reads must not materialize homes). Calling
+// do from code already running on that shard (an OnFire observer, a
+// dispatcher) would deadlock — observers get everything they need as
+// arguments instead.
+func (h *Hub) do(home string, fn func(*Home) error) error {
+	return h.exec(home, false, fn)
+}
+
+// doCreate is do for mutations: the home is materialized on first touch.
+func (h *Hub) doCreate(home string, fn func(*Home) error) error {
+	return h.exec(home, true, fn)
+}
+
+func (h *Hub) exec(home string, create bool, fn func(*Home) error) error {
+	var err error
+	done := make(chan struct{})
+	if sendErr := h.send(home, task{
+		home:   home,
+		create: create,
+		fn:     func(hm *Home) { err = fn(hm) },
+		done:   done,
+	}); sendErr != nil {
+		return sendErr
+	}
+	<-done
+	return err
+}
+
+// barrier runs fn synchronously on every shard, one after another.
+func (h *Hub) barrier(fn func(*shard)) error {
+	for _, s := range h.shards {
+		done := make(chan struct{})
+		h.mu.RLock()
+		ok := !h.closed && s.mb.put(task{shardFn: fn, done: done})
+		h.mu.RUnlock()
+		if !ok {
+			return ErrClosed
+		}
+		<-done
+	}
+	return nil
+}
+
+// Quiesce blocks until every event enqueued before the call has been
+// ingested and evaluated. Benchmarks and tests use it as a drain barrier.
+func (h *Hub) Quiesce() error { return h.barrier(func(*shard) {}) }
+
+// NumShards returns the hub's shard count.
+func (h *Hub) NumShards() int { return len(h.shards) }
+
+// ---- per-home operations ----
+// Every operation runs on the home's shard goroutine, serialized with the
+// home's event stream: an operation observes all events enqueued before it.
+// Mutations materialize the home on first touch and, when a store append
+// fails, roll themselves back so memory never outlives what a restart would
+// rehydrate. Reads on a home that was never written return empty results
+// without creating anything (probing ids must not grow the fleet).
+
+// RegisterUser adds a user to a home, creating the home on first touch.
+func (h *Hub) RegisterUser(home, name string, favorites ...string) error {
+	return h.doCreate(home, func(hm *Home) error {
+		if err := hm.RegisterUser(name, favorites...); err != nil {
+			return err
+		}
+		if err := h.append(Record{Home: home, Kind: RecordUser, User: vocab.Normalize(name), Favorites: favorites}); err != nil {
+			hm.rollbackUser(name)
+			return err
+		}
+		return nil
+	})
+}
+
+// Users returns a home's registered users.
+func (h *Hub) Users(home string) ([]string, error) {
+	var out []string
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.Users()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SetFavorites replaces a user's favourite keywords.
+func (h *Hub) SetFavorites(home, user string, keywords []string) error {
+	return h.doCreate(home, func(hm *Home) error {
+		old, had := hm.favorites[vocab.Normalize(user)]
+		hm.SetFavorites(user, keywords)
+		if err := h.append(Record{Home: home, Kind: RecordFavorites, User: vocab.Normalize(user), Favorites: keywords}); err != nil {
+			if had {
+				hm.SetFavorites(user, old)
+			} else {
+				delete(hm.favorites, vocab.Normalize(user))
+				hm.engine.SetFavorites(vocab.Normalize(user), nil)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// Submit parses and registers one CADEL command for a home (see Home.Submit).
+func (h *Hub) Submit(home, source, owner string) (*Result, error) {
+	var res *Result
+	err := h.doCreate(home, func(hm *Home) error {
+		var err error
+		res, err = hm.Submit(source, owner)
+		if err != nil {
+			return err
+		}
+		var rec Record
+		var undo func()
+		switch {
+		case res.Rule != nil:
+			rec = Record{Home: home, Kind: RecordRule,
+				ID: res.Rule.ID, Owner: res.Rule.Owner, Source: res.Rule.Source}
+			undo = func() { hm.rollbackRule(res.Rule.ID) }
+		case res.WordKind == vocab.KindCondWord:
+			rec = Record{Home: home, Kind: RecordCondWord,
+				Word: res.DefinedWord, Owner: vocab.Normalize(owner), Source: res.WordSource}
+			undo = func() { hm.rollbackWord(vocab.KindCondWord, res.DefinedWord) }
+		case res.WordKind == vocab.KindConfWord:
+			rec = Record{Home: home, Kind: RecordConfWord,
+				Word: res.DefinedWord, Owner: vocab.Normalize(owner), Source: res.WordSource}
+			undo = func() { hm.rollbackWord(vocab.KindConfWord, res.DefinedWord) }
+		default:
+			return nil
+		}
+		if err := h.append(rec); err != nil {
+			undo()
+			res = nil
+			return err
+		}
+		return nil
+	})
+	return res, err
+}
+
+// RemoveRule deletes a home's rule by id.
+func (h *Hub) RemoveRule(home, id string) error {
+	return h.do(home, func(hm *Home) error {
+		if hm == nil {
+			return fmt.Errorf("%w: %q", registry.ErrNotFound, id)
+		}
+		removed, _ := hm.db.Get(id)
+		if err := hm.RemoveRule(id); err != nil {
+			return err
+		}
+		if err := h.append(Record{Home: home, Kind: RecordRemove, ID: id}); err != nil {
+			if removed != nil {
+				_ = hm.restoreRule(removed.ID, removed.Owner, removed.Source)
+			}
+			return err
+		}
+		return nil
+	})
+}
+
+// Rules returns a home's rules in registration order.
+func (h *Hub) Rules(home string) ([]*core.Rule, error) {
+	var out []*core.Rule
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.Rules()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// RulesByOwner returns one user's rules in a home.
+func (h *Hub) RulesByOwner(home, owner string) ([]*core.Rule, error) {
+	var out []*core.Rule
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.RulesByOwner(owner)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// ExportRules serializes a home's rule database.
+func (h *Hub) ExportRules(home string) ([]byte, error) {
+	var out []byte
+	err := h.do(home, func(hm *Home) error {
+		if hm == nil {
+			var err error
+			out, err = registry.New().Export()
+			return err
+		}
+		var err error
+		out, err = hm.ExportRules()
+		return err
+	})
+	return out, err
+}
+
+// ImportRules loads rules exported by ExportRules into a home. Rules whose
+// store append fails are rolled back, so the reported count matches what a
+// restart would rehydrate.
+func (h *Hub) ImportRules(home string, data []byte) (int, error) {
+	var n int
+	err := h.doCreate(home, func(hm *Home) error {
+		var recs []registry.Record
+		var err error
+		n, recs, err = hm.ImportRules(data)
+		for _, r := range recs {
+			if aerr := h.append(Record{Home: home, Kind: RecordRule, ID: r.ID, Owner: r.Owner, Source: r.Source}); aerr != nil {
+				hm.rollbackRule(r.ID)
+				n--
+				if err == nil {
+					err = aerr
+				}
+			}
+		}
+		return err
+	})
+	return n, err
+}
+
+// SetPriority records a priority order for a device in a home. A failed
+// store append is reported but not rolled back (the previous order is
+// overwritten in place); the caller should retry.
+func (h *Hub) SetPriority(home string, ref core.DeviceRef, users []string, contextSource string) error {
+	return h.doCreate(home, func(hm *Home) error {
+		if err := hm.SetPriority(ref, users, contextSource); err != nil {
+			return err
+		}
+		dev := ref
+		return h.append(Record{
+			Home: home, Kind: RecordPriority,
+			Device: &dev, Users: users, Context: contextSource,
+		})
+	})
+}
+
+// PriorityOrders returns the orders applying to a device in a home.
+func (h *Hub) PriorityOrders(home string, ref core.DeviceRef) ([]conflict.Order, error) {
+	var out []conflict.Order
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.PriorityOrders(ref)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// PostEvent asynchronously ingests a device event for a home. Events of one
+// home are applied in posting order; a backlog coalesces into a single
+// evaluation pass. The hub takes ownership of vars.
+func (h *Hub) PostEvent(home, deviceType, friendlyName, location string, vars map[string]string) error {
+	err := h.send(home, task{home: home, create: true, event: &eventMsg{
+		deviceType: deviceType, friendlyName: friendlyName, location: location, vars: vars,
+	}})
+	if err == nil {
+		h.events.Add(1)
+	}
+	return err
+}
+
+// PostEventSync ingests a device event and waits until the home has
+// evaluated it.
+func (h *Hub) PostEventSync(home, deviceType, friendlyName, location string, vars map[string]string) error {
+	done := make(chan struct{})
+	err := h.send(home, task{home: home, create: true, event: &eventMsg{
+		deviceType: deviceType, friendlyName: friendlyName, location: location, vars: vars,
+	}, done: done})
+	if err != nil {
+		return err
+	}
+	h.events.Add(1)
+	<-done
+	return nil
+}
+
+// Tick re-evaluates a home at the current clock time (after advancing a
+// simulation clock). A no-op for homes that do not exist yet.
+func (h *Hub) Tick(home string) error {
+	return h.do(home, func(hm *Home) error {
+		if hm != nil {
+			hm.Tick()
+		}
+		return nil
+	})
+}
+
+// Log returns a home's fired-action log.
+func (h *Hub) Log(home string) ([]engine.Fired, error) {
+	var out []engine.Fired
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.Log()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Context returns a copy of a home's current context.
+func (h *Hub) Context(home string) (*core.Context, error) {
+	var out *core.Context
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.Context()
+		} else {
+			out = core.NewContext(h.cfg.now())
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Owners returns a home's device → owning-rule-ID map.
+func (h *Hub) Owners(home string) (map[string]string, error) {
+	out := map[string]string{}
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.Owners()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Passes returns how many evaluation passes a home's engine has run.
+func (h *Hub) Passes(home string) (uint64, error) {
+	var out uint64
+	err := h.do(home, func(hm *Home) error {
+		if hm != nil {
+			out = hm.Passes()
+		}
+		return nil
+	})
+	return out, err
+}
+
+func (h *Hub) append(rec Record) error {
+	if h.store == nil {
+		return nil
+	}
+	return h.store.Append(rec)
+}
+
+// ---- fleet-wide operations ----
+
+// Homes returns every home id across all shards, sorted.
+func (h *Hub) Homes() ([]string, error) {
+	var out []string
+	err := h.barrier(func(s *shard) {
+		for id := range s.homes {
+			out = append(out, id)
+		}
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// Stats aggregates the hub's ingestion and evaluation counters.
+type Stats struct {
+	Shards int    `json:"shards"`
+	Homes  int    `json:"homes"`
+	Events uint64 `json:"events"` // device events accepted
+	Passes uint64 `json:"passes"` // engine evaluation passes across homes
+	// Batches counts evaluation passes that fired at least one action (each
+	// pass's fired set leaves the engine as one dispatch batch) — NOT the
+	// number of individual fired actions; read a home's Log for those.
+	Batches uint64 `json:"dispatch_batches"`
+	Rules   int    `json:"rules"`  // registered rules across homes
+	Queued  int    `json:"queued"` // tasks waiting in mailboxes right now
+}
+
+// Stats returns a consistent-enough snapshot of the hub's counters. The
+// events/passes ratio is the ingestion coalescing factor.
+func (h *Hub) Stats() (Stats, error) {
+	st := Stats{Shards: len(h.shards), Events: h.events.Load()}
+	for _, s := range h.shards {
+		s.mb.mu.Lock()
+		st.Queued += len(s.mb.queue)
+		s.mb.mu.Unlock()
+	}
+	err := h.barrier(func(s *shard) {
+		st.Homes += len(s.homes)
+		for _, hm := range s.homes {
+			st.Passes += hm.engine.Passes()
+			st.Batches += hm.engine.DispatchBatches()
+			st.Rules += hm.db.Len()
+		}
+	})
+	return st, err
+}
+
+// Compact writes a snapshot of every home's durable state to the store and
+// truncates its log. Every shard is held at the snapshot point until the
+// truncation completes — otherwise a mutation appended by an
+// already-released shard would land in the WAL only to be truncated away,
+// lost to the next restart. No-op without a store.
+func (h *Hub) Compact() error {
+	if h.store == nil {
+		return nil
+	}
+	// Only one compactor may pause the shards at a time: two interleaved
+	// pause-task enqueues could order differently on different shards, each
+	// compactor then waiting on a shard paused for the other — a permanent
+	// fleet-wide deadlock.
+	h.compactMu.Lock()
+	defer h.compactMu.Unlock()
+	var (
+		mu      sync.Mutex
+		recs    []Record
+		arrived sync.WaitGroup
+		release = make(chan struct{})
+	)
+	h.mu.RLock()
+	if h.closed {
+		h.mu.RUnlock()
+		return ErrClosed
+	}
+	// Under the read lock Close cannot run, so every put succeeds and every
+	// shard is guaranteed to reach the pause point.
+	arrived.Add(len(h.shards))
+	for _, s := range h.shards {
+		s.mb.put(task{shardFn: func(sh *shard) {
+			ids := make([]string, 0, len(sh.homes))
+			for id := range sh.homes {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			mu.Lock()
+			for _, id := range ids {
+				recs = append(recs, sh.homes[id].snapshotRecords()...)
+			}
+			mu.Unlock()
+			arrived.Done()
+			<-release
+		}})
+	}
+	h.mu.RUnlock()
+	arrived.Wait()
+	err := h.store.WriteSnapshot(recs)
+	close(release)
+	return err
+}

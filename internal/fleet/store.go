@@ -1,0 +1,361 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// RecordKind tags one persisted mutation.
+type RecordKind string
+
+// Record kinds. Replay order within a home follows append order; snapshots
+// emit users, then words, then rules, then priorities, so every record's
+// dependencies precede it.
+const (
+	RecordUser      RecordKind = "user"
+	RecordFavorites RecordKind = "favorites"
+	RecordCondWord  RecordKind = "cond-word"
+	RecordConfWord  RecordKind = "conf-word"
+	RecordRule      RecordKind = "rule"
+	RecordRemove    RecordKind = "rule-remove"
+	RecordPriority  RecordKind = "priority"
+	// recordMeta is FileStore-internal: the snapshot's first line, carrying
+	// the WAL epoch the snapshot supersedes. Never surfaced through Replay.
+	recordMeta RecordKind = "meta"
+)
+
+// Record is one persisted mutation of one home's durable state. Rules and
+// words serialize as their CADEL source and are recompiled on replay, so a
+// store file is human-readable CADEL wrapped in JSON lines — the fleet-scale
+// descendant of the paper's "CADEL DB" file.
+type Record struct {
+	Home string     `json:"home"`
+	Kind RecordKind `json:"kind"`
+
+	User      string   `json:"user,omitempty"`      // user, favorites
+	Favorites []string `json:"favorites,omitempty"` // user, favorites
+
+	Word   string `json:"word,omitempty"`   // cond-word, conf-word
+	Owner  string `json:"owner,omitempty"`  // cond-word, conf-word, rule
+	Source string `json:"source,omitempty"` // cond-word, conf-word, rule
+
+	ID string `json:"id,omitempty"` // rule, rule-remove
+
+	Device  *core.DeviceRef `json:"device,omitempty"`  // priority
+	Users   []string        `json:"users,omitempty"`   // priority
+	Context string          `json:"context,omitempty"` // priority
+
+	Epoch uint64 `json:"epoch,omitempty"` // meta (FileStore-internal)
+}
+
+// Store persists the durable state of every home in a hub. Implementations
+// must be safe for concurrent Append calls (shards append independently).
+type Store interface {
+	// Append durably adds one mutation to the log.
+	Append(rec Record) error
+	// Replay streams every live record — the last snapshot's records followed
+	// by the log appended since — in order. It stops at the first error.
+	Replay(fn func(rec Record) error) error
+	// WriteSnapshot atomically replaces the snapshot with recs and truncates
+	// the log: a subsequent Replay yields exactly recs.
+	WriteSnapshot(recs []Record) error
+	// Close releases the store's resources.
+	Close() error
+}
+
+// ---- in-memory store ----
+
+// MemStore is the in-memory Store: a mutex-guarded record slice. It backs
+// tests and hubs that do not need durability.
+type MemStore struct {
+	mu       sync.Mutex
+	snapshot []Record
+	log      []Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Append implements Store.
+func (m *MemStore) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.log = append(m.log, rec)
+	return nil
+}
+
+// Replay implements Store.
+func (m *MemStore) Replay(fn func(Record) error) error {
+	m.mu.Lock()
+	recs := append(append([]Record(nil), m.snapshot...), m.log...)
+	m.mu.Unlock()
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot implements Store.
+func (m *MemStore) WriteSnapshot(recs []Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshot = append([]Record(nil), recs...)
+	m.log = m.log[:0]
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// ---- append-only JSON-lines file store ----
+
+const snapshotFile = "snapshot.jsonl"
+
+func walName(epoch uint64) string { return fmt.Sprintf("wal-%d.jsonl", epoch) }
+
+// FileStore is the durable Store: an append-only JSON-lines write-ahead log
+// plus a compacted snapshot in one directory, stdlib only. Appends go to the
+// epoch's log (wal-<N>.jsonl); WriteSnapshot writes a new snapshot naming
+// epoch N+1 (write-temp + fsync + rename) and switches appends to the new
+// epoch's log, so replay cost stays proportional to live state, not history.
+//
+// Crash consistency hinges on the epoch in the snapshot's first line: replay
+// reads the snapshot, then ONLY the WAL of the epoch it names. A crash
+// anywhere inside WriteSnapshot leaves either the old snapshot + old WAL
+// (rename never landed) or the new snapshot + the new, empty WAL — never a
+// snapshot paired with a WAL whose records it already contains.
+//
+// Appends are buffered by the OS; the store does not fsync per record (a
+// crash can cost the torn tail of the log — see Replay). A remote KV backend
+// with real durability guarantees is a ROADMAP follow-up.
+type FileStore struct {
+	mu    sync.Mutex
+	dir   string
+	epoch uint64
+	wal   *os.File
+	enc   *json.Encoder
+}
+
+// OpenFileStore opens (creating if needed) a file store in dir.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: open store: %w", err)
+	}
+	s := &FileStore{dir: dir}
+	var err error
+	if s.epoch, err = snapshotEpoch(filepath.Join(dir, snapshotFile)); err != nil {
+		return nil, err
+	}
+	s.wal, err = os.OpenFile(filepath.Join(dir, walName(s.epoch)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open store: %w", err)
+	}
+	s.enc = json.NewEncoder(s.wal)
+	s.removeStaleWALs()
+	return s, nil
+}
+
+// snapshotEpoch reads the WAL epoch named by the snapshot's meta line;
+// a missing snapshot means epoch 0.
+func snapshotEpoch(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("fleet: open store: %w", err)
+	}
+	defer f.Close()
+	var meta Record
+	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&meta); err != nil {
+		return 0, fmt.Errorf("fleet: open store: %s: %w", filepath.Base(path), err)
+	}
+	if meta.Kind != recordMeta {
+		return 0, fmt.Errorf("fleet: open store: %s does not start with a meta record", filepath.Base(path))
+	}
+	return meta.Epoch, nil
+}
+
+// removeStaleWALs deletes WAL files from other epochs: either superseded by
+// a snapshot or created by a WriteSnapshot whose rename never landed.
+func (s *FileStore) removeStaleWALs() {
+	matches, _ := filepath.Glob(filepath.Join(s.dir, "wal-*.jsonl"))
+	keep := walName(s.epoch)
+	for _, m := range matches {
+		if filepath.Base(m) != keep {
+			_ = os.Remove(m)
+		}
+	}
+}
+
+// Append implements Store.
+func (s *FileStore) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrClosed
+	}
+	return s.enc.Encode(rec)
+}
+
+// Replay implements Store. The snapshot is written atomically and must parse
+// completely; the WAL may end in a torn record (the store does not fsync per
+// append, so a crash can cut the final line short) — the torn tail is
+// skipped, losing at most that one record, instead of bricking the restart.
+func (s *FileStore) Replay(fn func(Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	skipMeta := func(rec Record) error {
+		if rec.Kind == recordMeta {
+			return nil
+		}
+		return fn(rec)
+	}
+	if err := replayFile(filepath.Join(s.dir, snapshotFile), skipMeta, false); err != nil {
+		return err
+	}
+	return replayFile(filepath.Join(s.dir, walName(s.epoch)), skipMeta, true)
+}
+
+func replayFile(path string, fn func(Record) error, tolerateTornTail bool) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: replay: %w", err)
+	}
+	defer f.Close()
+	// json.Encoder writes exactly one newline-terminated record per Append,
+	// so the file parses line by line; only the final line can be torn.
+	r := bufio.NewReader(f)
+	for {
+		line, readErr := r.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if tolerateTornTail && readErr == io.EOF {
+					return nil // torn trailing record from a crash mid-append
+				}
+				return fmt.Errorf("fleet: replay %s: %w", filepath.Base(path), err)
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		if readErr == io.EOF {
+			return nil
+		}
+		if readErr != nil {
+			return fmt.Errorf("fleet: replay %s: %w", filepath.Base(path), readErr)
+		}
+	}
+}
+
+// WriteSnapshot implements Store. The snapshot's first line names the NEW
+// (empty) WAL epoch; the rename is the commit point that atomically retires
+// the old epoch's log.
+func (s *FileStore) WriteSnapshot(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return ErrClosed
+	}
+	next := s.epoch + 1
+	newWAL, err := os.OpenFile(filepath.Join(s.dir, walName(next)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	if err := writeSnapshotFile(tmp, next, recs); err != nil {
+		newWAL.Close()
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		newWAL.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	// The rename (and the new WAL's directory entry) must be durable before
+	// the old epoch is abandoned: otherwise a power loss could revive the old
+	// snapshot, whose epoch would disown — and removeStaleWALs then delete —
+	// every record appended to the new WAL since.
+	if err := syncDir(s.dir); err != nil {
+		newWAL.Close()
+		return err
+	}
+	// Committed: appends now belong to the new epoch; the old log is dead.
+	old, oldEpoch := s.wal, s.epoch
+	s.wal, s.enc, s.epoch = newWAL, json.NewEncoder(newWAL), next
+	_ = old.Close()
+	_ = os.Remove(filepath.Join(s.dir, walName(oldEpoch)))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and file creations inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	return nil
+}
+
+func writeSnapshotFile(path string, epoch uint64, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(Record{Kind: recordMeta, Epoch: epoch}); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("fleet: snapshot: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}

@@ -1,0 +1,384 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// populate fills a hub with a few homes' worth of durable state: users,
+// favourites, user-defined words, rules (including one that uses a word),
+// removals and priority orders.
+func populate(t *testing.T, h *Hub) {
+	t.Helper()
+	for _, home := range []string{"alpha", "beta", "gamma"} {
+		if err := h.RegisterUser(home, "tom"); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.RegisterUser(home, "emily", "roman holiday"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Submit(home, "Let's call the condition that humidity is higher than 65 % "+
+			"and temperature is higher than 28 degrees hot and stuffy", "tom"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Submit(home, "If hot and stuffy, turn on the air conditioner "+
+			"with 25 degrees of temperature setting.", "tom"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Submit(home, "Turn on the light at the hall.", "emily"); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SetPriority(home, core.DeviceRef{Name: "air conditioner"},
+			[]string{"emily", "tom"}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Divergence between homes: beta loses emily's rule.
+	if err := h.RemoveRule("beta", "emily-2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// verifyRehydrated asserts the state written by populate, and that the
+// revived homes still compile against their word definitions and evaluate.
+func verifyRehydrated(t *testing.T, h *Hub) {
+	t.Helper()
+	for _, home := range []string{"alpha", "beta", "gamma"} {
+		users, err := h.Users(home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(users) != 2 {
+			t.Fatalf("%s: users = %v", home, users)
+		}
+		rules, err := h.Rules(home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2
+		if home == "beta" {
+			want = 1
+		}
+		if len(rules) != want {
+			t.Fatalf("%s: rules = %d, want %d", home, len(rules), want)
+		}
+		if rules[0].ID != "tom-1" {
+			t.Fatalf("%s: rule id = %q, want preserved id tom-1", home, rules[0].ID)
+		}
+		orders, err := h.PriorityOrders(home, core.DeviceRef{Name: "air conditioner"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orders) != 1 || orders[0].Users[0] != "emily" {
+			t.Fatalf("%s: orders = %v", home, orders)
+		}
+		// The rehydrated word still parses in new submissions.
+		if _, err := h.Submit(home, "If hot and stuffy, turn on the fan.", "tom"); err != nil {
+			t.Fatalf("%s: resubmit with rehydrated word: %v", home, err)
+		}
+		// And the rehydrated rule still fires.
+		if err := h.PostEventSync(home, device.TypeThermometer, "thermometer", "living room",
+			map[string]string{"temperature": "31", "humidity": "70"}); err != nil {
+			t.Fatal(err)
+		}
+		log, err := h.Log(home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(log) == 0 {
+			t.Fatalf("%s: rehydrated rule did not fire", home)
+		}
+	}
+}
+
+// TestHubRestartRehydratesFromFileStore is the ISSUE's acceptance test: a
+// hub restarted over the same file-backed store rehydrates every home's
+// rules (plus users, words and priorities), with rule ids preserved.
+func TestHubRestartRehydratesFromFileStore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Hub {
+		st, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHub(WithShards(2), WithClock(testClock()), WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h1 := open()
+	populate(t, h1)
+	if err := h1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := open()
+	defer func() { _ = h2.Close() }()
+	verifyRehydrated(t, h2)
+}
+
+// TestHubCompactSnapshotsAndTruncates checks snapshot/replay: after Compact
+// the WAL is empty, the snapshot carries the whole state, and a third
+// restart still rehydrates.
+func TestHubCompactSnapshotsAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Hub {
+		st, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHub(WithShards(2), WithClock(testClock()), WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h1 := open()
+	populate(t, h1)
+	if err := h1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walName(0))); !os.IsNotExist(err) {
+		t.Fatalf("epoch-0 wal still present after compact (err=%v)", err)
+	}
+	wal, err := os.Stat(filepath.Join(dir, walName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal.Size() != 0 {
+		t.Fatalf("epoch-1 wal size after compact = %d, want 0", wal.Size())
+	}
+	snap, err := os.Stat(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Size() == 0 {
+		t.Fatal("snapshot is empty")
+	}
+	// Crash-consistency: even if the retired WAL had survived the crash (the
+	// rename landed but the delete did not), replay must ignore it — the
+	// snapshot names the new epoch.
+	if err := os.WriteFile(filepath.Join(dir, walName(0)),
+		[]byte(`{"home":"alpha","kind":"user","user":"tom"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := open()
+	defer func() { _ = h2.Close() }()
+	verifyRehydrated(t, h2)
+}
+
+// TestReplayToleratesTornWALTail checks crash recovery: appends are not
+// fsynced, so a crash can leave a half-written final WAL line. Replay must
+// apply every complete record and skip the torn tail instead of refusing to
+// start the hub.
+func TestReplayToleratesTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := NewHub(WithShards(1), WithClock(testClock()), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.RegisterUser("home", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Submit("home", hotRule, "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a truncated record at the end of the WAL.
+	wal, err := os.OpenFile(filepath.Join(dir, walName(0)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.WriteString(`{"home":"home","kind":"rule","id":"tom-9","ow`); err != nil {
+		t.Fatal(err)
+	}
+	_ = wal.Close()
+
+	st2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := NewHub(WithShards(1), WithClock(testClock()), WithStore(st2))
+	if err != nil {
+		t.Fatalf("restart over torn WAL failed: %v", err)
+	}
+	defer func() { _ = h2.Close() }()
+	rules, err := h2.Rules("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].ID != "tom-1" {
+		t.Fatalf("rehydrated rules = %v, want the one complete record", rules)
+	}
+	// Direct torn-tail replay still succeeds at the file level.
+	if err := replayFile(filepath.Join(dir, walName(0)), func(Record) error { return nil }, true); err != nil {
+		t.Fatalf("torn tail replay: %v", err)
+	}
+}
+
+// TestConcurrentCompact hammers Compact from several goroutines; without
+// serialization two compactors' pause tasks can interleave across shards and
+// deadlock the whole hub.
+func TestConcurrentCompact(t *testing.T) {
+	st := NewMemStore()
+	h, err := NewHub(WithShards(4), WithClock(testClock()), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if err := h.RegisterUser("home", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- h.Compact() }()
+	}
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("concurrent Compact deadlocked")
+		}
+	}
+	if _, err := h.Users("home"); err != nil {
+		t.Fatalf("hub unusable after concurrent compacts: %v", err)
+	}
+}
+
+// failingStore wraps MemStore and fails Append on demand.
+type failingStore struct {
+	*MemStore
+	fail bool
+}
+
+func (f *failingStore) Append(rec Record) error {
+	if f.fail {
+		return os.ErrClosed
+	}
+	return f.MemStore.Append(rec)
+}
+
+// TestAppendFailureRollsBack checks that a mutation whose store append fails
+// is undone, so in-memory state never diverges from what a restart would
+// rehydrate.
+func TestAppendFailureRollsBack(t *testing.T) {
+	st := &failingStore{MemStore: NewMemStore()}
+	h, err := NewHub(WithShards(1), WithClock(testClock()), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if err := h.RegisterUser("home", "tom"); err != nil {
+		t.Fatal(err)
+	}
+
+	st.fail = true
+	if _, err := h.Submit("home", hotRule, "tom"); err == nil {
+		t.Fatal("submit with failing store must error")
+	}
+	if err := h.RegisterUser("home", "emily"); err == nil {
+		t.Fatal("register with failing store must error")
+	}
+	st.fail = false
+
+	rules, err := h.Rules("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatalf("rolled-back rule still registered: %v", rules)
+	}
+	users, err := h.Users("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 1 || users[0] != "tom" {
+		t.Fatalf("rolled-back user still registered: %v", users)
+	}
+	// The freed rule id is reusable and the home still works.
+	res, err := h.Submit("home", hotRule, "tom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rule.ID != "tom-1" && res.Rule.ID != "tom-2" {
+		t.Fatalf("unexpected rule id %q", res.Rule.ID)
+	}
+}
+
+// TestReadsDoNotCreateHomes checks that probing unknown home ids through
+// read-only operations returns empty results without growing the fleet.
+func TestReadsDoNotCreateHomes(t *testing.T) {
+	h, err := NewHub(WithShards(2), WithClock(testClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	for i := 0; i < 10; i++ {
+		home := fmt.Sprintf("probe-%d", i)
+		if users, err := h.Users(home); err != nil || len(users) != 0 {
+			t.Fatalf("Users(%s) = %v, %v", home, users, err)
+		}
+		if rules, err := h.Rules(home); err != nil || len(rules) != 0 {
+			t.Fatalf("Rules(%s) = %v, %v", home, rules, err)
+		}
+		if log, err := h.Log(home); err != nil || len(log) != 0 {
+			t.Fatalf("Log(%s) = %v, %v", home, log, err)
+		}
+		if err := h.RemoveRule(home, "x"); err == nil {
+			t.Fatalf("RemoveRule on unknown home must error")
+		}
+		if err := h.Tick(home); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := h.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Homes != 0 {
+		t.Fatalf("read probes materialized %d homes", st.Homes)
+	}
+}
+
+// TestMemStoreRoundTrip exercises the in-memory store through the same
+// hub lifecycle (minus process restarts).
+func TestMemStoreRoundTrip(t *testing.T) {
+	st := NewMemStore()
+	h1, err := NewHub(WithShards(2), WithClock(testClock()), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, h1)
+	if err := h1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := NewHub(WithShards(3), WithClock(testClock()), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h2.Close() }()
+	verifyRehydrated(t, h2)
+}

@@ -213,26 +213,34 @@ func (db *DB) Generation() uint64 {
 	return db.gen
 }
 
-// exportedRule is the serialized form: CADEL source plus metadata.
-type exportedRule struct {
+// Record is the serialized form of one rule: its CADEL source plus metadata.
+// The database file format and the fleet store's rule records both use it, so
+// a persisted rule is always human-readable CADEL.
+type Record struct {
 	ID     string `json:"id"`
 	Owner  string `json:"owner"`
 	Source string `json:"source"`
 }
 
 type exportDoc struct {
-	Rules []exportedRule `json:"rules"`
+	Rules []Record `json:"rules"`
+}
+
+// Records returns every rule's serialized form in insertion order. The fleet
+// store snapshots a home's rule database through this.
+func (db *DB) Records() []Record {
+	rules := db.All()
+	out := make([]Record, 0, len(rules))
+	for _, r := range rules {
+		out = append(out, Record{ID: r.ID, Owner: r.Owner, Source: r.Source})
+	}
+	return out
 }
 
 // Export serializes all rules (insertion order) as JSON-wrapped CADEL
 // source. This is the import/export mechanism of Sect. 4.3(iv).
 func (db *DB) Export() ([]byte, error) {
-	rules := db.All()
-	doc := exportDoc{Rules: make([]exportedRule, 0, len(rules))}
-	for _, r := range rules {
-		doc.Rules = append(doc.Rules, exportedRule{ID: r.ID, Owner: r.Owner, Source: r.Source})
-	}
-	return json.MarshalIndent(doc, "", "  ")
+	return json.MarshalIndent(exportDoc{Rules: db.Records()}, "", "  ")
 }
 
 // CompileFunc recompiles one exported rule. The server wires this to the
