@@ -83,12 +83,13 @@ var (
 type Option interface{ apply(*options) }
 
 type options struct {
-	now      func() time.Time
-	eventTTL time.Duration
-	onFire   func(Fired)
-	interval bool
-	fullScan bool
-	perms    *auth.Store
+	now        func() time.Time
+	eventTTL   time.Duration
+	onFire     func(Fired)
+	interval   bool
+	fullScan   bool
+	stringKeys bool
+	perms      *auth.Store
 }
 
 type optionFunc func(*options)
@@ -126,6 +127,15 @@ func WithIntervalFastPath() Option {
 // baseline; results are identical (see the engine's equivalence tests).
 func WithFullScanEngine() Option {
 	return optionFunc(func(o *options) { o.fullScan = true })
+}
+
+// WithStringKeyedEngine makes the rule execution module evaluate on the
+// retained string-keyed path — map-backed context, per-leaf name resolution,
+// string dirty keys — instead of the default symbol-interned hot path.
+// Mostly useful as an oracle or baseline; results are identical (see the
+// engine's interned-equivalence tests).
+func WithStringKeyedEngine() Option {
+	return optionFunc(func(o *options) { o.stringKeys = true })
 }
 
 // WithPermissions installs a privilege store (the paper's future-work
@@ -181,6 +191,9 @@ func NewServer(network *Network, opts ...Option) (*Server, error) {
 	}
 	if o.fullScan {
 		hubOpts = append(hubOpts, fleet.WithFullScan())
+	}
+	if o.stringKeys {
+		hubOpts = append(hubOpts, fleet.WithStringKeys())
 	}
 	if o.interval {
 		hubOpts = append(hubOpts, fleet.WithIntervalFeasibility())

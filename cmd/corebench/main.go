@@ -1,0 +1,244 @@
+// Command corebench measures the engine evaluation hot path and fleet
+// ingestion, and emits BENCH_core.json for CI trend tracking — the perf
+// trajectory baseline of the symbol-interned evaluation core.
+//
+// For each rule-count in -rules it times one steady-state single-key sensor
+// event (the BenchmarkEngineEvaluate workload: rule 0 reads the unqualified
+// "temperature", every other rule its own room's qualified temperature, all
+// rooms populated) on three evaluator configurations:
+//
+//	interned    pre-bound conditions + id-indexed context (the default)
+//	stringkeys  the retained string-keyed oracle path
+//	fullscan    the naive re-evaluate-everything oracle
+//
+// and records ns/op, allocs/op and B/op. The interned row is the one with
+// the acceptance targets: 0 allocs/op and a multiple-x ns/op win over
+// stringkeys at 10k rules. A fleet section times end-to-end hub ingestion
+// (post → coalesce → evaluate → quiesce) per shard count so the engine-level
+// win is visible through the sharded pipeline too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/registry"
+	"repro/internal/simplex"
+	"repro/internal/vocab"
+)
+
+type engineRow struct {
+	Bench       string  `json:"bench"`
+	Mode        string  `json:"mode"`
+	Rules       int     `json:"rules"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type fleetRow struct {
+	Bench        string  `json:"bench"`
+	Homes        int     `json:"homes"`
+	Shards       int     `json:"shards"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Iterations   int     `json:"iterations"`
+}
+
+type doc struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	Engine        []engineRow `json:"engine"`
+	Fleet         []fleetRow  `json:"fleet"`
+}
+
+func main() {
+	rulesFlag := flag.String("rules", "1000,10000", "comma-separated rule counts for the engine sweep")
+	homes := flag.Int("homes", 1000, "homes for the fleet ingest measurement")
+	shardsFlag := flag.String("shards", "1,4", "comma-separated shard counts for the fleet sweep")
+	out := flag.String("out", "BENCH_core.json", "output JSON path")
+	flag.Parse()
+
+	d := doc{GeneratedUnix: time.Now().Unix()}
+
+	for _, n := range parseInts(*rulesFlag) {
+		for _, mode := range []string{"interned", "stringkeys", "fullscan"} {
+			r := benchEngine(n, mode)
+			d.Engine = append(d.Engine, r)
+			fmt.Printf("engine_evaluate rules=%-6d mode=%-10s %12.1f ns/op %6d allocs/op %8d B/op\n",
+				n, mode, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	for _, shards := range parseInts(*shardsFlag) {
+		r := benchFleet(*homes, shards)
+		d.Fleet = append(d.Fleet, r)
+		fmt.Printf("fleet_ingest    homes=%-6d shards=%-6d %10.1f ns/op %6d allocs/op %10.0f events/sec\n",
+			*homes, shards, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+	}
+
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func parseInts(csv string) []int {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad count %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corebench:", err)
+	os.Exit(1)
+}
+
+// benchDB mirrors the root package's engineBenchDB: rule 0 reads the
+// unqualified "temperature", rule i > 0 its own room's qualified key.
+func benchDB(n int) (*registry.DB, error) {
+	db := registry.New()
+	for i := 0; i < n; i++ {
+		v := "temperature"
+		if i > 0 {
+			v = fmt.Sprintf("room%d/temperature", i)
+		}
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  "u",
+			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
+			Action: core.Action{Verb: "turn-on"},
+			Cond: &core.And{Terms: []core.Condition{
+				&core.Compare{Var: v, Op: simplex.GT, Value: float64(20 + i%15)},
+				&core.Presence{Person: "tom", Place: "living room"},
+			}},
+		}
+		if err := db.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func benchEngine(n int, mode string) engineRow {
+	res := testing.Benchmark(func(b *testing.B) {
+		db, err := benchDB(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []engine.Option
+		switch mode {
+		case "stringkeys":
+			opts = append(opts, engine.WithStringKeys())
+		case "fullscan":
+			opts = append(opts, engine.WithFullScan())
+		}
+		now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
+		e := engine.New(db, conflict.NewTable(), func() time.Time { return now }, nil, opts...)
+		e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
+			map[string]string{"presence-tom": "living room"})
+		low := map[string]string{"temperature": "10"}
+		for i := 1; i < n; i++ {
+			e.Ingest(device.TypeThermometer, "thermometer", fmt.Sprintf("room%d", i), low)
+		}
+		e.Tick()
+		events := make([]map[string]string, 10)
+		for i := range events {
+			events[i] = map[string]string{"temperature": strconv.Itoa(10 + i)}
+		}
+		for _, ev := range events {
+			e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", events[i%len(events)])
+		}
+	})
+	return engineRow{
+		Bench:       "engine_evaluate",
+		Mode:        mode,
+		Rules:       n,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+	}
+}
+
+func benchFleet(homes, shards int) fleetRow {
+	res := testing.Benchmark(func(b *testing.B) {
+		lex := vocab.Default()
+		now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
+		hub, err := fleet.NewHub(
+			fleet.WithShards(shards),
+			fleet.WithClock(func() time.Time { return now }),
+			fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
+			fleet.WithLogLimit(64),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer hub.Close()
+		ids := make([]string, homes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("home-%06d", i)
+			if err := hub.RegisterUser(ids[i], "u"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hub.Submit(ids[i],
+				"If temperature is higher than 28 degrees, turn on the air conditioner.", "u"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			home := ids[i%homes]
+			v := "31"
+			if (i/homes)%2 == 1 {
+				v = "20"
+			}
+			if err := hub.PostEvent(home, device.TypeThermometer, "thermometer",
+				"living room", map[string]string{"temperature": v}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := hub.Quiesce(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return fleetRow{
+		Bench:        "fleet_ingest",
+		Homes:        homes,
+		Shards:       shards,
+		NsPerOp:      ns,
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		EventsPerSec: 1e9 / ns,
+		Iterations:   res.N,
+	}
+}

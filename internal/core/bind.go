@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/simplex"
+)
+
+// Bind rewrites a condition tree into its pre-bound form against a symbol
+// table: every variable-reading leaf is replaced by a bound node whose slot
+// is the interned symbol id (Compare, BoolIs) or a pre-built event key
+// (Arrival), so Eval on the bound tree performs no map lookup and no string
+// building. And/Or/Duration nodes are rebuilt around their bound children;
+// leaves with nothing to bind (time windows, presence, EPG, foreign kinds)
+// are shared with the original tree.
+//
+// A bound tree is only meaningful against contexts backed by the same
+// symbol table (NewInternedContext). Binding does not change semantics:
+// bound nodes delegate String, Vars and dependency extraction to the node
+// they wrap, so logs, indexes and the conflict checker see the original
+// condition.
+func Bind(c Condition, tab *Symtab) Condition {
+	switch n := c.(type) {
+	case nil:
+		return nil
+	case *And:
+		return &And{Terms: bindTerms(n.Terms, tab)}
+	case *Or:
+		return &Or{Terms: bindTerms(n.Terms, tab)}
+	case *Compare:
+		return &BoundCompare{Compare: n, ID: tab.Intern(n.Var)}
+	case *BoolIs:
+		return &BoundBoolIs{BoolIs: n, ID: tab.Intern(n.Var)}
+	case *Arrival:
+		b := &BoundArrival{Arrival: n}
+		if n.Person == Someone {
+			b.key = "|" + n.Event
+		} else {
+			b.key = n.Person + "|" + n.Event
+		}
+		return b
+	case *Duration:
+		return &Duration{Inner: Bind(n.Inner, tab), Seconds: n.Seconds, Key: n.Key}
+	default:
+		return c
+	}
+}
+
+func bindTerms(terms []Condition, tab *Symtab) []Condition {
+	out := make([]Condition, len(terms))
+	for i, t := range terms {
+		out[i] = Bind(t, tab)
+	}
+	return out
+}
+
+// CollectHolds returns every Duration node in the tree, in depth-first
+// order. The engine calls it once at registration so hold maintenance can
+// iterate a (usually empty) slice instead of re-walking the condition tree
+// every pass.
+func CollectHolds(c Condition) []*Duration {
+	var out []*Duration
+	WalkCond(c, func(n Condition) {
+		if d, ok := n.(*Duration); ok {
+			out = append(out, d)
+		}
+	})
+	return out
+}
+
+// compareNum applies a numeric relation; shared by Compare and
+// BoundCompare.
+func compareNum(op simplex.Relation, v, want float64) bool {
+	switch op {
+	case simplex.LE:
+		return v <= want
+	case simplex.GE:
+		return v >= want
+	case simplex.LT:
+		return v < want
+	case simplex.GT:
+		return v > want
+	case simplex.EQ:
+		return v == want
+	default:
+		return false
+	}
+}
+
+// BoundCompare is a Compare whose variable is resolved to a symbol id.
+type BoundCompare struct {
+	*Compare
+	// ID is the interned symbol of Var.
+	ID uint32
+}
+
+// Eval implements Condition over the interned store.
+func (b *BoundCompare) Eval(ctx *Context) bool {
+	v, ok := ctx.NumberID(b.ID)
+	return ok && compareNum(b.Op, v, b.Value)
+}
+
+// AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
+func (b *BoundCompare) AddCondDeps(d *DepSet) { d.AddKey(NumberDepKey(b.Var)) }
+
+// BoundBoolIs is a BoolIs whose variable is resolved to a symbol id.
+type BoundBoolIs struct {
+	*BoolIs
+	// ID is the interned symbol of Var.
+	ID uint32
+}
+
+// Eval implements Condition over the interned store.
+func (b *BoundBoolIs) Eval(ctx *Context) bool {
+	v, ok := ctx.BoolID(b.ID)
+	return ok && v == b.Want
+}
+
+// AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
+func (b *BoundBoolIs) AddCondDeps(d *DepSet) { d.AddKey(BoolDepKey(b.Var)) }
+
+// BoundArrival is an Arrival with its "person|event" lookup key (or
+// "|event" suffix, for Someone) built once at bind time.
+type BoundArrival struct {
+	*Arrival
+	key string
+}
+
+// Eval implements Condition without rebuilding the event key.
+func (b *BoundArrival) Eval(ctx *Context) bool {
+	if b.Person == Someone {
+		return ctx.HasEventSuffix(b.key)
+	}
+	return ctx.HasEventKey(b.key)
+}
+
+// AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
+func (b *BoundArrival) AddCondDeps(d *DepSet) {
+	d.AddKey(EventDepKey(b.Event))
+	d.Time = true
+}

@@ -18,9 +18,27 @@ type Program struct {
 	Keywords []string // free-form keywords ("yankees", "roman holiday")
 }
 
+// resCache is one unqualified-name resolution result: the symbol id the name
+// resolved to (-1 for "no match") and the key-population generation the
+// result was computed at. An entry is valid while the population has not
+// grown since; gen is 1-based so the zero value is always invalid.
+type resCache struct {
+	gen  uint32
+	slot int32
+}
+
 // Context is the instantaneous world snapshot conditions are evaluated
 // against. The rule execution engine maintains one Context and updates it
 // from sensor events; Eval never mutates it.
+//
+// Numeric and boolean variables have two representations. The string-keyed
+// maps (Numbers, Bools) are always truthful and serve observability, cloning
+// and the retained string-keyed oracle path. A context built with
+// NewInternedContext additionally keeps dense, symbol-id-indexed value
+// slices with presence tracking — the evaluation hot path reads those
+// through NumberID/BoolID with no map lookup, no string comparison and no
+// allocation. Interned contexts must be written through the setter methods
+// (SetNumber/SetNumberID and friends) so both representations stay in step.
 type Context struct {
 	// Now is the current simulation or wall-clock time.
 	Now time.Time
@@ -50,9 +68,30 @@ type Context struct {
 	// Held maps a duration-condition key to the time its inner condition
 	// most recently became true. Maintained by the engine.
 	Held map[string]time.Time
+
+	// tab, when non-nil, activates the interned store below.
+	tab *Symtab
+
+	// Dense value arrays indexed by symbol id, with presence flags and the
+	// population (ids ever written, in first-write order). len(pop) is the
+	// resolution generation: it grows exactly when a new key appears, which
+	// is the only event that can change how an unqualified name resolves.
+	numVals []float64
+	numHas  []bool
+	numPop  []uint32
+	numRes  []resCache
+
+	boolVals []bool
+	boolHas  []bool
+	boolPop  []uint32
+	boolRes  []resCache
+
+	// ver counts data mutations (not Now advances); the engine uses it to
+	// cache read-only snapshots for observability.
+	ver uint64
 }
 
-// NewContext returns an empty context at the given time.
+// NewContext returns an empty string-keyed context at the given time.
 func NewContext(now time.Time) *Context {
 	return &Context{
 		Now:       now,
@@ -65,7 +104,28 @@ func NewContext(now time.Time) *Context {
 	}
 }
 
-// Clone returns a deep copy of the context.
+// NewInternedContext returns an empty context whose numeric and boolean
+// variables are additionally backed by the symbol-indexed slice store, with
+// unqualified-name resolution cached per population generation.
+func NewInternedContext(now time.Time, tab *Symtab) *Context {
+	c := NewContext(now)
+	c.tab = tab
+	return c
+}
+
+// Symtab returns the symbol table backing the interned store, or nil for a
+// purely string-keyed context.
+func (c *Context) Symtab() *Symtab { return c.tab }
+
+// Version counts data mutations applied through the setter methods. Now
+// advances are excluded, so an idle engine's context keeps a stable version
+// and observability snapshots can be cached.
+func (c *Context) Version() uint64 { return c.ver }
+
+// Clone returns a deep copy of the context. The copy is always string-keyed
+// (the dense arrays are an evaluation-path acceleration; clones serve
+// observability and tests), so it is fully independent of the original and
+// of the symbol table.
 func (c *Context) Clone() *Context {
 	out := NewContext(c.Now)
 	out.EventTTL = c.EventTTL
@@ -92,10 +152,93 @@ func (c *Context) Clone() *Context {
 	return out
 }
 
+// ---- writes ----
+
+// SetNumber stores a numeric reading under its full key.
+func (c *Context) SetNumber(key string, v float64) {
+	if c.tab != nil {
+		c.SetNumberID(c.tab.Intern(key), v)
+		return
+	}
+	c.Numbers[key] = v
+	c.ver++
+}
+
+// SetNumberID stores a numeric reading by symbol id (interned contexts
+// only). First sight of an id grows the key population, invalidating every
+// cached unqualified-name resolution in this namespace.
+func (c *Context) SetNumberID(id uint32, v float64) {
+	for int(id) >= len(c.numHas) {
+		c.numHas = append(c.numHas, false)
+		c.numVals = append(c.numVals, 0)
+	}
+	if !c.numHas[id] {
+		c.numHas[id] = true
+		c.numPop = append(c.numPop, id)
+	}
+	c.numVals[id] = v
+	c.Numbers[c.tab.Name(id)] = v
+	c.ver++
+}
+
+// SetBool stores a boolean state under its full key.
+func (c *Context) SetBool(key string, v bool) {
+	if c.tab != nil {
+		c.SetBoolID(c.tab.Intern(key), v)
+		return
+	}
+	c.Bools[key] = v
+	c.ver++
+}
+
+// SetBoolID stores a boolean state by symbol id (interned contexts only).
+func (c *Context) SetBoolID(id uint32, v bool) {
+	for int(id) >= len(c.boolHas) {
+		c.boolHas = append(c.boolHas, false)
+		c.boolVals = append(c.boolVals, false)
+	}
+	if !c.boolHas[id] {
+		c.boolHas[id] = true
+		c.boolPop = append(c.boolPop, id)
+	}
+	c.boolVals[id] = v
+	c.Bools[c.tab.Name(id)] = v
+	c.ver++
+}
+
+// SetLocation moves a user to a place ("" = away from home).
+func (c *Context) SetLocation(person, place string) {
+	c.Locations[person] = place
+	c.ver++
+}
+
+// SetUsers replaces the registered user list.
+func (c *Context) SetUsers(users []string) {
+	c.Users = append(c.Users[:0:0], users...)
+	c.ver++
+}
+
+// SetFavorites replaces one user's favourite keywords.
+func (c *Context) SetFavorites(user string, keywords []string) {
+	c.Favorites[user] = append([]string(nil), keywords...)
+	c.ver++
+}
+
+// SetPrograms replaces the on-air programme list.
+func (c *Context) SetPrograms(programs []Program) {
+	c.Programs = programs
+	c.ver++
+}
+
+// ---- numeric / boolean reads ----
+
 // Number resolves a numeric variable. An exact key match wins; an
 // unqualified name additionally matches a location-qualified entry when the
 // suffix match is unique (sorted order breaks ties deterministically).
 func (c *Context) Number(name string) (float64, bool) {
+	if c.tab != nil {
+		return c.NumberID(c.tab.Intern(name))
+	}
 	if v, ok := c.Numbers[name]; ok {
 		return v, true
 	}
@@ -116,9 +259,36 @@ func (c *Context) Number(name string) (float64, bool) {
 	return c.Numbers[keys[0]], true
 }
 
+// NumberID resolves a numeric variable by symbol id (interned contexts
+// only), with the same qualification rules as Number. The steady-state cost
+// is two slice indexes: an exact presence check, then the cached resolution
+// for the current population generation.
+func (c *Context) NumberID(id uint32) (float64, bool) {
+	if int(id) < len(c.numHas) && c.numHas[id] {
+		return c.numVals[id], true
+	}
+	gen := uint32(len(c.numPop)) + 1
+	if int(id) < len(c.numRes) {
+		if rc := c.numRes[id]; rc.gen == gen {
+			if rc.slot < 0 {
+				return 0, false
+			}
+			return c.numVals[rc.slot], true
+		}
+	}
+	slot := c.resolveSlow(id, gen, &c.numRes, c.numPop)
+	if slot < 0 {
+		return 0, false
+	}
+	return c.numVals[slot], true
+}
+
 // Bool resolves a boolean variable with the same qualification rules as
 // Number.
 func (c *Context) Bool(name string) (bool, bool) {
+	if c.tab != nil {
+		return c.BoolID(c.tab.Intern(name))
+	}
 	if v, ok := c.Bools[name]; ok {
 		return v, true
 	}
@@ -138,6 +308,47 @@ func (c *Context) Bool(name string) (bool, bool) {
 	sort.Strings(keys)
 	return c.Bools[keys[0]], true
 }
+
+// BoolID resolves a boolean variable by symbol id (interned contexts only).
+func (c *Context) BoolID(id uint32) (bool, bool) {
+	if int(id) < len(c.boolHas) && c.boolHas[id] {
+		return c.boolVals[id], true
+	}
+	gen := uint32(len(c.boolPop)) + 1
+	if int(id) < len(c.boolRes) {
+		if rc := c.boolRes[id]; rc.gen == gen {
+			if rc.slot < 0 {
+				return false, false
+			}
+			return c.boolVals[rc.slot], true
+		}
+	}
+	slot := c.resolveSlow(id, gen, &c.boolRes, c.boolPop)
+	if slot < 0 {
+		return false, false
+	}
+	return c.boolVals[slot], true
+}
+
+// resolveSlow recomputes one unqualified-name resolution against the current
+// key population and caches it for the generation. It runs once per (name,
+// generation): qualified names never suffix-match, unqualified names take
+// the lexicographically smallest qualified entry, exactly like the
+// string-keyed scan-and-sort.
+func (c *Context) resolveSlow(id, gen uint32, cache *[]resCache, pop []uint32) int32 {
+	for int(id) >= len(*cache) {
+		*cache = append(*cache, resCache{})
+	}
+	name := c.tab.Name(id)
+	slot := int32(-1)
+	if !strings.Contains(name, "/") {
+		slot = c.tab.minSuffixMatch(pop, "/"+name)
+	}
+	(*cache)[id] = resCache{gen: gen, slot: slot}
+	return slot
+}
+
+// ---- presence / events / EPG ----
 
 // At reports whether the person is at the place. "home" matches any
 // non-empty location.
@@ -188,10 +399,21 @@ func (c *Context) eventTTL() time.Duration {
 // (or for anyone, when person is Someone).
 func (c *Context) HasEvent(person, event string) bool {
 	if person != Someone {
-		at, ok := c.Events[person+"|"+event]
-		return ok && c.Now.Sub(at) <= c.eventTTL()
+		return c.HasEventKey(person + "|" + event)
 	}
-	suffix := "|" + event
+	return c.HasEventSuffix("|" + event)
+}
+
+// HasEventKey is HasEvent for a pre-built "person|event" key; bound arrival
+// conditions use it to test freshness without rebuilding the key.
+func (c *Context) HasEventKey(key string) bool {
+	at, ok := c.Events[key]
+	return ok && c.Now.Sub(at) <= c.eventTTL()
+}
+
+// HasEventSuffix reports whether any person's arrival event with the
+// pre-built "|event" suffix fired recently.
+func (c *Context) HasEventSuffix(suffix string) bool {
 	for key, at := range c.Events {
 		if strings.HasSuffix(key, suffix) && c.Now.Sub(at) <= c.eventTTL() {
 			return true
@@ -203,6 +425,7 @@ func (c *Context) HasEvent(person, event string) bool {
 // RecordEvent stores an arrival event at the current context time.
 func (c *Context) RecordEvent(person, event string) {
 	c.Events[person+"|"+event] = c.Now
+	c.ver++
 }
 
 // OnAirMatch reports whether a programme matching the query is on air.
@@ -261,10 +484,14 @@ func (c *Context) HeldSince(key string) (time.Time, bool) {
 func (c *Context) MarkHeld(key string) {
 	if _, ok := c.Held[key]; !ok {
 		c.Held[key] = c.Now
+		c.ver++
 	}
 }
 
 // ClearHeld removes the held mark for the key.
 func (c *Context) ClearHeld(key string) {
-	delete(c.Held, key)
+	if _, ok := c.Held[key]; ok {
+		delete(c.Held, key)
+		c.ver++
+	}
 }

@@ -117,6 +117,22 @@ func (d DepSet) Intersects(dirty map[string]struct{}) bool {
 	return false
 }
 
+// IDsIn interns every dependency key into tab and returns the ids sorted
+// ascending — the compiled form the engine and registry index by. The
+// namespacing of the string keys carries over: "num/temperature" and
+// "bool/temperature" intern to distinct ids.
+func (d DepSet) IDsIn(tab *Symtab) []uint32 {
+	if len(d.Keys) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(d.Keys))
+	for k := range d.Keys {
+		out = append(out, tab.Intern(k))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SortedKeys returns the keys in sorted order (for tests and display).
 func (d DepSet) SortedKeys() []string {
 	out := make([]string, 0, len(d.Keys))

@@ -106,6 +106,28 @@ type Rule struct {
 	// Seq is the registration sequence number assigned by the rule
 	// database; it provides a deterministic fallback ordering.
 	Seq uint64
+	// Bound is the pre-bound form of Cond (see Bind), set by the rule
+	// database at registration against its symbol table. The engine's
+	// interned evaluation path uses it; nil means the rule was never
+	// registered. A rule belongs to at most one database: re-registering the
+	// same object elsewhere rebinds it against that database's table.
+	Bound Condition
+	// Holds lists the Duration nodes of Bound (shared Key strings with
+	// Cond), collected once so per-pass hold maintenance iterates a slice
+	// instead of re-walking the tree.
+	Holds []*Duration
+	// DepIDs is Cond's dependency-key set interned and sorted, the
+	// branch-cheap form the engine intersects against its dirty-id set.
+	DepIDs []uint32
+}
+
+// ReadyBound reports whether the rule's condition holds, preferring the
+// pre-bound tree when the rule has been registered.
+func (r *Rule) ReadyBound(ctx *Context) bool {
+	if r.Bound != nil {
+		return r.Bound.Eval(ctx)
+	}
+	return r.Ready(ctx)
 }
 
 // Ready reports whether the rule's condition holds in the context.

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"sync"
+)
+
+// Symtab is a per-home symbol table: an append-only interner mapping strings
+// to dense uint32 ids. The hot evaluation path never touches strings — rule
+// conditions are bound to symbol ids at registration (Bind), the context
+// stores values in id-indexed slices, and the engine's dirty-key set is a
+// bitset over ids — so the symtab is the single point where names and ids
+// meet. Ids are assigned in intern order starting at 0 and are never reused.
+//
+// A Symtab is owned by one home (its rule database creates it; the home's
+// engine and context share it). Interning happens on cold paths — rule
+// registration, first sight of a device variable — under an internal lock,
+// so concurrent readers (HTTP observability, a second oracle engine over the
+// same database) stay safe without taxing per-evaluation work.
+type Symtab struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	names []string
+}
+
+// NewSymtab returns an empty symbol table.
+func NewSymtab() *Symtab {
+	return &Symtab{ids: make(map[string]uint32)}
+}
+
+// Intern returns the id for name, assigning the next dense id on first
+// sight. The same name always maps to the same id.
+func (t *Symtab) Intern(name string) uint32 {
+	t.mu.RLock()
+	id, ok := t.ids[name]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id = uint32(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for an already-interned name.
+func (t *Symtab) Lookup(name string) (uint32, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// Name returns the string for an id. It panics on ids the table never
+// assigned, exactly like an out-of-range slice index.
+func (t *Symtab) Name(id uint32) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.names[id]
+}
+
+// Len returns how many symbols have been interned.
+func (t *Symtab) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
+
+// minSuffixMatch scans a population of interned ids and returns the id whose
+// name is the lexicographically smallest one ending in suffix, or -1 when
+// none matches. This is the slow half of unqualified-name resolution (the
+// fast half is the per-generation cache in Context); taking the table lock
+// once for the whole scan keeps the recompute cheap.
+func (t *Symtab) minSuffixMatch(pop []uint32, suffix string) int32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	best := ""
+	slot := int32(-1)
+	for _, id := range pop {
+		name := t.names[id]
+		if strings.HasSuffix(name, suffix) && (slot < 0 || name < best) {
+			best = name
+			slot = int32(id)
+		}
+	}
+	return slot
+}
+
+// IDSet is a set of symbol ids: a bitset for O(1) membership plus an
+// insertion-ordered id list for iteration and O(set-size) clearing. The
+// engine uses one as its dirty-key set; Reset retains capacity, so a
+// steady-state evaluation pass allocates nothing.
+type IDSet struct {
+	words []uint64
+	ids   []uint32
+}
+
+// Add inserts id and reports whether it was newly added.
+func (s *IDSet) Add(id uint32) bool {
+	w := int(id >> 6)
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	bit := uint64(1) << (id & 63)
+	if s.words[w]&bit != 0 {
+		return false
+	}
+	s.words[w] |= bit
+	s.ids = append(s.ids, id)
+	return true
+}
+
+// AddAll inserts every id.
+func (s *IDSet) AddAll(ids []uint32) {
+	for _, id := range ids {
+		s.Add(id)
+	}
+}
+
+// Has reports membership.
+func (s *IDSet) Has(id uint32) bool {
+	w := int(id >> 6)
+	return w < len(s.words) && s.words[w]&(uint64(1)<<(id&63)) != 0
+}
+
+// IntersectsAny reports whether any of ids is in the set. With ids being a
+// rule's (small, sorted) dependency list this is the branch-cheap
+// replacement for the string-keyed DepSet.Intersects.
+func (s *IDSet) IntersectsAny(ids []uint32) bool {
+	for _, id := range ids {
+		if s.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns the member ids in insertion order. The slice is owned by the
+// set and valid until the next Add or Reset.
+func (s *IDSet) IDs() []uint32 { return s.ids }
+
+// Len returns the number of members.
+func (s *IDSet) Len() int { return len(s.ids) }
+
+// Reset empties the set, retaining capacity.
+func (s *IDSet) Reset() {
+	for _, id := range s.ids {
+		s.words[id>>6] = 0
+	}
+	s.ids = s.ids[:0]
+}

@@ -11,9 +11,19 @@
 // plus the time-dependent rules whenever the clock has advanced, and rules
 // added since the last pass. Per-rule readiness is cached between passes, so
 // arbitration reconciles only the devices whose ready-set actually changed,
-// or whose contextual priority order was touched by the dirty keys. The
-// naive evaluator that re-walks every rule on every event is retained behind
-// WithFullScan as the oracle for equivalence tests and benchmarks.
+// or whose contextual priority order was touched by the dirty keys.
+//
+// The hot path is symbol-interned. By default the engine shares the rule
+// database's symbol table (core.Symtab): device events resolve to interned
+// context-key and dirty-key ids through a per-signature cache, the context
+// stores values in id-indexed slices, conditions evaluate in their pre-bound
+// form (core.Bind — no map lookup, no string compare per leaf), the dirty
+// set is an id bitset, and per-pass scratch is reused — so a steady-state
+// single-key event evaluates with zero heap allocations. The previous
+// string-keyed path (map-backed context, string dirty keys, unbound
+// conditions) is retained behind WithStringKeys as the oracle the interned
+// path must agree with, exactly as WithFullScan retains the naive evaluator
+// as the oracle for incrementality.
 //
 // Arbitration is reconciliation-style: for every device the engine tracks
 // which rule currently "owns" it (the highest-priority rule whose condition
@@ -79,6 +89,22 @@ func (f Fired) String() string {
 type orderDep struct {
 	device core.DeviceRef
 	deps   core.DepSet
+	ids    []uint32 // interned form of deps.Keys (interned mode only)
+}
+
+// varSig identifies one device variable as it arrives in events; the ingest
+// cache is keyed by it, so mapping a variable onto interned context keys and
+// dirty ids costs one comparable-struct map lookup after first sight.
+type varSig struct {
+	deviceType, friendlyName, location, name string
+}
+
+// cachedVar is the resolved ingest plan for one device-variable signature.
+type cachedVar struct {
+	kind     device.VarKind
+	user     string   // presence-* specials: the user moving
+	keyIDs   []uint32 // interned context keys the value writes
+	dirtyIDs []uint32 // interned dependency ids the write invalidates
 }
 
 // Engine is the rule execution module.
@@ -86,19 +112,22 @@ type Engine struct {
 	mu            sync.Mutex
 	ctx           *core.Context
 	db            *registry.DB
+	tab           *core.Symtab // shared with db; nil in string-keyed mode
 	priorities    *conflict.Table
 	dispatch      Dispatcher
 	batchDispatch BatchDispatcher // when set, replaces the per-action dispatcher
 	now           func() time.Time
 
-	fullScan bool // evaluate every rule on every pass (oracle mode)
+	fullScan   bool // evaluate every rule on every pass (oracle mode)
+	stringKeys bool // string-keyed context + unbound conditions (oracle mode)
 
 	passes  uint64 // evaluation passes run
 	batches uint64 // dispatch batches handed out (≤ one per pass)
 	logCap  int    // keep at most this many log entries; 0 = unbounded
 
 	// Incremental-evaluation state (unused in full-scan mode).
-	dirty      map[string]struct{}   // dependency keys written since the last pass
+	dirty      map[string]struct{}   // dirty dependency keys (string-keyed mode)
+	dirtyIDs   core.IDSet            // dirty dependency ids (interned mode)
 	allDirty   bool                  // re-evaluate everything on the next pass
 	dbGen      uint64                // registry generation at the last pass
 	tblGen     uint64                // priority-table generation at the last pass
@@ -109,6 +138,27 @@ type Engine struct {
 	ready      map[string]bool       // rule ID → readiness at the last pass
 	readyByDev map[string]map[string]*core.Rule
 	refs       map[string]core.DeviceRef // device key → reference
+
+	// Ingest caches (interned mode): first sight of a device variable, an
+	// arrival event name or the EPG feed interns its keys; every later event
+	// with the same signature reuses the ids without building a string.
+	varCache    map[varSig]*cachedVar
+	eventDep    map[string]uint32 // arrival event name → dep id
+	programsDep uint32            // interned core.ProgramsDepKey
+
+	// Per-pass scratch, reused across passes and cleared on exit so a
+	// steady-state pass allocates nothing.
+	scCand    map[string]*core.Rule   // candidate rules to re-evaluate
+	scChanged map[string]struct{}     // device keys whose ready-set changed
+	scKeys    []string                // sorted device keys to reconcile
+	scList    []*core.Rule            // ready-rule list handed to arbitration
+	scReady   map[string][]*core.Rule // full-scan mode: ready rules by device
+	scRefs    map[string]core.DeviceRef
+
+	// Cached observability snapshot: rebuilt only when the context data (or
+	// its clock) actually changed since the last Snapshot call.
+	snap    *core.Context
+	snapVer uint64
 
 	owners map[string]string // device key → owning rule ID
 	log    []Fired
@@ -156,8 +206,20 @@ func WithFullScan() Option {
 	return optionFunc(func(e *Engine) { e.fullScan = true })
 }
 
+// WithStringKeys disables the symbol-interned hot path: the context stays
+// purely map-backed, conditions evaluate unbound (per-leaf name resolution
+// with the suffix scan of Context.Number), and the dirty set holds string
+// keys. Tests use a string-keyed engine as the oracle the interned path must
+// agree with; benchmarks use it as the baseline the interned path is
+// measured against.
+func WithStringKeys() Option {
+	return optionFunc(func(e *Engine) { e.stringKeys = true })
+}
+
 // New builds an engine over a rule database and priority table. now supplies
-// the (simulated or wall) clock; dispatch applies actions.
+// the (simulated or wall) clock; dispatch applies actions. Unless
+// WithStringKeys is given, the engine adopts the database's symbol table and
+// evaluates on the interned hot path.
 func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, dispatch Dispatcher, opts ...Option) *Engine {
 	e := &Engine{
 		ctx:        core.NewContext(now()),
@@ -172,18 +234,47 @@ func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, disp
 		readyByDev: make(map[string]map[string]*core.Rule),
 		refs:       make(map[string]core.DeviceRef),
 		owners:     make(map[string]string),
+		scCand:     make(map[string]*core.Rule),
+		scChanged:  make(map[string]struct{}),
+		scReady:    make(map[string][]*core.Rule),
+		scRefs:     make(map[string]core.DeviceRef),
 	}
 	for _, o := range opts {
 		o.apply(e)
 	}
+	if !e.stringKeys && db != nil {
+		e.tab = db.Symtab()
+		ictx := core.NewInternedContext(e.ctx.Now, e.tab)
+		ictx.EventTTL = e.ctx.EventTTL
+		e.ctx = ictx
+		e.varCache = make(map[varSig]*cachedVar)
+		e.eventDep = make(map[string]uint32)
+		e.programsDep = e.tab.Intern(core.ProgramsDepKey)
+	} else {
+		e.stringKeys = true
+	}
 	return e
 }
 
-// Context returns a snapshot of the current context.
-func (e *Engine) Context() *core.Context {
+// Snapshot returns a read-only snapshot of the current context for
+// observability (HTTP stats, scenario logs). The snapshot is cached: as long
+// as no context data changed and no pass advanced the clock, repeated calls
+// return the same object without cloning, so polling does not tax the engine
+// lock. Callers must not mutate the result; use Context for a private copy.
+func (e *Engine) Snapshot() *core.Context {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.ctx.Clone()
+	if e.snap == nil || e.snapVer != e.ctx.Version() || !e.snap.Now.Equal(e.ctx.Now) {
+		e.snap = e.ctx.Clone()
+		e.snapVer = e.ctx.Version()
+	}
+	return e.snap
+}
+
+// Context returns a mutation-safe copy of the current context. The deep
+// clone happens outside the engine lock, from the cached snapshot.
+func (e *Engine) Context() *core.Context {
+	return e.Snapshot().Clone()
 }
 
 // Log returns the fired-action log.
@@ -229,7 +320,7 @@ func (e *Engine) Owners() map[string]string {
 // re-evaluates everything.
 func (e *Engine) SetFavorites(user string, keywords []string) {
 	e.mu.Lock()
-	e.ctx.Favorites[user] = append([]string(nil), keywords...)
+	e.ctx.SetFavorites(user, keywords)
 	e.allDirty = true
 	e.mu.Unlock()
 	e.Tick()
@@ -238,7 +329,7 @@ func (e *Engine) SetFavorites(user string, keywords []string) {
 // SetUsers registers the known users (needed by nobody/everyone).
 func (e *Engine) SetUsers(users []string) {
 	e.mu.Lock()
-	e.ctx.Users = append([]string(nil), users...)
+	e.ctx.SetUsers(users)
 	e.allDirty = true
 	e.mu.Unlock()
 	e.Tick()
@@ -267,6 +358,96 @@ func (e *Engine) Ingest(deviceType, friendlyName, location string, vars map[stri
 }
 
 func (e *Engine) ingestLocked(deviceType, friendlyName, location string, vars map[string]string) {
+	if e.stringKeys {
+		e.ingestStringLocked(deviceType, friendlyName, location, vars)
+		return
+	}
+	for name, value := range vars {
+		sig := varSig{deviceType, friendlyName, location, name}
+		cv, ok := e.varCache[sig]
+		if !ok {
+			cv = e.buildVarCacheLocked(sig)
+		}
+		switch cv.kind {
+		case device.VarKindSpecial:
+			e.applySpecialInternedLocked(cv, name, value)
+		case device.VarKindNumber:
+			if f, err := strconv.ParseFloat(value, 64); err == nil {
+				for _, id := range cv.keyIDs {
+					e.ctx.SetNumberID(id, f)
+				}
+				e.dirtyIDs.AddAll(cv.dirtyIDs)
+			}
+		case device.VarKindBool:
+			b := value == "1" || value == "true"
+			for _, id := range cv.keyIDs {
+				e.ctx.SetBoolID(id, b)
+			}
+			e.dirtyIDs.AddAll(cv.dirtyIDs)
+		default:
+			// String vars (mode) are not observable by CADEL conditions in
+			// this version; ignored.
+		}
+	}
+}
+
+// buildVarCacheLocked interns the context keys and dirty ids for one device
+// variable and memoizes them; it runs once per distinct event signature.
+func (e *Engine) buildVarCacheLocked(sig varSig) *cachedVar {
+	cv := &cachedVar{kind: device.KindOfVar(sig.name)}
+	switch cv.kind {
+	case device.VarKindSpecial:
+		if user, ok := strings.CutPrefix(sig.name, "presence-"); ok {
+			cv.user = user
+			for _, k := range core.LocationDirtyKeys(user) {
+				cv.dirtyIDs = append(cv.dirtyIDs, e.tab.Intern(k))
+			}
+		}
+	case device.VarKindNumber:
+		for _, key := range device.ContextKeys(sig.deviceType, sig.friendlyName, sig.location, sig.name) {
+			cv.keyIDs = append(cv.keyIDs, e.tab.Intern(key))
+			for _, dk := range core.NumberDirtyKeys(key) {
+				cv.dirtyIDs = append(cv.dirtyIDs, e.tab.Intern(dk))
+			}
+		}
+	case device.VarKindBool:
+		for _, key := range device.ContextKeys(sig.deviceType, sig.friendlyName, sig.location, sig.name) {
+			cv.keyIDs = append(cv.keyIDs, e.tab.Intern(key))
+			for _, dk := range core.BoolDirtyKeys(key) {
+				cv.dirtyIDs = append(cv.dirtyIDs, e.tab.Intern(dk))
+			}
+		}
+	}
+	e.varCache[sig] = cv
+	return cv
+}
+
+func (e *Engine) applySpecialInternedLocked(cv *cachedVar, name, value string) {
+	switch {
+	case cv.user != "":
+		e.ctx.SetLocation(cv.user, value)
+		e.dirtyIDs.AddAll(cv.dirtyIDs)
+	case name == "event":
+		// "person|event|seq"
+		parts := strings.SplitN(value, "|", 3)
+		if len(parts) >= 2 && parts[0] != "" {
+			e.ctx.Now = e.now()
+			e.ctx.RecordEvent(parts[0], parts[1])
+			id, ok := e.eventDep[parts[1]]
+			if !ok {
+				id = e.tab.Intern(core.EventDepKey(parts[1]))
+				e.eventDep[parts[1]] = id
+			}
+			e.dirtyIDs.Add(id)
+		}
+	case name == "programs":
+		e.ctx.SetPrograms(device.DecodePrograms(value))
+		e.dirtyIDs.Add(e.programsDep)
+	}
+}
+
+// ingestStringLocked is the retained string-keyed ingest path (oracle mode).
+func (e *Engine) ingestStringLocked(deviceType, friendlyName, location string, vars map[string]string) {
 	for name, value := range vars {
 		switch device.KindOfVar(name) {
 		case device.VarKindSpecial:
@@ -274,14 +455,14 @@ func (e *Engine) ingestLocked(deviceType, friendlyName, location string, vars ma
 		case device.VarKindNumber:
 			if f, err := strconv.ParseFloat(value, 64); err == nil {
 				for _, key := range device.ContextKeys(deviceType, friendlyName, location, name) {
-					e.ctx.Numbers[key] = f
+					e.ctx.SetNumber(key, f)
 					e.markDirtyLocked(core.NumberDirtyKeys(key))
 				}
 			}
 		case device.VarKindBool:
 			b := value == "1" || value == "true"
 			for _, key := range device.ContextKeys(deviceType, friendlyName, location, name) {
-				e.ctx.Bools[key] = b
+				e.ctx.SetBool(key, b)
 				e.markDirtyLocked(core.BoolDirtyKeys(key))
 			}
 		default:
@@ -301,7 +482,7 @@ func (e *Engine) applySpecialLocked(name, value string) {
 	switch {
 	case strings.HasPrefix(name, "presence-"):
 		user := strings.TrimPrefix(name, "presence-")
-		e.ctx.Locations[user] = value
+		e.ctx.SetLocation(user, value)
 		e.markDirtyLocked(core.LocationDirtyKeys(user))
 	case name == "event":
 		// "person|event|seq"
@@ -312,7 +493,7 @@ func (e *Engine) applySpecialLocked(name, value string) {
 			e.markDirtyLocked([]string{core.EventDepKey(parts[1])})
 		}
 	case name == "programs":
-		e.ctx.Programs = device.DecodePrograms(value)
+		e.ctx.SetPrograms(device.DecodePrograms(value))
 		e.markDirtyLocked([]string{core.ProgramsDepKey})
 	}
 }
@@ -375,9 +556,30 @@ func (e *Engine) evaluateLocked() {
 	}
 }
 
+// ruleReady evaluates one rule's condition on the mode's evaluation path:
+// pre-bound (symbol slots) by default, unbound name resolution in
+// string-keyed oracle mode.
+func (e *Engine) ruleReady(r *core.Rule) bool {
+	if e.stringKeys {
+		return r.Ready(e.ctx)
+	}
+	return r.ReadyBound(e.ctx)
+}
+
 // maintainHoldsLocked updates the context's duration-hold marks for one
-// rule's condition tree.
+// rule's condition tree. The interned path iterates the rule's pre-collected
+// Duration nodes (usually none) instead of walking the tree.
 func (e *Engine) maintainHoldsLocked(r *core.Rule) {
+	if !e.stringKeys && r.Bound != nil {
+		for _, d := range r.Holds {
+			if d.Inner.Eval(e.ctx) {
+				e.ctx.MarkHeld(d.Key)
+			} else {
+				e.ctx.ClearHeld(d.Key)
+			}
+		}
+		return
+	}
 	core.WalkCond(r.Cond, func(c core.Condition) {
 		d, ok := c.(*core.Duration)
 		if !ok {
@@ -392,9 +594,11 @@ func (e *Engine) maintainHoldsLocked(r *core.Rule) {
 }
 
 // fullScanPassLocked is the naive evaluator: walk every rule, rebuild every
-// device's ready-set, re-arbitrate every device.
+// device's ready-set, re-arbitrate every device. Its per-pass maps are
+// reused across passes and cleared on exit.
 func (e *Engine) fullScanPassLocked() []Fired {
 	clear(e.dirty) // tracked but unused in oracle mode
+	e.dirtyIDs.Reset()
 	rules := e.db.All()
 
 	// Maintain duration holds.
@@ -403,10 +607,10 @@ func (e *Engine) fullScanPassLocked() []Fired {
 	}
 
 	// Group ready rules by device.
-	ready := make(map[string][]*core.Rule)
-	refs := make(map[string]core.DeviceRef)
+	ready := e.scReady
+	refs := e.scRefs
 	for _, r := range rules {
-		if r.Ready(e.ctx) {
+		if e.ruleReady(r) {
 			key := r.Device.Key()
 			ready[key] = append(ready[key], r)
 			refs[key] = r.Device
@@ -415,11 +619,12 @@ func (e *Engine) fullScanPassLocked() []Fired {
 
 	// Reconcile ownership per device.
 	var fired []Fired
-	keys := make([]string, 0, len(ready))
+	keys := e.scKeys[:0]
 	for key := range ready {
 		keys = append(keys, key)
 	}
 	sort.Strings(keys)
+	e.scKeys = keys
 	for _, key := range keys {
 		ranked := e.priorities.Arbitrate(refs[key], e.ctx, ready[key])
 		winner := ranked[0]
@@ -440,19 +645,22 @@ func (e *Engine) fullScanPassLocked() []Fired {
 			delete(e.owners, key)
 		}
 	}
+	e.scReady = resetScratchMap(ready)
+	e.scRefs = resetScratchMap(refs)
 	return fired
 }
 
 // incrementalPassLocked re-evaluates only the rules the dirty keys (plus
 // time, plus rule churn) can have affected, then re-arbitrates only the
 // devices whose ready-set changed or whose contextual priority order was
-// touched.
+// touched. All per-pass scratch (candidates, changed keys, sort buffers) is
+// reused between passes, so a steady-state pass allocates nothing.
 func (e *Engine) incrementalPassLocked() []Fired {
 	nowChanged := !e.ctx.Now.Equal(e.lastEvalAt)
 	e.lastEvalAt = e.ctx.Now
 
 	// Device keys whose ready-set changed this pass.
-	changed := make(map[string]struct{})
+	changed := e.scChanged
 
 	// Sync rule additions and removals with the database.
 	var added []*core.Rule
@@ -490,7 +698,7 @@ func (e *Engine) incrementalPassLocked() []Fired {
 	}
 
 	// Collect the candidate rules to re-evaluate.
-	candidates := make(map[string]*core.Rule)
+	candidates := e.scCand
 	if e.allDirty {
 		for id, r := range e.known {
 			candidates[id] = r
@@ -500,10 +708,20 @@ func (e *Engine) incrementalPassLocked() []Fired {
 		// generation sync; only evaluate rules the sync has seen (the rest
 		// are picked up as added on the next pass), or cached state could
 		// outlive a rule the eviction loop never knew about.
-		for key := range e.dirty {
-			for _, r := range e.db.ByDep(key) {
-				if e.known[r.ID] == r {
-					candidates[r.ID] = r
+		if e.stringKeys {
+			for key := range e.dirty {
+				for _, r := range e.db.ByDep(key) {
+					if e.known[r.ID] == r {
+						candidates[r.ID] = r
+					}
+				}
+			}
+		} else {
+			for _, depID := range e.dirtyIDs.IDs() {
+				for _, r := range e.db.ByDepID(depID) {
+					if e.known[r.ID] == r {
+						candidates[r.ID] = r
+					}
 				}
 			}
 		}
@@ -528,7 +746,7 @@ func (e *Engine) incrementalPassLocked() []Fired {
 
 	// Re-evaluate candidates and diff cached readiness.
 	for id, r := range candidates {
-		rdy := r.Ready(e.ctx)
+		rdy := e.ruleReady(r)
 		if rdy == e.ready[id] {
 			continue
 		}
@@ -556,7 +774,11 @@ func (e *Engine) incrementalPassLocked() []Fired {
 		e.tblDeps = e.tblDeps[:0]
 		for _, o := range e.priorities.Orders() {
 			if o.Context != nil {
-				e.tblDeps = append(e.tblDeps, orderDep{device: o.Device, deps: core.CondDeps(o.Context)})
+				od := orderDep{device: o.Device, deps: core.CondDeps(o.Context)}
+				if !e.stringKeys {
+					od.ids = od.deps.IDsIn(e.tab)
+				}
+				e.tblDeps = append(e.tblDeps, od)
 			}
 		}
 		// The table itself changed: every owned or ready device may rank
@@ -568,7 +790,13 @@ func (e *Engine) incrementalPassLocked() []Fired {
 		}
 	} else {
 		for _, od := range e.tblDeps {
-			touched := e.allDirty || (od.deps.Time && nowChanged) || od.deps.Intersects(e.dirty)
+			var hit bool
+			if e.stringKeys {
+				hit = od.deps.Intersects(e.dirty)
+			} else {
+				hit = e.dirtyIDs.IntersectsAny(od.ids)
+			}
+			touched := e.allDirty || (od.deps.Time && nowChanged) || hit
 			if !touched {
 				continue
 			}
@@ -583,38 +811,62 @@ func (e *Engine) incrementalPassLocked() []Fired {
 	// Reconcile ownership for the affected devices, in sorted key order so
 	// the fired log is deterministic (and identical to the full scan's).
 	var fired []Fired
-	keys := make([]string, 0, len(arbitrate))
-	for key := range arbitrate {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		m := e.readyByDev[key]
-		if len(m) == 0 {
-			delete(e.owners, key)
-			delete(e.readyByDev, key)
-			delete(e.refs, key)
-			continue
+	if len(arbitrate) > 0 {
+		keys := e.scKeys[:0]
+		for key := range arbitrate {
+			keys = append(keys, key)
 		}
-		list := make([]*core.Rule, 0, len(m))
-		for _, r := range m {
-			list = append(list, r)
+		sort.Strings(keys)
+		e.scKeys = keys
+		for _, key := range keys {
+			m := e.readyByDev[key]
+			if len(m) == 0 {
+				delete(e.owners, key)
+				delete(e.readyByDev, key)
+				delete(e.refs, key)
+				continue
+			}
+			list := e.scList[:0]
+			for _, r := range m {
+				list = append(list, r)
+			}
+			sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+			ranked := e.priorities.Arbitrate(e.refs[key], e.ctx, list)
+			e.scList = list
+			winner := ranked[0]
+			if e.owners[key] == winner.ID {
+				continue
+			}
+			e.owners[key] = winner.ID
+			fired = append(fired, Fired{
+				Time:       e.ctx.Now,
+				Rule:       winner,
+				Suppressed: ranked[1:],
+			})
 		}
-		sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
-		ranked := e.priorities.Arbitrate(e.refs[key], e.ctx, list)
-		winner := ranked[0]
-		if e.owners[key] == winner.ID {
-			continue
-		}
-		e.owners[key] = winner.ID
-		fired = append(fired, Fired{
-			Time:       e.ctx.Now,
-			Rule:       winner,
-			Suppressed: ranked[1:],
-		})
 	}
 
 	clear(e.dirty)
+	e.dirtyIDs.Reset()
 	e.allDirty = false
+	e.scCand = resetScratchMap(candidates)
+	e.scChanged = resetScratchMap(changed)
 	return fired
+}
+
+// scratchShrink bounds how large a reused per-pass scratch map may stay.
+// clear() costs O(bucket count) no matter how few entries are left, so after
+// a rare huge pass (allDirty re-evaluating every rule) holding on to the
+// grown map would tax every steady-state pass; dropping it restores O(1)
+// amortized clearing at the cost of one allocation on the next big pass.
+const scratchShrink = 512
+
+// resetScratchMap empties a per-pass scratch map for reuse, replacing it
+// when it grew past scratchShrink.
+func resetScratchMap[V any](m map[string]V) map[string]V {
+	if len(m) > scratchShrink {
+		return make(map[string]V)
+	}
+	clear(m)
+	return m
 }

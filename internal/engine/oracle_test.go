@@ -15,9 +15,11 @@ import (
 	"repro/internal/simplex"
 )
 
-// enginePair runs the incremental evaluator and the full-scan oracle over
-// one shared rule database and priority table; every stimulus is applied to
-// both so their fired logs and owner maps must stay identical.
+// enginePair runs two engine configurations over one shared rule database
+// and priority table; every stimulus is applied to both so their fired logs
+// and owner maps must stay identical. The default pairing is the interned
+// incremental evaluator against the full-scan oracle; the interned
+// equivalence suite pairs it against the string-keyed oracle instead.
 type enginePair struct {
 	t     *testing.T
 	db    *registry.DB
@@ -29,6 +31,10 @@ type enginePair struct {
 }
 
 func newEnginePair(t *testing.T) *enginePair {
+	return newEnginePairOpts(t, nil, []Option{WithFullScan()})
+}
+
+func newEnginePairOpts(t *testing.T, incOpts, oracleOpts []Option) *enginePair {
 	t.Helper()
 	p := &enginePair{
 		t:     t,
@@ -36,8 +42,10 @@ func newEnginePair(t *testing.T) *enginePair {
 		tbl:   conflict.NewTable(),
 		clock: &fakeClock{now: time.Date(2005, 3, 7, 8, 0, 0, 0, time.UTC)},
 	}
-	p.inc = New(p.db, p.tbl, p.clock.Now, nil, WithEventTTL(30*time.Minute))
-	p.full = New(p.db, p.tbl, p.clock.Now, nil, WithEventTTL(30*time.Minute), WithFullScan())
+	p.inc = New(p.db, p.tbl, p.clock.Now, nil,
+		append([]Option{WithEventTTL(30 * time.Minute)}, incOpts...)...)
+	p.full = New(p.db, p.tbl, p.clock.Now, nil,
+		append([]Option{WithEventTTL(30 * time.Minute)}, oracleOpts...)...)
 	return p
 }
 
@@ -87,8 +95,11 @@ func (p *enginePair) check() {
 // rules, presence, arrivals with TTL, time windows, duration holds, on-air
 // matching and contextual priority hand-offs — on both evaluators.
 func TestOracleEquivalenceScripted(t *testing.T) {
-	p := newEnginePair(t)
+	runScriptedScenario(t, newEnginePair(t))
+}
 
+// runScriptedScenario drives the paper's scripted scenario over a pair.
+func runScriptedScenario(t *testing.T, p *enginePair) {
 	rules := []*core.Rule{
 		{ID: "ac", Owner: "tom", Device: core.DeviceRef{Name: "air conditioner"},
 			Action: core.Action{Verb: "turn-on"},
@@ -174,114 +185,119 @@ func TestOracleEquivalenceScripted(t *testing.T) {
 // rule sets and shuffled event streams (several hundred events per seed)
 // and asserts identical fired logs and owner maps after every stimulus.
 func TestOracleEquivalenceRandom(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runRandomScenario(t, newEnginePair(t), seed)
+		})
+	}
+}
+
+// runRandomScenario drives one randomized rule set and event stream (seeded)
+// over a pair.
+func runRandomScenario(t *testing.T, p *enginePair, seed int64) {
 	people := []string{"tom", "alan", "emily"}
 	places := []string{"living room", "kitchen", "hall", ""}
 	rooms := []string{"living room", "kitchen", "hall"}
 	events := []string{"home-from-work", "home-from-shopping"}
 	devices := []string{"tv", "stereo", "air conditioner", "floor lamp", "alarm"}
 
-	for seed := int64(1); seed <= 4; seed++ {
-		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			p := newEnginePair(t)
+	rng := rand.New(rand.NewSource(seed))
 
-			randLeaf := func(i int) core.Condition {
-				switch rng.Intn(7) {
-				case 0:
-					return &core.Compare{Var: rooms[rng.Intn(len(rooms))] + "/temperature",
-						Op: simplex.GT, Value: float64(15 + rng.Intn(20))}
-				case 1:
-					return &core.Compare{Var: "humidity", Op: simplex.LT, Value: float64(40 + rng.Intn(40))}
-				case 2:
-					return &core.BoolIs{Var: "tv/power", Want: rng.Intn(2) == 0}
-				case 3:
-					return &core.Presence{Person: people[rng.Intn(len(people))], Place: rooms[rng.Intn(len(rooms))]}
-				case 4:
-					return &core.Arrival{Person: people[rng.Intn(len(people))], Event: events[rng.Intn(len(events))]}
-				case 5:
-					return &core.OnAir{Keyword: "baseball game"}
-				default:
-					return &core.Nobody{Place: "home"}
-				}
-			}
-			randCond := func(i int) core.Condition {
-				leaf := randLeaf(i)
-				switch rng.Intn(5) {
-				case 0:
-					return &core.And{Terms: []core.Condition{leaf, randLeaf(i)}}
-				case 1:
-					return &core.Or{Terms: []core.Condition{leaf, randLeaf(i)}}
-				case 2:
-					return &core.And{Terms: []core.Condition{
-						&core.TimeWindow{FromMin: rng.Intn(24 * 60), ToMin: rng.Intn(24 * 60), Weekday: -1}, leaf}}
-				case 3:
-					return &core.Duration{Key: fmt.Sprintf("hold-%d", i),
-						Seconds: float64(60 * (1 + rng.Intn(90))), Inner: leaf}
-				default:
-					return leaf
-				}
-			}
-			for i := 0; i < 40; i++ {
-				r := &core.Rule{
-					ID:     fmt.Sprintf("r%d", i),
-					Owner:  people[rng.Intn(len(people))],
-					Device: core.DeviceRef{Name: devices[rng.Intn(len(devices))]},
-					Action: core.Action{Verb: "turn-on",
-						Settings: map[string]core.Value{"channel": {IsNumber: true, Number: float64(i)}}},
-					Cond: randCond(i),
-				}
-				if err := p.db.Add(r); err != nil {
-					t.Fatal(err)
-				}
-			}
-			p.tbl.Set(conflict.Order{Device: core.DeviceRef{Name: "tv"}, Users: []string{"tom", "alan", "emily"}})
-			p.tbl.Set(conflict.Order{
-				Device:        core.DeviceRef{Name: "stereo"},
-				Context:       &core.Arrival{Person: "emily", Event: "home-from-shopping"},
-				ContextSource: "emily got home from shopping",
-				Users:         []string{"emily", "tom", "alan"},
-			})
-			p.each(func(e *Engine) { e.SetUsers(people) })
+	randLeaf := func(i int) core.Condition {
+		switch rng.Intn(7) {
+		case 0:
+			return &core.Compare{Var: rooms[rng.Intn(len(rooms))] + "/temperature",
+				Op: simplex.GT, Value: float64(15 + rng.Intn(20))}
+		case 1:
+			return &core.Compare{Var: "humidity", Op: simplex.LT, Value: float64(40 + rng.Intn(40))}
+		case 2:
+			return &core.BoolIs{Var: "tv/power", Want: rng.Intn(2) == 0}
+		case 3:
+			return &core.Presence{Person: people[rng.Intn(len(people))], Place: rooms[rng.Intn(len(rooms))]}
+		case 4:
+			return &core.Arrival{Person: people[rng.Intn(len(people))], Event: events[rng.Intn(len(events))]}
+		case 5:
+			return &core.OnAir{Keyword: "baseball game"}
+		default:
+			return &core.Nobody{Place: "home"}
+		}
+	}
+	randCond := func(i int) core.Condition {
+		leaf := randLeaf(i)
+		switch rng.Intn(5) {
+		case 0:
+			return &core.And{Terms: []core.Condition{leaf, randLeaf(i)}}
+		case 1:
+			return &core.Or{Terms: []core.Condition{leaf, randLeaf(i)}}
+		case 2:
+			return &core.And{Terms: []core.Condition{
+				&core.TimeWindow{FromMin: rng.Intn(24 * 60), ToMin: rng.Intn(24 * 60), Weekday: -1}, leaf}}
+		case 3:
+			return &core.Duration{Key: fmt.Sprintf("hold-%d", i),
+				Seconds: float64(60 * (1 + rng.Intn(90))), Inner: leaf}
+		default:
+			return leaf
+		}
+	}
+	for i := 0; i < 40; i++ {
+		r := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  people[rng.Intn(len(people))],
+			Device: core.DeviceRef{Name: devices[rng.Intn(len(devices))]},
+			Action: core.Action{Verb: "turn-on",
+				Settings: map[string]core.Value{"channel": {IsNumber: true, Number: float64(i)}}},
+			Cond: randCond(i),
+		}
+		if err := p.db.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.tbl.Set(conflict.Order{Device: core.DeviceRef{Name: "tv"}, Users: []string{"tom", "alan", "emily"}})
+	p.tbl.Set(conflict.Order{
+		Device:        core.DeviceRef{Name: "stereo"},
+		Context:       &core.Arrival{Person: "emily", Event: "home-from-shopping"},
+		ContextSource: "emily got home from shopping",
+		Users:         []string{"emily", "tom", "alan"},
+	})
+	p.each(func(e *Engine) { e.SetUsers(people) })
 
-			for step := 0; step < 400; step++ {
-				switch rng.Intn(10) {
-				case 0, 1:
-					p.event(device.TypeThermometer, "thermometer", rooms[rng.Intn(len(rooms))],
-						map[string]string{"temperature": fmt.Sprintf("%d", 10+rng.Intn(30))})
-				case 2:
-					p.event(device.TypeHygrometer, "hygrometer", rooms[rng.Intn(len(rooms))],
-						map[string]string{"humidity": fmt.Sprintf("%d", 30+rng.Intn(60))})
-				case 3, 4:
-					p.event(device.TypePresenceSensor, "presence sensor", "home",
-						map[string]string{"presence-" + people[rng.Intn(len(people))]: places[rng.Intn(len(places))]})
-				case 5:
-					who := people[rng.Intn(len(people))]
-					p.event(device.TypePresenceSensor, "presence sensor", "home",
-						map[string]string{"event": fmt.Sprintf("%s|%s|%d", who, events[rng.Intn(len(events))], step)})
-				case 6:
-					var progs []core.Program
-					if rng.Intn(2) == 0 {
-						progs = append(progs, core.Program{Title: "Tigers vs Giants", Category: "baseball game"})
-					}
-					p.event(device.TypeEPGTuner, "epg tuner", "home",
-						map[string]string{"programs": device.EncodePrograms(progs)})
-				case 7:
-					p.event(device.TypeTV, "tv", "living room",
-						map[string]string{"power": fmt.Sprintf("%d", rng.Intn(2))})
-				case 8:
-					p.advance(time.Duration(1+rng.Intn(40)) * time.Minute)
-				default:
-					if rng.Intn(4) == 0 {
-						p.each(func(e *Engine) { e.SetFavorites("emily", []string{"roman holiday"}) })
-					} else {
-						p.advance(time.Duration(rng.Intn(90)) * time.Second)
-					}
-				}
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			p.event(device.TypeThermometer, "thermometer", rooms[rng.Intn(len(rooms))],
+				map[string]string{"temperature": fmt.Sprintf("%d", 10+rng.Intn(30))})
+		case 2:
+			p.event(device.TypeHygrometer, "hygrometer", rooms[rng.Intn(len(rooms))],
+				map[string]string{"humidity": fmt.Sprintf("%d", 30+rng.Intn(60))})
+		case 3, 4:
+			p.event(device.TypePresenceSensor, "presence sensor", "home",
+				map[string]string{"presence-" + people[rng.Intn(len(people))]: places[rng.Intn(len(places))]})
+		case 5:
+			who := people[rng.Intn(len(people))]
+			p.event(device.TypePresenceSensor, "presence sensor", "home",
+				map[string]string{"event": fmt.Sprintf("%s|%s|%d", who, events[rng.Intn(len(events))], step)})
+		case 6:
+			var progs []core.Program
+			if rng.Intn(2) == 0 {
+				progs = append(progs, core.Program{Title: "Tigers vs Giants", Category: "baseball game"})
 			}
-			if len(p.inc.Log()) < 10 {
-				t.Fatalf("only %d firings over 400 events; stream too quiet to be convincing", len(p.inc.Log()))
+			p.event(device.TypeEPGTuner, "epg tuner", "home",
+				map[string]string{"programs": device.EncodePrograms(progs)})
+		case 7:
+			p.event(device.TypeTV, "tv", "living room",
+				map[string]string{"power": fmt.Sprintf("%d", rng.Intn(2))})
+		case 8:
+			p.advance(time.Duration(1+rng.Intn(40)) * time.Minute)
+		default:
+			if rng.Intn(4) == 0 {
+				p.each(func(e *Engine) { e.SetFavorites("emily", []string{"roman holiday"}) })
+			} else {
+				p.advance(time.Duration(rng.Intn(90)) * time.Second)
 			}
-		})
+		}
+	}
+	if len(p.inc.Log()) < 10 {
+		t.Fatalf("only %d firings over 400 events; stream too quiet to be convincing", len(p.inc.Log()))
 	}
 }
 
@@ -289,7 +305,12 @@ func TestOracleEquivalenceRandom(t *testing.T) {
 // incremental engine must pick up additions (evaluate-once semantics for
 // unconditional rules) and drop removed owners exactly like the oracle.
 func TestOracleEquivalenceRuleChurn(t *testing.T) {
-	p := newEnginePair(t)
+	runChurnScenario(t, newEnginePair(t))
+}
+
+// runChurnScenario adds, removes and re-registers rules mid-stream over a
+// pair.
+func runChurnScenario(t *testing.T, p *enginePair) {
 	if err := p.db.Add(&core.Rule{
 		ID: "a", Owner: "tom", Device: core.DeviceRef{Name: "tv"},
 		Action: core.Action{Verb: "turn-on"},

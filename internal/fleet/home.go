@@ -79,6 +79,9 @@ func newHome(id string, c *config, batch engine.BatchDispatcher) *Home {
 	if c.fullScan {
 		engineOpts = append(engineOpts, engine.WithFullScan())
 	}
+	if c.stringKeys {
+		engineOpts = append(engineOpts, engine.WithStringKeys())
+	}
 	if c.onFire != nil {
 		fn := c.onFire
 		engineOpts = append(engineOpts, engine.WithOnFire(func(f engine.Fired) { fn(id, f) }))
@@ -332,6 +335,16 @@ func (h *Home) Log() []engine.Fired { return h.engine.Log() }
 
 // Context returns a copy of the home's current context.
 func (h *Home) Context() *core.Context { return h.engine.Context() }
+
+// Snapshot returns a cached read-only view of the home's current context.
+// It is what observability endpoints should use: idle polls return the same
+// object without cloning on the shard goroutine. Callers must not mutate it.
+func (h *Home) Snapshot() *core.Context { return h.engine.Snapshot() }
+
+// Symtab returns the home's symbol table. Each home owns exactly one (its
+// rule database creates it; the engine and context share it), so symbol ids
+// are meaningful only within the home.
+func (h *Home) Symtab() *core.Symtab { return h.db.Symtab() }
 
 // Owners returns the home's device → owning-rule-ID map.
 func (h *Home) Owners() map[string]string { return h.engine.Owners() }

@@ -636,18 +636,24 @@ func (h *Hub) Log(home string) ([]engine.Fired, error) {
 	return out, err
 }
 
-// Context returns a copy of a home's current context.
+// Context returns a copy of a home's current context. Only the cheap cached
+// snapshot is taken on the home's shard goroutine; the mutation-safe deep
+// clone happens on the caller, so observability never stalls the shard.
 func (h *Hub) Context(home string) (*core.Context, error) {
-	var out *core.Context
+	var snap *core.Context
 	err := h.do(home, func(hm *Home) error {
 		if hm != nil {
-			out = hm.Context()
-		} else {
-			out = core.NewContext(h.cfg.now())
+			snap = hm.Snapshot()
 		}
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return core.NewContext(h.cfg.now()), nil
+	}
+	return snap.Clone(), nil
 }
 
 // Owners returns a home's device → owning-rule-ID map.

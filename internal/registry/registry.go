@@ -25,28 +25,43 @@ var (
 	ErrNotFound    = errors.New("registry: rule not found")
 )
 
-// DB is a concurrency-safe, indexed rule database.
+// DB is a concurrency-safe, indexed rule database. Every DB owns a symbol
+// table: Add interns the rule's dependency keys, binds the condition tree
+// (core.Bind) and maintains an id-keyed dependency index alongside the
+// string-keyed one, so the engine's interned hot path and the retained
+// string-keyed oracle path index the same rules. A rule object therefore
+// belongs to at most one DB at a time.
 type DB struct {
 	mu       sync.RWMutex
+	tab      *core.Symtab
 	rules    map[string]*core.Rule
 	byName   map[string][]*core.Rule // device name → rules
 	byOwner  map[string][]*core.Rule
 	byDep    map[string][]*core.Rule // context dependency key → rules
+	byDepID  map[uint32][]*core.Rule // interned dependency key → rules
 	timeDep  []*core.Rule            // rules whose readiness can change with time alone
 	gen      uint64                  // bumped on every Add/Remove
 	seq      uint64
 	inserted []string // insertion order of rule IDs
 }
 
-// New returns an empty database.
+// New returns an empty database with a fresh symbol table.
 func New() *DB {
 	return &DB{
+		tab:     core.NewSymtab(),
 		rules:   make(map[string]*core.Rule),
 		byName:  make(map[string][]*core.Rule),
 		byOwner: make(map[string][]*core.Rule),
 		byDep:   make(map[string][]*core.Rule),
+		byDepID: make(map[uint32][]*core.Rule),
 	}
 }
+
+// Symtab returns the database's symbol table. The engine evaluating this
+// database's rules shares it, so bound conditions and interned context keys
+// agree on ids; in a fleet each home's database (and thus symtab) is its
+// own.
+func (db *DB) Symtab() *core.Symtab { return db.tab }
 
 // Add registers a rule and assigns its sequence number.
 func (db *DB) Add(r *core.Rule) error {
@@ -60,12 +75,18 @@ func (db *DB) Add(r *core.Rule) error {
 	}
 	db.seq++
 	r.Seq = db.seq
+	r.Bound = core.Bind(r.Cond, db.tab)
+	r.Holds = core.CollectHolds(r.Bound)
 	db.rules[r.ID] = r
 	db.byName[r.Device.Name] = append(db.byName[r.Device.Name], r)
 	db.byOwner[r.Owner] = append(db.byOwner[r.Owner], r)
 	deps := core.CondDeps(r.Cond)
+	r.DepIDs = deps.IDsIn(db.tab)
 	for key := range deps.Keys {
 		db.byDep[key] = append(db.byDep[key], r)
+	}
+	for _, id := range r.DepIDs {
+		db.byDepID[id] = append(db.byDepID[id], r)
 	}
 	if deps.Time {
 		db.timeDep = append(db.timeDep, r)
@@ -89,6 +110,9 @@ func (db *DB) Remove(id string) error {
 	deps := core.CondDeps(r.Cond)
 	for key := range deps.Keys {
 		db.byDep[key] = removeRule(db.byDep[key], id)
+	}
+	for _, depID := range r.DepIDs {
+		db.byDepID[depID] = removeRule(db.byDepID[depID], id)
 	}
 	if deps.Time {
 		db.timeDep = removeRule(db.timeDep, id)
@@ -190,6 +214,17 @@ func (db *DB) ByDep(key string) []*core.Rule {
 	out := make([]*core.Rule, len(db.byDep[key]))
 	copy(out, db.byDep[key])
 	return out
+}
+
+// ByDepID is ByDep keyed by interned dependency id — the zero-copy access
+// path of the engine's interned evaluation. The returned slice is the
+// index's own backing array: callers must not modify it and should treat it
+// as a point-in-time snapshot (a concurrent Add or Remove replaces the
+// index entry rather than mutating the returned elements in place).
+func (db *DB) ByDepID(id uint32) []*core.Rule {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.byDepID[id]
 }
 
 // TimeDependent returns the rules whose readiness can change with the

@@ -290,3 +290,60 @@ func TestQuickRandomOps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestByDepIDIndex pins the interned dependency index: Add interns and binds
+// (Bound/Holds/DepIDs populated), ByDepID mirrors ByDep, Remove cleans the
+// id-keyed postings, and re-adding a rule rebinds it against this database's
+// symbol table.
+func TestByDepIDIndex(t *testing.T) {
+	db := New()
+	tab := db.Symtab()
+	if tab == nil {
+		t.Fatal("Symtab is nil")
+	}
+	r := &core.Rule{
+		ID: "r1", Owner: "tom", Device: core.DeviceRef{Name: "fan"},
+		Action: core.Action{Verb: "turn-on"},
+		Cond: &core.And{Terms: []core.Condition{
+			&core.Compare{Var: "temperature", Op: simplex.GT, Value: 25},
+			&core.BoolIs{Var: "tv/power", Want: true},
+		}},
+	}
+	if err := db.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound == nil {
+		t.Fatal("Add did not bind the condition tree")
+	}
+	if len(r.DepIDs) != 2 {
+		t.Fatalf("DepIDs = %v, want 2 entries", r.DepIDs)
+	}
+	for _, key := range []string{core.NumberDepKey("temperature"), core.BoolDepKey("tv/power")} {
+		id, ok := tab.Lookup(key)
+		if !ok {
+			t.Fatalf("dep key %q not interned", key)
+		}
+		byStr, byID := db.ByDep(key), db.ByDepID(id)
+		if len(byStr) != 1 || len(byID) != 1 || byStr[0] != r || byID[0] != r {
+			t.Fatalf("index mismatch for %q: ByDep=%v ByDepID=%v", key, byStr, byID)
+		}
+	}
+	if err := db.Remove("r1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range r.DepIDs {
+		if got := db.ByDepID(id); len(got) != 0 {
+			t.Fatalf("ByDepID(%d) = %v after Remove, want empty", id, got)
+		}
+	}
+	// Re-adding rebinds: DepIDs stay resolvable in this table.
+	if err := db.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Bound == nil || len(r.DepIDs) != 2 {
+		t.Fatalf("re-add did not rebind: Bound=%v DepIDs=%v", r.Bound, r.DepIDs)
+	}
+	if holds := core.CollectHolds(r.Bound); len(holds) != len(r.Holds) {
+		t.Fatalf("Holds = %d, want %d", len(r.Holds), len(holds))
+	}
+}
