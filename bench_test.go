@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchwork"
 	"repro/internal/conflict"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -360,99 +361,40 @@ func BenchmarkCompileRule(b *testing.B) {
 
 // ---- execution engine ----
 
-// engineBenchDB builds n rules. Rule 0 reads the unqualified "temperature"
-// — the paper's Example Rule 1 shape, which the string-keyed path resolves
-// with a suffix scan over every populated context key per evaluation —
-// while every other rule reads its own room's qualified temperature, so a
-// single sensor event touches the dependency set of exactly one rule.
-func engineBenchDB(b *testing.B, n int) *registry.DB {
-	b.Helper()
-	db := registry.New()
-	for i := 0; i < n; i++ {
-		v := "temperature"
-		if i > 0 {
-			v = fmt.Sprintf("room%d/temperature", i)
-		}
-		rule := &core.Rule{
-			ID:     fmt.Sprintf("r%d", i),
-			Owner:  "u",
-			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
-			Action: core.Action{Verb: "turn-on"},
-			Cond: &core.And{Terms: []core.Condition{
-				&core.Compare{Var: v, Op: simplex.GT, Value: float64(20 + i%15)},
-				&core.Presence{Person: "tom", Place: "living room"},
-			}},
-		}
-		if err := db.Add(rule); err != nil {
-			b.Fatal(err)
-		}
-	}
-	return db
-}
-
-// benchmarkEngineEvaluate measures one evaluation pass per sensor event: a
-// single-key context change (room0's temperature, cycling through values)
-// over n registered rules. The incremental evaluator re-checks only the one
-// affected rule via the dependency index; the full scan walks all n. The
-// event maps are built outside the timed loop so the reported allocs/op are
-// the engine's own: the interned hot path must show 0.
-func benchmarkEngineEvaluate(b *testing.B, n int, values []string, opts ...engine.Option) {
-	db := engineBenchDB(b, n)
-	now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
-	e := engine.New(db, conflict.NewTable(), func() time.Time { return now }, nil, opts...)
-	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
-		map[string]string{"presence-tom": "living room"})
-	// Populate every room's sensor key once, as a home with n reporting
-	// sensors would: unqualified-name resolution now has n qualified keys to
-	// consider on every rule-0 evaluation. Ingest + one Tick coalesces the
-	// whole population burst into a single evaluation pass.
-	low := map[string]string{"temperature": "10"}
-	for i := 1; i < n; i++ {
-		e.Ingest(device.TypeThermometer, "thermometer", fmt.Sprintf("room%d", i), low)
-	}
-	e.Tick()
-	events := make([]map[string]string, len(values))
-	for i, v := range values {
-		events[i] = map[string]string{"temperature": v}
-	}
-	// Warm the ingest caches and the readiness diff so the timed loop is
-	// steady state.
-	for _, ev := range events {
-		e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", ev)
+// benchmarkEngineWorkload times one named benchwork workload: replay the
+// event stream against the seeded steady-state engine. The events are built
+// outside the timed loop so the reported allocs/op are the engine's own: the
+// interned hot path must show 0 on the non-firing workloads.
+func benchmarkEngineWorkload(b *testing.B, name string, n int, opts ...engine.Option) {
+	w, err := benchwork.NewEngineWorkload(name, n, opts...)
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", events[i%len(events)])
+		w.Replay(i)
 	}
-}
-
-// belowThreshold keeps room0's temperature under every rule's threshold so
-// no readiness flips: the benchmark isolates pure evaluation cost.
-func belowThreshold() []string {
-	vals := make([]string, 10)
-	for i := range vals {
-		vals[i] = fmt.Sprintf("%d", 10+i)
-	}
-	return vals
 }
 
 // BenchmarkEngineEvaluate compares the symbol-interned incremental evaluator
 // (the default) against the string-keyed incremental oracle and the
-// full-scan oracle at 100, 1k and 10k rules, for a single-key change. The
-// acceptance targets are 0 allocs/op and ≥ 2x over the string-keyed path at
-// 10k rules on the interned path; cmd/corebench records the same sweep in
+// full-scan oracle at 100, 1k and 10k rules, for a single-key change (the
+// paper's Example Rule 1 shape: the incremental evaluator re-checks only the
+// one affected rule via the dependency index; the full scan walks all n).
+// The acceptance targets are 0 allocs/op and ≥ 2x over the string-keyed path
+// at 10k rules on the interned path; cmd/corebench records the same sweep in
 // BENCH_core.json.
 func BenchmarkEngineEvaluate(b *testing.B) {
 	for _, n := range []int{100, 1000, 10000} {
 		b.Run(fmt.Sprintf("incremental-%d", n), func(b *testing.B) {
-			benchmarkEngineEvaluate(b, n, belowThreshold())
+			benchmarkEngineWorkload(b, "engine_evaluate", n)
 		})
 		b.Run(fmt.Sprintf("stringkeys-%d", n), func(b *testing.B) {
-			benchmarkEngineEvaluate(b, n, belowThreshold(), engine.WithStringKeys())
+			benchmarkEngineWorkload(b, "engine_evaluate", n, engine.WithStringKeys())
 		})
 		b.Run(fmt.Sprintf("fullscan-%d", n), func(b *testing.B) {
-			benchmarkEngineEvaluate(b, n, belowThreshold(), engine.WithFullScan())
+			benchmarkEngineWorkload(b, "engine_evaluate", n, engine.WithFullScan())
 		})
 	}
 }
@@ -463,43 +405,71 @@ func BenchmarkEngineEvaluate(b *testing.B) {
 // the full hot path, not just evaluation.
 func BenchmarkEngineEvaluateFiring(b *testing.B) {
 	b.Run("interned", func(b *testing.B) {
-		benchmarkEngineEvaluate(b, 1000, []string{"40", "10"})
+		benchmarkEngineWorkload(b, "engine_evaluate_firing", 1000, engine.WithLogLimit(64))
 	})
 	b.Run("stringkeys", func(b *testing.B) {
-		benchmarkEngineEvaluate(b, 1000, []string{"40", "10"}, engine.WithStringKeys())
+		benchmarkEngineWorkload(b, "engine_evaluate_firing", 1000, engine.WithLogLimit(64), engine.WithStringKeys())
+	})
+}
+
+// BenchmarkPresenceEval sweeps the presence-churn workload (the paper's
+// Example Rules 2/3: a user moving between rooms re-evaluates every
+// quantified presence condition without flipping any readiness) across rule
+// counts and evaluator configurations. Acceptance: 0 allocs/op on the
+// interned rows; the string-keyed oracle iterates the location map per
+// quantifier.
+func BenchmarkPresenceEval(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("interned-%d", n), func(b *testing.B) {
+			benchmarkEngineWorkload(b, "presence_eval", n)
+		})
+		b.Run(fmt.Sprintf("stringkeys-%d", n), func(b *testing.B) {
+			benchmarkEngineWorkload(b, "presence_eval", n, engine.WithStringKeys())
+		})
+	}
+}
+
+// BenchmarkArbitrate sweeps the arbitration-churn workload (presence churn
+// dirties the contextual priority order's dependency, so every pass
+// re-arbitrates the stereo's contenders — and the winner never changes, so
+// nothing fires) across rule counts and evaluator configurations. The
+// interned path rank-scans the pre-interned owner index; the string-keyed
+// oracle rebuilds an owner-position map and sorts per reconciliation.
+// Acceptance: 0 allocs/op on the interned rows, flat from 100 to 10k rules.
+func BenchmarkArbitrate(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("interned-%d", n), func(b *testing.B) {
+			benchmarkEngineWorkload(b, "arbitrate", n)
+		})
+		b.Run(fmt.Sprintf("stringkeys-%d", n), func(b *testing.B) {
+			benchmarkEngineWorkload(b, "arbitrate", n, engine.WithStringKeys())
+		})
+	}
+}
+
+// BenchmarkArbitrateHandoff is the firing variant: every pass the applicable
+// priority order flips, the stereo hands off between two owners and the
+// action is dispatched and logged — the paper's Fig. 1 stereo hand-off,
+// including the ranked-list build and log append.
+func BenchmarkArbitrateHandoff(b *testing.B) {
+	b.Run("interned", func(b *testing.B) {
+		benchmarkEngineWorkload(b, "arbitrate_handoff", 1000, engine.WithLogLimit(64))
+	})
+	b.Run("stringkeys", func(b *testing.B) {
+		benchmarkEngineWorkload(b, "arbitrate_handoff", 1000, engine.WithLogLimit(64), engine.WithStringKeys())
 	})
 }
 
 // ---- fleet hub ----
 
-// buildFleetHub seeds a hub with n homes, each holding one user and one
-// temperature rule. The homes share one lexicon: none of them defines words,
-// and a per-home vocab.Default() would dominate setup at 100k homes.
+// buildFleetHub seeds a hub with the standard benchwork fleet workload.
 func buildFleetHub(b *testing.B, homes, shards int) (*fleet.Hub, []string) {
 	b.Helper()
-	lex := vocab.Default()
-	now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
-	hub, err := fleet.NewHub(
-		fleet.WithShards(shards),
-		fleet.WithClock(func() time.Time { return now }),
-		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
-		fleet.WithLogLimit(64),
-	)
+	hub, ids, err := benchwork.BuildHub(homes, shards)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { _ = hub.Close() })
-	ids := make([]string, homes)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("home-%06d", i)
-		if err := hub.RegisterUser(ids[i], "u"); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := hub.Submit(ids[i],
-			"If temperature is higher than 28 degrees, turn on the air conditioner.", "u"); err != nil {
-			b.Fatal(err)
-		}
-	}
 	return hub, ids
 }
 
@@ -516,12 +486,8 @@ func benchmarkFleetIngest(b *testing.B, homes, shards int) {
 		for pb.Next() {
 			i := idx.Add(1)
 			home := ids[i%uint64(homes)]
-			v := "31"
-			if (i/uint64(homes))%2 == 1 {
-				v = "20"
-			}
 			if err := hub.PostEvent(home, device.TypeThermometer, "thermometer",
-				"living room", map[string]string{"temperature": v}); err != nil {
+				"living room", map[string]string{"temperature": benchwork.FleetEventValue(i, homes)}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -341,7 +341,8 @@ func (s *Server) SetPriority(ref DeviceRef, users []string, contextSource string
 }
 
 // PriorityOrders returns the orders applying to a device, contextual orders
-// first.
+// first. The slice is a cached snapshot shared with the priority table:
+// treat it as read-only.
 func (s *Server) PriorityOrders(ref DeviceRef) []conflict.Order {
 	orders, _ := s.hub.PriorityOrders(localHome, ref)
 	return orders

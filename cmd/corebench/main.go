@@ -1,21 +1,34 @@
 // Command corebench measures the engine evaluation hot path and fleet
 // ingestion, and emits BENCH_core.json for CI trend tracking — the perf
-// trajectory baseline of the symbol-interned evaluation core.
+// trajectory baseline of the symbol-interned evaluation core. The workloads
+// come from internal/benchwork, the same builders the root package's
+// `go test -bench` benchmarks use, so the JSON rows and the benchmark output
+// measure exactly the same thing.
 //
-// For each rule-count in -rules it times one steady-state single-key sensor
-// event (the BenchmarkEngineEvaluate workload: rule 0 reads the unqualified
-// "temperature", every other rule its own room's qualified temperature, all
-// rooms populated) on three evaluator configurations:
+// Three engine workloads are swept over the -rules counts:
+//
+//	engine_evaluate  one steady-state single-key sensor event (Example Rule
+//	                 1 shape: rule 0 reads the unqualified "temperature",
+//	                 every other rule its own room's qualified key)
+//	presence_eval    one presence-churn pass (Example Rules 2/3 shape:
+//	                 nobody/everyone/someone-at/arrival quantifiers
+//	                 re-evaluated as a user moves between rooms)
+//	arbitrate        one arbitration-heavy pass (Fig. 1 hand-off shape:
+//	                 contending owners on one device under a contextual
+//	                 priority order dirtied by presence churn; the winner
+//	                 never changes, so nothing fires)
+//
+// each on the evaluator configurations:
 //
 //	interned    pre-bound conditions + id-indexed context (the default)
 //	stringkeys  the retained string-keyed oracle path
-//	fullscan    the naive re-evaluate-everything oracle
+//	fullscan    the naive re-evaluate-everything oracle (engine_evaluate only)
 //
-// and records ns/op, allocs/op and B/op. The interned row is the one with
-// the acceptance targets: 0 allocs/op and a multiple-x ns/op win over
-// stringkeys at 10k rules. A fleet section times end-to-end hub ingestion
-// (post → coalesce → evaluate → quiesce) per shard count so the engine-level
-// win is visible through the sharded pipeline too.
+// recording ns/op, allocs/op and B/op. The interned rows carry the
+// acceptance targets: 0 allocs/op, flat across rule counts. A fleet section
+// times end-to-end hub ingestion (post → coalesce → evaluate → quiesce) per
+// shard count so the engine-level win is visible through the sharded
+// pipeline too.
 package main
 
 import (
@@ -28,14 +41,9 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/conflict"
-	"repro/internal/core"
+	"repro/internal/benchwork"
 	"repro/internal/device"
 	"repro/internal/engine"
-	"repro/internal/fleet"
-	"repro/internal/registry"
-	"repro/internal/simplex"
-	"repro/internal/vocab"
 )
 
 type engineRow struct {
@@ -66,7 +74,7 @@ type doc struct {
 }
 
 func main() {
-	rulesFlag := flag.String("rules", "1000,10000", "comma-separated rule counts for the engine sweep")
+	rulesFlag := flag.String("rules", "1000,10000", "comma-separated rule counts for the engine sweeps")
 	homes := flag.Int("homes", 1000, "homes for the fleet ingest measurement")
 	shardsFlag := flag.String("shards", "1,4", "comma-separated shard counts for the fleet sweep")
 	out := flag.String("out", "BENCH_core.json", "output JSON path")
@@ -76,10 +84,19 @@ func main() {
 
 	for _, n := range parseInts(*rulesFlag) {
 		for _, mode := range []string{"interned", "stringkeys", "fullscan"} {
-			r := benchEngine(n, mode)
+			r := benchEngine("engine_evaluate", n, mode)
 			d.Engine = append(d.Engine, r)
-			fmt.Printf("engine_evaluate rules=%-6d mode=%-10s %12.1f ns/op %6d allocs/op %8d B/op\n",
-				n, mode, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+			printRow(r)
+		}
+		for _, mode := range []string{"interned", "stringkeys"} {
+			r := benchEngine("presence_eval", n, mode)
+			d.Engine = append(d.Engine, r)
+			printRow(r)
+		}
+		for _, mode := range []string{"interned", "stringkeys"} {
+			r := benchEngine("arbitrate", n, mode)
+			d.Engine = append(d.Engine, r)
+			printRow(r)
 		}
 	}
 	for _, shards := range parseInts(*shardsFlag) {
@@ -99,6 +116,11 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
+func printRow(r engineRow) {
+	fmt.Printf("%-15s rules=%-6d mode=%-10s %12.1f ns/op %6d allocs/op %8d B/op\n",
+		r.Bench, r.Rules, r.Mode, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+}
+
 func parseInts(csv string) []int {
 	var out []int
 	for _, part := range strings.Split(csv, ",") {
@@ -116,69 +138,29 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// benchDB mirrors the root package's engineBenchDB: rule 0 reads the
-// unqualified "temperature", rule i > 0 its own room's qualified key.
-func benchDB(n int) (*registry.DB, error) {
-	db := registry.New()
-	for i := 0; i < n; i++ {
-		v := "temperature"
-		if i > 0 {
-			v = fmt.Sprintf("room%d/temperature", i)
-		}
-		rule := &core.Rule{
-			ID:     fmt.Sprintf("r%d", i),
-			Owner:  "u",
-			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
-			Action: core.Action{Verb: "turn-on"},
-			Cond: &core.And{Terms: []core.Condition{
-				&core.Compare{Var: v, Op: simplex.GT, Value: float64(20 + i%15)},
-				&core.Presence{Person: "tom", Place: "living room"},
-			}},
-		}
-		if err := db.Add(rule); err != nil {
-			return nil, err
-		}
+// benchEngine runs one named benchwork workload on one evaluator
+// configuration — the exact timed loop of the root package's benchmarks.
+func benchEngine(bench string, n int, mode string) engineRow {
+	var opts []engine.Option
+	switch mode {
+	case "stringkeys":
+		opts = append(opts, engine.WithStringKeys())
+	case "fullscan":
+		opts = append(opts, engine.WithFullScan())
 	}
-	return db, nil
-}
-
-func benchEngine(n int, mode string) engineRow {
 	res := testing.Benchmark(func(b *testing.B) {
-		db, err := benchDB(n)
+		w, err := benchwork.NewEngineWorkload(bench, n, opts...)
 		if err != nil {
 			b.Fatal(err)
-		}
-		var opts []engine.Option
-		switch mode {
-		case "stringkeys":
-			opts = append(opts, engine.WithStringKeys())
-		case "fullscan":
-			opts = append(opts, engine.WithFullScan())
-		}
-		now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
-		e := engine.New(db, conflict.NewTable(), func() time.Time { return now }, nil, opts...)
-		e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
-			map[string]string{"presence-tom": "living room"})
-		low := map[string]string{"temperature": "10"}
-		for i := 1; i < n; i++ {
-			e.Ingest(device.TypeThermometer, "thermometer", fmt.Sprintf("room%d", i), low)
-		}
-		e.Tick()
-		events := make([]map[string]string, 10)
-		for i := range events {
-			events[i] = map[string]string{"temperature": strconv.Itoa(10 + i)}
-		}
-		for _, ev := range events {
-			e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", ev)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", events[i%len(events)])
+			w.Replay(i)
 		}
 	})
 	return engineRow{
-		Bench:       "engine_evaluate",
+		Bench:       bench,
 		Mode:        mode,
 		Rules:       n,
 		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
@@ -190,39 +172,17 @@ func benchEngine(n int, mode string) engineRow {
 
 func benchFleet(homes, shards int) fleetRow {
 	res := testing.Benchmark(func(b *testing.B) {
-		lex := vocab.Default()
-		now := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
-		hub, err := fleet.NewHub(
-			fleet.WithShards(shards),
-			fleet.WithClock(func() time.Time { return now }),
-			fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
-			fleet.WithLogLimit(64),
-		)
+		hub, ids, err := benchwork.BuildHub(homes, shards)
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer hub.Close()
-		ids := make([]string, homes)
-		for i := range ids {
-			ids[i] = fmt.Sprintf("home-%06d", i)
-			if err := hub.RegisterUser(ids[i], "u"); err != nil {
-				b.Fatal(err)
-			}
-			if _, err := hub.Submit(ids[i],
-				"If temperature is higher than 28 degrees, turn on the air conditioner.", "u"); err != nil {
-				b.Fatal(err)
-			}
-		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			home := ids[i%homes]
-			v := "31"
-			if (i/homes)%2 == 1 {
-				v = "20"
-			}
 			if err := hub.PostEvent(home, device.TypeThermometer, "thermometer",
-				"living room", map[string]string{"temperature": v}); err != nil {
+				"living room", map[string]string{"temperature": benchwork.FleetEventValue(uint64(i), homes)}); err != nil {
 				b.Fatal(err)
 			}
 		}

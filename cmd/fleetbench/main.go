@@ -25,9 +25,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/benchwork"
 	"repro/internal/device"
-	"repro/internal/fleet"
-	"repro/internal/vocab"
 )
 
 type shardResult struct {
@@ -85,30 +84,14 @@ func main() {
 }
 
 func run(homes, events, shards, producers int) (shardResult, error) {
-	lex := vocab.Default()
-	epoch := time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
-	hub, err := fleet.NewHub(
-		fleet.WithShards(shards),
-		fleet.WithClock(func() time.Time { return epoch }),
-		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
-		fleet.WithLogLimit(64),
-	)
+	// The hub and its seeded homes come from internal/benchwork — the same
+	// workload the root package's BenchmarkFleetIngest drives — so the JSON
+	// trend and `go test -bench` measure the same thing.
+	hub, ids, err := benchwork.BuildHub(homes, shards)
 	if err != nil {
 		return shardResult{}, err
 	}
 	defer func() { _ = hub.Close() }()
-
-	ids := make([]string, homes)
-	for i := range ids {
-		ids[i] = fmt.Sprintf("home-%06d", i)
-		if err := hub.RegisterUser(ids[i], "u"); err != nil {
-			return shardResult{}, err
-		}
-		if _, err := hub.Submit(ids[i],
-			"If temperature is higher than 28 degrees, turn on the air conditioner.", "u"); err != nil {
-			return shardResult{}, err
-		}
-	}
 
 	before, err := hub.Stats()
 	if err != nil {
@@ -129,12 +112,8 @@ func run(homes, events, shards, producers int) (shardResult, error) {
 					return
 				}
 				home := ids[i%uint64(homes)]
-				v := "31"
-				if (i/uint64(homes))%2 == 1 {
-					v = "20"
-				}
 				if err := hub.PostEvent(home, device.TypeThermometer, "thermometer",
-					"living room", map[string]string{"temperature": v}); err != nil {
+					"living room", map[string]string{"temperature": benchwork.FleetEventValue(i, homes)}); err != nil {
 					errs <- err
 					return
 				}

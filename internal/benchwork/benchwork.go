@@ -1,0 +1,423 @@
+// Package benchwork holds the benchmark workload builders shared by the
+// root package's `go test -bench` benchmarks and the cmd/corebench and
+// cmd/fleetbench JSON emitters, so the BENCH_*.json perf trajectory measures
+// exactly the same rule sets and event streams the in-repo benchmarks do.
+//
+// Three engine workloads reproduce the paper's example-rule shapes:
+//
+//   - RoomTempDB — Example Rule 1: rule 0 reads the unqualified
+//     "temperature" (the string-keyed path resolves it with a suffix scan
+//     over every populated key), every other rule its own room's qualified
+//     temperature; a single-key sensor event touches exactly one rule.
+//   - PresenceDB — Example Rules 2/3: quantified presence conditions
+//     (nobody / everyone / someone-at / per-person presence / arrival) over
+//     a populated home; presence churn re-evaluates the quantified rules
+//     every pass.
+//   - ArbitrationDB — the Fig. 1 hand-off shape: several owners' rules
+//     contending for one device under a contextual priority order whose
+//     context is dirtied by presence churn, so every pass re-arbitrates.
+//
+// The fleet workload (BuildHub) seeds one user and one temperature rule per
+// home, with event values that flip the rule's readiness on alternate
+// sweeps.
+package benchwork
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/registry"
+	"repro/internal/simplex"
+	"repro/internal/vocab"
+)
+
+// Epoch is the fixed simulation instant every benchmark clock reports.
+var Epoch = time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
+
+// EngineWorkload is one engine benchmark wired up end to end: a seeded,
+// steady-state engine plus the event stream and the device identity to
+// replay it under. Both the root package's benchmarks and cmd/corebench
+// consume workloads through this, so the timed loops are byte-for-byte the
+// same measurement.
+type EngineWorkload struct {
+	Engine *engine.Engine
+	Events []map[string]string
+	// DeviceType/DeviceName/DeviceLocation identify the sensor the events
+	// arrive from.
+	DeviceType, DeviceName, DeviceLocation string
+}
+
+// Replay feeds the i-th event of the stream — the timed-loop body.
+func (w *EngineWorkload) Replay(i int) {
+	w.Engine.HandleDeviceEvent(w.DeviceType, w.DeviceName, w.DeviceLocation, w.Events[i%len(w.Events)])
+}
+
+// NewEngineWorkload builds the named workload at n rules, seeded to steady
+// state. Names:
+//
+//	engine_evaluate         single-key temperature event, no readiness flip
+//	engine_evaluate_firing  single-key event crossing rule 0's threshold
+//	presence_eval           quantified-presence churn, no readiness flip
+//	arbitrate               arbitration churn, winner unchanged
+//	arbitrate_handoff       arbitration churn flipping the winner every pass
+func NewEngineWorkload(name string, n int, opts ...engine.Option) (*EngineWorkload, error) {
+	w := &EngineWorkload{DeviceType: device.TypePresenceSensor, DeviceName: "presence sensor", DeviceLocation: "home"}
+	var (
+		db  *registry.DB
+		err error
+	)
+	tbl := conflict.NewTable()
+	switch name {
+	case "engine_evaluate", "engine_evaluate_firing":
+		db, err = RoomTempDB(n)
+		w.Events = TempEvents()
+		if name == "engine_evaluate_firing" {
+			w.Events = FiringTempEvents()
+		}
+		w.DeviceType, w.DeviceName, w.DeviceLocation = device.TypeThermometer, "thermometer", "room0"
+	case "presence_eval":
+		db, err = PresenceDB(n)
+		w.Events = PresenceEvents()
+	case "arbitrate":
+		db, err = ArbitrationDB(n)
+		tbl = ArbitrationTable()
+		w.Events = ArbitrationEvents()
+	case "arbitrate_handoff":
+		db, err = ArbitrationDB(n)
+		tbl = HandoffTable()
+		w.Events = HandoffEvents()
+	default:
+		return nil, fmt.Errorf("benchwork: unknown workload %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.Engine = engine.New(db, tbl, func() time.Time { return Epoch }, nil, opts...)
+	switch name {
+	case "engine_evaluate", "engine_evaluate_firing":
+		SeedRoomTemp(w.Engine, n, w.Events)
+	case "presence_eval":
+		SeedPresence(w.Engine, w.Events)
+	default:
+		SeedArbitration(w.Engine, w.Events)
+	}
+	return w, nil
+}
+
+// ---- Example Rule 1: single-key temperature workload ----
+
+// RoomTempDB builds n rules: rule 0 reads the unqualified "temperature",
+// rule i > 0 its own room's qualified key, all additionally gated on Tom
+// being in the living room.
+func RoomTempDB(n int) (*registry.DB, error) {
+	db := registry.New()
+	for i := 0; i < n; i++ {
+		v := "temperature"
+		if i > 0 {
+			v = fmt.Sprintf("room%d/temperature", i)
+		}
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  "u",
+			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
+			Action: core.Action{Verb: "turn-on"},
+			Cond: &core.And{Terms: []core.Condition{
+				&core.Compare{Var: v, Op: simplex.GT, Value: float64(20 + i%15)},
+				&core.Presence{Person: "tom", Place: "living room"},
+			}},
+		}
+		if err := db.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// SeedRoomTemp brings an engine over a RoomTempDB to steady state: Tom in
+// the living room, every room's sensor key populated once (coalesced into a
+// single pass), then the event stream replayed once to warm the ingest
+// caches and the readiness diff.
+func SeedRoomTemp(e *engine.Engine, n int, events []map[string]string) {
+	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
+		map[string]string{"presence-tom": "living room"})
+	low := map[string]string{"temperature": "10"}
+	for i := 1; i < n; i++ {
+		e.Ingest(device.TypeThermometer, "thermometer", fmt.Sprintf("room%d", i), low)
+	}
+	e.Tick()
+	for _, ev := range events {
+		e.HandleDeviceEvent(device.TypeThermometer, "thermometer", "room0", ev)
+	}
+}
+
+// TempEvents returns the below-threshold value stream: room0's temperature
+// cycling under every rule's threshold, so no readiness flips and the
+// benchmark isolates pure evaluation cost.
+func TempEvents() []map[string]string {
+	events := make([]map[string]string, 10)
+	for i := range events {
+		events[i] = map[string]string{"temperature": fmt.Sprintf("%d", 10+i)}
+	}
+	return events
+}
+
+// FiringTempEvents returns the threshold-crossing stream: every event flips
+// rule 0's readiness, so each pass re-arbitrates and fires.
+func FiringTempEvents() []map[string]string {
+	return []map[string]string{
+		{"temperature": "40"},
+		{"temperature": "10"},
+	}
+}
+
+// ---- Example Rules 2/3: quantified presence workload ----
+
+// PresenceUserCount is how many users PresenceDB registers: large enough
+// that the string-keyed path's per-eval map iteration over every location is
+// visible next to the interned counters.
+const PresenceUserCount = 32
+
+// PresenceUsers returns the registered users: tom, alan, emily plus
+// background residents.
+func PresenceUsers() []string {
+	users := []string{"tom", "alan", "emily"}
+	for i := len(users); i < PresenceUserCount; i++ {
+		users = append(users, fmt.Sprintf("u%d", i))
+	}
+	return users
+}
+
+// PresenceDB builds n rules, the first five quantified over presence —
+// nobody-at-home (Example Rule 2's shape), everyone-at, someone-at,
+// per-person presence, and an arrival (Example Rule 3's shape) — the rest
+// the qualified-temperature fillers that scale the database.
+func PresenceDB(n int) (*registry.DB, error) {
+	db := registry.New()
+	quantified := []*core.Rule{
+		{ID: "off", Owner: "tom", Device: core.DeviceRef{Name: "fluorescent light"},
+			Action: core.Action{Verb: "turn-off"},
+			Cond:   &core.Nobody{Place: "home"}},
+		{ID: "heat", Owner: "tom", Device: core.DeviceRef{Name: "heater"},
+			Action: core.Action{Verb: "turn-on"},
+			Cond:   &core.Everyone{Place: "living room"}},
+		{ID: "kettle", Owner: "alan", Device: core.DeviceRef{Name: "kettle"},
+			Action: core.Action{Verb: "turn-on"},
+			Cond:   &core.Presence{Person: core.Someone, Place: "kitchen"}},
+		{ID: "lamp", Owner: "tom", Device: core.DeviceRef{Name: "floor lamp"},
+			Action: core.Action{Verb: "turn-on"},
+			Cond:   &core.Presence{Person: "tom", Place: "living room"}},
+		{ID: "welcome", Owner: "alan", Device: core.DeviceRef{Name: "stereo"},
+			Action: core.Action{Verb: "play"},
+			Cond:   &core.Arrival{Person: "alan", Event: "home-from-work"}},
+	}
+	for i, r := range quantified {
+		if i >= n {
+			break
+		}
+		if err := db.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	for i := len(quantified); i < n; i++ {
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  "u",
+			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
+			Action: core.Action{Verb: "turn-on"},
+			Cond:   &core.Compare{Var: fmt.Sprintf("room%d/temperature", i), Op: simplex.GT, Value: float64(20 + i%15)},
+		}
+		if err := db.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// SeedPresence brings an engine over a PresenceDB to steady state: the users
+// registered, Alan settled in the living room (so nobody-at-home stays
+// false), Tom in the hall, then the event stream replayed once to warm the
+// ingest caches. The PresenceEvents churn keeps every quantified condition's
+// truth stable, so the timed loop measures pure quantified re-evaluation.
+func SeedPresence(e *engine.Engine, events []map[string]string) {
+	e.SetUsers(PresenceUsers())
+	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
+		map[string]string{"presence-alan": "living room"})
+	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
+		map[string]string{"presence-tom": "hall"})
+	for _, ev := range events {
+		e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home", ev)
+	}
+}
+
+// PresenceEvents returns the presence-churn stream: Tom moving between the
+// hall and the study. Every event dirties loc/tom and the location wildcard,
+// re-evaluating all quantified rules, without flipping any readiness.
+func PresenceEvents() []map[string]string {
+	return []map[string]string{
+		{"presence-tom": "hall"},
+		{"presence-tom": "study"},
+	}
+}
+
+// ---- arbitration workload: contending owners on one device ----
+
+// ArbContenders is how many owners contend for the stereo in ArbitrationDB.
+const ArbContenders = 8
+
+// ArbitrationDB builds n rules: ArbContenders unconditional rules from
+// distinct owners all targeting the stereo, plus qualified-temperature
+// fillers that scale the database.
+func ArbitrationDB(n int) (*registry.DB, error) {
+	db := registry.New()
+	for i := 0; i < ArbContenders && i < n; i++ {
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("c%d", i),
+			Owner:  fmt.Sprintf("u%d", i),
+			Device: core.DeviceRef{Name: "stereo"},
+			Action: core.Action{Verb: "play", Settings: map[string]core.Value{"volume": {IsNumber: true, Number: float64(i)}}},
+			Cond:   core.Always{},
+		}
+		if err := db.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	for i := ArbContenders; i < n; i++ {
+		rule := &core.Rule{
+			ID:     fmt.Sprintf("r%d", i),
+			Owner:  "u",
+			Device: core.DeviceRef{Name: fmt.Sprintf("dev%d", i)},
+			Action: core.Action{Verb: "turn-on"},
+			Cond:   &core.Compare{Var: fmt.Sprintf("room%d/temperature", i), Op: simplex.GT, Value: float64(20 + i%15)},
+		}
+		if err := db.Add(rule); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// ArbitrationTable returns the stereo's priority orders: a default order and
+// a contextual one that applies while nobody is in the bedroom. Both rank u0
+// highest, so the steady-state churn re-arbitrates without a hand-off.
+func ArbitrationTable() *conflict.Table {
+	tbl := conflict.NewTable()
+	users := make([]string, ArbContenders)
+	for i := range users {
+		users[i] = fmt.Sprintf("u%d", i)
+	}
+	tbl.Set(conflict.Order{Device: core.DeviceRef{Name: "stereo"}, Users: users})
+	ctxUsers := append([]string{"u0"}, users[1:]...)
+	for i, j := 1, len(ctxUsers)-1; i < j; i, j = i+1, j-1 {
+		ctxUsers[i], ctxUsers[j] = ctxUsers[j], ctxUsers[i]
+	}
+	tbl.Set(conflict.Order{
+		Device:        core.DeviceRef{Name: "stereo"},
+		Context:       &core.Nobody{Place: "bedroom"},
+		ContextSource: "nobody at bedroom",
+		Users:         ctxUsers,
+	})
+	return tbl
+}
+
+// HandoffTable is ArbitrationTable with the contextual order led by u1
+// instead of u0, so flipping the bedroom's occupancy (HandoffEvents) flips
+// the applicable order and hands the stereo between u1 and u0 every pass —
+// the paper's Fig. 1 stereo hand-off shape.
+func HandoffTable() *conflict.Table {
+	tbl := ArbitrationTable()
+	users := make([]string, ArbContenders)
+	for i := range users {
+		users[i] = fmt.Sprintf("u%d", i)
+	}
+	users[0], users[1] = users[1], users[0]
+	tbl.Set(conflict.Order{
+		Device:        core.DeviceRef{Name: "stereo"},
+		Context:       &core.Nobody{Place: "bedroom"},
+		ContextSource: "nobody at bedroom",
+		Users:         users,
+	})
+	return tbl
+}
+
+// SeedArbitration brings an engine over an ArbitrationDB to steady state:
+// Emily present (her churn drives the contextual order's dependency), one
+// pass to register and fire the initial winner, then the event stream
+// replayed once to warm the caches.
+func SeedArbitration(e *engine.Engine, events []map[string]string) {
+	e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home",
+		map[string]string{"presence-emily": "hall"})
+	for _, ev := range events {
+		e.HandleDeviceEvent(device.TypePresenceSensor, "presence sensor", "home", ev)
+	}
+}
+
+// ArbitrationEvents returns the arbitration-churn stream: Emily moving
+// between hall and study. Every event dirties the location wildcard the
+// contextual order depends on, so every pass re-arbitrates the stereo's
+// contenders — and the winner never changes, so nothing fires.
+func ArbitrationEvents() []map[string]string {
+	return []map[string]string{
+		{"presence-emily": "hall"},
+		{"presence-emily": "study"},
+	}
+}
+
+// HandoffEvents returns the hand-off stream: Alan toggling between the
+// bedroom and away flips the contextual order's applicability, so every
+// pass's arbitration picks a different winner and fires.
+func HandoffEvents() []map[string]string {
+	return []map[string]string{
+		{"presence-alan": "bedroom"},
+		{"presence-alan": ""},
+	}
+}
+
+// ---- fleet workload ----
+
+// FleetRule is the one rule every benchmark home registers.
+const FleetRule = "If temperature is higher than 28 degrees, turn on the air conditioner."
+
+// BuildHub seeds a hub with the standard fleet workload: homes sharing one
+// lexicon (none defines words; a per-home vocab.Default() would dominate
+// setup at 100k homes), each holding one user and one temperature rule.
+func BuildHub(homes, shards int) (*fleet.Hub, []string, error) {
+	lex := vocab.Default()
+	hub, err := fleet.NewHub(
+		fleet.WithShards(shards),
+		fleet.WithClock(func() time.Time { return Epoch }),
+		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
+		fleet.WithLogLimit(64),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]string, homes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("home-%06d", i)
+		if err := hub.RegisterUser(ids[i], "u"); err != nil {
+			_ = hub.Close()
+			return nil, nil, err
+		}
+		if _, err := hub.Submit(ids[i], FleetRule, "u"); err != nil {
+			_ = hub.Close()
+			return nil, nil, err
+		}
+	}
+	return hub, ids, nil
+}
+
+// FleetEventValue returns the i-th event's temperature value: alternating
+// above/below the rule threshold on successive sweeps over the homes, so
+// every event flips its home's rule readiness and each coalesced pass
+// re-arbitrates and fires.
+func FleetEventValue(i uint64, homes int) string {
+	if (i/uint64(homes))%2 == 1 {
+		return "20"
+	}
+	return "31"
+}

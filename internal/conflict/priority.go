@@ -35,10 +35,39 @@ func (o Order) String() string {
 // Table holds the priority orders of all devices. Contextual orders are
 // consulted before the default order; among applicable contextual orders the
 // most recently registered wins (users refine priorities over time).
+//
+// Per-device arbitration state is derived lazily and cached per table
+// generation: the match-filtered order list (what OrdersFor returns) and,
+// once arbitration has seen a symbol-interned context, the interned owner
+// index — each order's context pre-bound (core.Bind) and its user list
+// interned into rank vectors — so the steady-state Arbitrate path selects a
+// winner with a linear max-scan: no owner-position map, no sort, no
+// allocation.
 type Table struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex
 	orders []Order
 	gen    uint64 // bumped on every Set
+
+	// Generation-gated device caches. A cached deviceOrders is immutable
+	// once built; Set drops the whole map, so readers holding a previously
+	// returned slice keep a consistent snapshot.
+	cacheGen uint64
+	tab      *core.Symtab
+	devs     map[core.DeviceRef]*deviceOrders
+}
+
+// deviceOrders is the per-device arbitration cache for one table generation:
+// the orders matching the device (contextual most-recent-first, then
+// defaults) and, when the table knows a symbol table, the interned index.
+type deviceOrders struct {
+	orders  []Order
+	entries []orderEntry // built iff the table knows a symtab; same indexing as orders
+}
+
+// orderEntry is one applicable-order candidate on the interned fast path.
+type orderEntry struct {
+	bound   core.Condition // order context bound against the symtab; nil for the default
+	userIDs []uint32       // interned Users plus one, highest priority first
 }
 
 // NewTable returns an empty priority table.
@@ -65,47 +94,93 @@ func (t *Table) Set(o Order) {
 // engine compares it against the generation of its last evaluation pass to
 // notice priority edits without re-arbitrating every device every time.
 func (t *Table) Generation() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.gen
 }
 
 // Orders returns a snapshot of every registered order in registration order.
 func (t *Table) Orders() []Order {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]Order, len(t.orders))
 	copy(out, t.orders)
 	return out
 }
 
-// OrdersFor returns every order whose device matches, contextual orders
-// first (most recent first), then the default.
-func (t *Table) OrdersFor(device core.DeviceRef) []Order {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var contextual, defaults []Order
+// deviceLocked returns the device's cached arbitration state, (re)building
+// the cache when the generation moved or a different symbol table shows up.
+// tab may be nil (string-keyed callers); a non-nil tab upgrades the cache to
+// include the interned index.
+func (t *Table) deviceLocked(device core.DeviceRef, tab *core.Symtab) *deviceOrders {
+	if t.devs == nil || t.cacheGen != t.gen {
+		t.devs = make(map[core.DeviceRef]*deviceOrders)
+		t.cacheGen = t.gen
+	}
+	if tab != nil && tab != t.tab {
+		t.tab = tab
+		t.devs = make(map[core.DeviceRef]*deviceOrders)
+	}
+	do := t.devs[device]
+	if do == nil {
+		do = t.buildDeviceLocked(device)
+		t.devs[device] = do
+	}
+	return do
+}
+
+// buildDeviceLocked computes one device's order list and, when a symbol
+// table is known, its interned index. Runs once per (device, generation).
+func (t *Table) buildDeviceLocked(device core.DeviceRef) *deviceOrders {
+	do := &deviceOrders{}
+	var defaults []Order
 	for _, o := range t.orders {
 		if !o.Device.Matches(device) {
 			continue
 		}
 		if o.Context != nil {
-			contextual = append(contextual, o)
+			do.orders = append(do.orders, o)
 		} else {
 			defaults = append(defaults, o)
 		}
 	}
 	// Most recently registered contextual order first.
-	for i, j := 0, len(contextual)-1; i < j; i, j = i+1, j-1 {
-		contextual[i], contextual[j] = contextual[j], contextual[i]
+	for i, j := 0, len(do.orders)-1; i < j; i, j = i+1, j-1 {
+		do.orders[i], do.orders[j] = do.orders[j], do.orders[i]
 	}
-	return append(contextual, defaults...)
+	do.orders = append(do.orders, defaults...)
+	if t.tab != nil {
+		do.entries = make([]orderEntry, len(do.orders))
+		for i, o := range do.orders {
+			e := orderEntry{userIDs: make([]uint32, len(o.Users))}
+			if o.Context != nil {
+				e.bound = core.Bind(o.Context, t.tab)
+			}
+			for j, u := range o.Users {
+				e.userIDs[j] = t.tab.Intern(u) + 1
+			}
+			do.entries[i] = e
+		}
+	}
+	return do
+}
+
+// OrdersFor returns every order whose device matches, contextual orders
+// first (most recent first), then the default. The result is a cached,
+// generation-gated snapshot shared between callers: treat it as read-only.
+func (t *Table) OrdersFor(device core.DeviceRef) []Order {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deviceLocked(device, nil).orders
 }
 
 // Applicable returns the first order that matches the device and whose
 // context holds in ctx, or false when none applies.
 func (t *Table) Applicable(device core.DeviceRef, ctx *core.Context) (Order, bool) {
-	for _, o := range t.OrdersFor(device) {
+	t.mu.Lock()
+	orders := t.deviceLocked(device, nil).orders
+	t.mu.Unlock()
+	for _, o := range orders {
 		if o.Context == nil || o.Context.Eval(ctx) {
 			return o, true
 		}
@@ -113,21 +188,93 @@ func (t *Table) Applicable(device core.DeviceRef, ctx *core.Context) (Order, boo
 	return Order{}, false
 }
 
+// ArbitrateWinner returns the rule that wins arbitration for the device in
+// the current context, without building the ranked list: the applicable
+// order is found through the pre-bound entries and the winner through a
+// linear max-scan over each rule's interned owner rank — zero allocations
+// steady-state, so a reconciliation whose winner is unchanged is free. It
+// always agrees with Arbitrate's first element; the engine calls Arbitrate
+// only when ownership actually changed and the suppressed list is needed.
+//
+// Rules must carry their interned identity (registered in the database whose
+// symbol table the context shares); contexts without a symbol table fall
+// back to the map-keyed path.
+func (t *Table) ArbitrateWinner(device core.DeviceRef, ctx *core.Context, rules []*core.Rule) *core.Rule {
+	if len(rules) == 0 {
+		return nil
+	}
+	if len(rules) == 1 {
+		return rules[0]
+	}
+	tab := ctx.Symtab()
+	if tab == nil {
+		return t.Arbitrate(device, ctx, rules)[0]
+	}
+	t.mu.Lock()
+	do := t.deviceLocked(device, tab)
+	t.mu.Unlock()
+	users := t.applicableUsers(do, ctx)
+	best := rules[0]
+	bestRank := ownerRank(users, best.OwnerSym)
+	for _, r := range rules[1:] {
+		rk := ownerRank(users, r.OwnerSym)
+		if rk < bestRank || (rk == bestRank && r.Seq < best.Seq) {
+			best, bestRank = r, rk
+		}
+	}
+	return best
+}
+
+// ownerRank returns the owner's highest-priority position in the applicable
+// order's interned user vector, or a rank below every listed owner when
+// absent (or when no order applies). User vectors hold ids plus one, so an
+// unregistered rule (OwnerSym 0) never matches.
+func ownerRank(users []uint32, owner uint32) int {
+	for i, u := range users {
+		if u == owner {
+			return i
+		}
+	}
+	return 1 << 30
+}
+
 // Arbitrate ranks rules that want to act on the same device in the current
 // context. The winner is first. Ranking: position of the rule's owner in the
-// applicable priority order (absent owners rank below present ones), then
-// registration sequence as the deterministic fallback.
+// applicable priority order (absent owners rank below present ones; the
+// first mention wins if a user is listed twice), then registration sequence
+// as the deterministic fallback. The comparator is a total order, so the
+// result does not depend on the input order. Symbol-interned contexts rank
+// through the same owner-rank index as ArbitrateWinner; string-keyed
+// contexts build the owner-position map (oracle path).
 func (t *Table) Arbitrate(device core.DeviceRef, ctx *core.Context, rules []*core.Rule) []*core.Rule {
 	if len(rules) <= 1 {
 		out := make([]*core.Rule, len(rules))
 		copy(out, rules)
 		return out
 	}
+	if tab := ctx.Symtab(); tab != nil {
+		t.mu.Lock()
+		do := t.deviceLocked(device, tab)
+		t.mu.Unlock()
+		users := t.applicableUsers(do, ctx)
+		out := make([]*core.Rule, len(rules))
+		copy(out, rules)
+		sort.SliceStable(out, func(i, j int) bool {
+			ri, rj := ownerRank(users, out[i].OwnerSym), ownerRank(users, out[j].OwnerSym)
+			if ri != rj {
+				return ri < rj
+			}
+			return out[i].Seq < out[j].Seq
+		})
+		return out
+	}
 	rank := func(*core.Rule) int { return 1 << 30 }
 	if order, ok := t.Applicable(device, ctx); ok {
 		pos := make(map[string]int, len(order.Users))
 		for i, u := range order.Users {
-			pos[u] = i
+			if _, dup := pos[u]; !dup {
+				pos[u] = i
+			}
 		}
 		rank = func(r *core.Rule) int {
 			if i, ok := pos[r.Owner]; ok {
@@ -146,4 +293,16 @@ func (t *Table) Arbitrate(device core.DeviceRef, ctx *core.Context, rules []*cor
 		return out[i].Seq < out[j].Seq
 	})
 	return out
+}
+
+// applicableUsers returns the first applicable cached order's interned user
+// vector, or nil when no order applies (every owner then ranks equal and
+// registration order decides).
+func (t *Table) applicableUsers(do *deviceOrders, ctx *core.Context) []uint32 {
+	for i := range do.entries {
+		if do.entries[i].bound == nil || do.entries[i].bound.Eval(ctx) {
+			return do.entries[i].userIDs
+		}
+	}
+	return nil
 }

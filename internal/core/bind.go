@@ -29,12 +29,36 @@ func Bind(c Condition, tab *Symtab) Condition {
 		return &BoundCompare{Compare: n, ID: tab.Intern(n.Var)}
 	case *BoolIs:
 		return &BoundBoolIs{BoolIs: n, ID: tab.Intern(n.Var)}
+	case *Presence:
+		b := &BoundPresence{Presence: n, home: n.Place == "home"}
+		if n.Person == Someone {
+			b.anyone = true
+		} else {
+			b.person = tab.Intern(n.Person)
+		}
+		if !b.home {
+			b.place = tab.Intern(n.Place)
+		}
+		return b
+	case *Nobody:
+		b := &BoundNobody{Nobody: n, home: n.Place == "home"}
+		if !b.home {
+			b.place = tab.Intern(n.Place)
+		}
+		return b
+	case *Everyone:
+		b := &BoundEveryone{Everyone: n, home: n.Place == "home"}
+		if !b.home {
+			b.place = tab.Intern(n.Place)
+		}
+		return b
 	case *Arrival:
-		b := &BoundArrival{Arrival: n}
+		b := &BoundArrival{Arrival: n, nameID: tab.Intern(EventDepKey(n.Event))}
 		if n.Person == Someone {
 			b.key = "|" + n.Event
 		} else {
 			b.key = n.Person + "|" + n.Event
+			b.keyID = tab.Intern(b.key)
 		}
 		return b
 	case *Duration:
@@ -117,15 +141,105 @@ func (b *BoundBoolIs) Eval(ctx *Context) bool {
 // AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
 func (b *BoundBoolIs) AddCondDeps(d *DepSet) { d.AddKey(BoolDepKey(b.Var)) }
 
-// BoundArrival is an Arrival with its "person|event" lookup key (or
-// "|event" suffix, for Someone) built once at bind time.
-type BoundArrival struct {
-	*Arrival
-	key string
+// BoundPresence is a Presence whose person and place are resolved to symbol
+// ids, so Eval reads the context's dense location slots and reverse-index
+// counters instead of the Locations map.
+type BoundPresence struct {
+	*Presence
+	person uint32 // interned Person (unused when anyone)
+	place  uint32 // interned Place (unused when home)
+	anyone bool   // Person == Someone
+	home   bool   // Place == "home"
 }
 
-// Eval implements Condition without rebuilding the event key.
+// Eval implements Condition over the interned presence store, falling back
+// to the wrapped leaf against purely string-keyed contexts.
+func (b *BoundPresence) Eval(ctx *Context) bool {
+	if ctx.tab == nil {
+		return b.Presence.Eval(ctx)
+	}
+	switch {
+	case b.anyone && b.home:
+		return ctx.AnyoneHome()
+	case b.anyone:
+		return ctx.AnyoneAtID(b.place)
+	case b.home:
+		return ctx.AtHomeID(b.person)
+	default:
+		return ctx.AtID(b.person, b.place)
+	}
+}
+
+// AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
+func (b *BoundPresence) AddCondDeps(d *DepSet) {
+	if b.Person == Someone {
+		d.AddKey(LocationWildcardKey)
+	} else {
+		d.AddKey(LocationDepKey(b.Person))
+	}
+}
+
+// BoundNobody is a Nobody whose place is resolved to a symbol id.
+type BoundNobody struct {
+	*Nobody
+	place uint32
+	home  bool
+}
+
+// Eval implements Condition over the interned presence store.
+func (b *BoundNobody) Eval(ctx *Context) bool {
+	if ctx.tab == nil {
+		return b.Nobody.Eval(ctx)
+	}
+	if b.home {
+		return !ctx.AnyoneHome()
+	}
+	return !ctx.AnyoneAtID(b.place)
+}
+
+// AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
+func (b *BoundNobody) AddCondDeps(d *DepSet) { d.AddKey(LocationWildcardKey) }
+
+// BoundEveryone is an Everyone whose place is resolved to a symbol id.
+type BoundEveryone struct {
+	*Everyone
+	place uint32
+	home  bool
+}
+
+// Eval implements Condition over the interned presence store.
+func (b *BoundEveryone) Eval(ctx *Context) bool {
+	if ctx.tab == nil {
+		return b.Everyone.Eval(ctx)
+	}
+	if b.home {
+		return ctx.EveryoneHome()
+	}
+	return ctx.EveryoneAtID(b.place)
+}
+
+// AddCondDeps implements DepsProvider by delegating to the wrapped leaf.
+func (b *BoundEveryone) AddCondDeps(d *DepSet) { d.AddKey(LocationWildcardKey) }
+
+// BoundArrival is an Arrival with its "person|event" lookup key (or
+// "|event" suffix, for Someone) built once at bind time, plus the interned
+// key and event-name ids read by the context's id-indexed event store.
+type BoundArrival struct {
+	*Arrival
+	key    string
+	keyID  uint32 // interned "person|event" (unused for Someone)
+	nameID uint32 // interned EventDepKey(Event)
+}
+
+// Eval implements Condition without rebuilding the event key: interned
+// contexts read the id-indexed store, string-keyed contexts scan the map.
 func (b *BoundArrival) Eval(ctx *Context) bool {
+	if ctx.tab != nil {
+		if b.Person == Someone {
+			return ctx.HasEventNameID(b.nameID)
+		}
+		return ctx.HasEventKeyID(b.keyID)
+	}
 	if b.Person == Someone {
 		return ctx.HasEventSuffix(b.key)
 	}

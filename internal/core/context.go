@@ -31,14 +31,20 @@ type resCache struct {
 // against. The rule execution engine maintains one Context and updates it
 // from sensor events; Eval never mutates it.
 //
-// Numeric and boolean variables have two representations. The string-keyed
-// maps (Numbers, Bools) are always truthful and serve observability, cloning
-// and the retained string-keyed oracle path. A context built with
-// NewInternedContext additionally keeps dense, symbol-id-indexed value
-// slices with presence tracking — the evaluation hot path reads those
-// through NumberID/BoolID with no map lookup, no string comparison and no
+// Numeric and boolean variables — and, since the presence/event interning,
+// user locations and arrival events — have two representations. The
+// string-keyed maps (Numbers, Bools, Locations, Events) are always truthful
+// and serve observability, cloning and the retained string-keyed oracle
+// path. A context built with NewInternedContext additionally keeps dense,
+// symbol-id-indexed stores: value slices with presence tracking for
+// numbers/booleans (NumberID/BoolID), location slots with reverse-index
+// counters for presence quantifiers (AtID/AnyoneAtID/EveryoneAtID and
+// friends) and keyed last-fired times with a per-event-name index for
+// arrivals (HasEventKeyID/HasEventNameID) — the evaluation hot path reads
+// those with no map lookup, no map iteration, no string comparison and no
 // allocation. Interned contexts must be written through the setter methods
-// (SetNumber/SetNumberID and friends) so both representations stay in step.
+// (SetNumber/SetLocation/RecordEvent and friends) so both representations
+// stay in step.
 type Context struct {
 	// Now is the current simulation or wall-clock time.
 	Now time.Time
@@ -85,6 +91,25 @@ type Context struct {
 	boolHas  []bool
 	boolPop  []uint32
 	boolRes  []resCache
+
+	// Interned presence store: each person's location as a dense
+	// person-id-indexed slice of place slots (interned place id plus one; 0 =
+	// away from home), with an incrementally maintained reverse index — how
+	// many persons are at each place and how many are home at all — so
+	// quantified conditions ("nobody", "everyone", "someone at ...") read a
+	// counter instead of iterating the Locations map.
+	locVals    []uint32
+	placeCount []int32
+	present    int
+	userIDs    []uint32
+
+	// Interned arrival-event store: last-fired times indexed by the interned
+	// "person|event" key id, plus a per-event-name index (keyed by the
+	// event's dependency id) listing every key ever recorded under that name,
+	// so "someone <event>" scans a short id list instead of the Events map.
+	evTimes  []time.Time
+	evHas    []bool
+	evByName [][]uint32
 
 	// ver counts data mutations (not Now advances); the engine uses it to
 	// cache read-only snapshots for observability.
@@ -208,13 +233,54 @@ func (c *Context) SetBoolID(id uint32, v bool) {
 
 // SetLocation moves a user to a place ("" = away from home).
 func (c *Context) SetLocation(person, place string) {
+	if c.tab != nil {
+		slot := uint32(0)
+		if place != "" {
+			slot = c.tab.Intern(place) + 1
+		}
+		c.SetLocationID(c.tab.Intern(person), slot)
+		return
+	}
 	c.Locations[person] = place
+	c.ver++
+}
+
+// SetLocationID moves a user by interned person id (interned contexts only).
+// slot is the interned place id plus one; 0 means away from home. The
+// reverse-index counters and the Locations map are kept in step.
+func (c *Context) SetLocationID(person, slot uint32) {
+	for int(person) >= len(c.locVals) {
+		c.locVals = append(c.locVals, 0)
+	}
+	if old := c.locVals[person]; old != 0 {
+		c.present--
+		c.placeCount[old-1]--
+	}
+	if slot != 0 {
+		for int(slot-1) >= len(c.placeCount) {
+			c.placeCount = append(c.placeCount, 0)
+		}
+		c.present++
+		c.placeCount[slot-1]++
+	}
+	c.locVals[person] = slot
+	place := ""
+	if slot != 0 {
+		place = c.tab.Name(slot - 1)
+	}
+	c.Locations[c.tab.Name(person)] = place
 	c.ver++
 }
 
 // SetUsers replaces the registered user list.
 func (c *Context) SetUsers(users []string) {
 	c.Users = append(c.Users[:0:0], users...)
+	if c.tab != nil {
+		c.userIDs = c.userIDs[:0]
+		for _, u := range users {
+			c.userIDs = append(c.userIDs, c.tab.Intern(u))
+		}
+	}
 	c.ver++
 }
 
@@ -387,6 +453,68 @@ func (c *Context) EveryoneAt(place string) bool {
 	return true
 }
 
+// ---- interned presence reads (bound conditions; interned contexts only) ----
+//
+// The id-indexed readers mirror At/AnyoneAt/EveryoneAt exactly, reading the
+// dense location slots and the reverse-index counters instead of the maps:
+// no map iteration, no string comparison, no allocation.
+
+// AtID reports whether the person (by interned id) is at the place (by
+// interned id).
+func (c *Context) AtID(person, place uint32) bool {
+	if int(person) >= len(c.locVals) {
+		return false
+	}
+	v := c.locVals[person]
+	return v != 0 && v-1 == place
+}
+
+// AtHomeID reports whether the person (by interned id) is anywhere at home.
+func (c *Context) AtHomeID(person uint32) bool {
+	return int(person) < len(c.locVals) && c.locVals[person] != 0
+}
+
+// AnyoneAtID reports whether at least one person is at the place (by
+// interned id).
+func (c *Context) AnyoneAtID(place uint32) bool {
+	return int(place) < len(c.placeCount) && c.placeCount[place] > 0
+}
+
+// AnyoneHome reports whether at least one person has a non-empty location.
+func (c *Context) AnyoneHome() bool { return c.present > 0 }
+
+// EveryoneAtID reports whether every registered user is at the place (by
+// interned id). False when no users are registered.
+func (c *Context) EveryoneAtID(place uint32) bool {
+	if len(c.userIDs) == 0 {
+		return false
+	}
+	for _, u := range c.userIDs {
+		if int(u) >= len(c.locVals) {
+			return false
+		}
+		v := c.locVals[u]
+		if v == 0 || v-1 != place {
+			return false
+		}
+	}
+	return true
+}
+
+// EveryoneHome reports whether every registered user is somewhere at home.
+// False when no users are registered.
+func (c *Context) EveryoneHome() bool {
+	if len(c.userIDs) == 0 {
+		return false
+	}
+	for _, u := range c.userIDs {
+		if int(u) >= len(c.locVals) || c.locVals[u] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // eventTTL returns the configured freshness window.
 func (c *Context) eventTTL() time.Duration {
 	if c.EventTTL > 0 {
@@ -424,8 +552,52 @@ func (c *Context) HasEventSuffix(suffix string) bool {
 
 // RecordEvent stores an arrival event at the current context time.
 func (c *Context) RecordEvent(person, event string) {
+	if c.tab != nil {
+		c.RecordEventID(c.tab.Intern(person+"|"+event), c.tab.Intern(EventDepKey(event)))
+		return
+	}
 	c.Events[person+"|"+event] = c.Now
 	c.ver++
+}
+
+// RecordEventID stores an arrival event by its interned "person|event" key id
+// and the event name's dependency id (interned contexts only). The Events map
+// stays truthful; steady-state re-fires of a known event allocate nothing.
+func (c *Context) RecordEventID(key, name uint32) {
+	for int(key) >= len(c.evHas) {
+		c.evHas = append(c.evHas, false)
+		c.evTimes = append(c.evTimes, time.Time{})
+	}
+	if !c.evHas[key] {
+		c.evHas[key] = true
+		for int(name) >= len(c.evByName) {
+			c.evByName = append(c.evByName, nil)
+		}
+		c.evByName[name] = append(c.evByName[name], key)
+	}
+	c.evTimes[key] = c.Now
+	c.Events[c.tab.Name(key)] = c.Now
+	c.ver++
+}
+
+// HasEventKeyID reports whether the arrival event with the interned
+// "person|event" key id fired recently (interned contexts only).
+func (c *Context) HasEventKeyID(key uint32) bool {
+	return int(key) < len(c.evHas) && c.evHas[key] && c.Now.Sub(c.evTimes[key]) <= c.eventTTL()
+}
+
+// HasEventNameID reports whether any person's arrival event with the given
+// event-name dependency id fired recently (interned contexts only).
+func (c *Context) HasEventNameID(name uint32) bool {
+	if int(name) >= len(c.evByName) {
+		return false
+	}
+	for _, key := range c.evByName[name] {
+		if c.Now.Sub(c.evTimes[key]) <= c.eventTTL() {
+			return true
+		}
+	}
+	return false
 }
 
 // OnAirMatch reports whether a programme matching the query is on air.

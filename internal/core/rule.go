@@ -119,6 +119,12 @@ type Rule struct {
 	// DepIDs is Cond's dependency-key set interned and sorted, the
 	// branch-cheap form the engine intersects against its dirty-id set.
 	DepIDs []uint32
+	// IDSym, OwnerSym and DeviceSym are the rule's interned identity — ID,
+	// Owner and Device.Key() interned into the owning database's symbol
+	// table, plus one (0 = never registered). The engine's id-indexed
+	// reconciliation state and the priority table's owner-rank index address
+	// rules and devices by them instead of by string.
+	IDSym, OwnerSym, DeviceSym uint32
 }
 
 // ReadyBound reports whether the rule's condition holds, preferring the

@@ -31,10 +31,22 @@
 // ready, or the current owner's condition lapses — the new owner's action is
 // dispatched. This reproduces the hand-offs of the paper's Fig. 1 time
 // chart (stereo: Tom → Emily; TV: Alan → Emily).
+//
+// The firing path is id-indexed end to end: rules and devices are addressed
+// by their interned identity (core.Rule.IDSym/DeviceSym), per-rule readiness
+// is a bit slice, per-device ready-sets and ownership are DeviceSym-indexed
+// slices, quantified presence conditions and arrivals evaluate against the
+// context's counter-backed interned store, and winner selection goes through
+// conflict.Table.ArbitrateWinner's owner-rank scan — so a steady-state pass,
+// including one that re-arbitrates without an ownership change, performs no
+// map iteration and no allocation. The ranked list (and its allocation) is
+// built only when ownership actually changes and the suppressed set must be
+// logged.
 package engine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -103,8 +115,23 @@ type varSig struct {
 type cachedVar struct {
 	kind     device.VarKind
 	user     string   // presence-* specials: the user moving
+	userID   uint32   // interned user (presence-* specials, interned mode)
 	keyIDs   []uint32 // interned context keys the value writes
 	dirtyIDs []uint32 // interned dependency ids the write invalidates
+}
+
+// arrSig identifies one arrival event's person and event name as cut out of
+// the raw "person|event|seq" value; the ingest cache keyed by it maps a
+// repeated arrival onto interned ids without building a string.
+type arrSig struct {
+	person, event string
+}
+
+// arrIDs is the resolved ingest plan for one arrival signature: the interned
+// "person|event" key and the event name's dependency id (which doubles as
+// the dirty key).
+type arrIDs struct {
+	key, name uint32
 }
 
 // Engine is the rule execution module.
@@ -135,25 +162,43 @@ type Engine struct {
 	lastEvalAt time.Time             // clock reading of the last pass
 	timeRules  []*core.Rule          // cached db.TimeDependent() for dbGen
 	known      map[string]*core.Rule // rules the engine has synced from the db
-	ready      map[string]bool       // rule ID → readiness at the last pass
+	ready      map[string]bool       // rule ID → readiness at the last pass (string-keyed mode)
 	readyByDev map[string]map[string]*core.Rule
-	refs       map[string]core.DeviceRef // device key → reference
+	refs       map[string]core.DeviceRef // device key → reference (string-keyed mode)
+
+	// Id-indexed reconciliation state (interned mode): rules and devices are
+	// addressed by their interned identity (core.Rule.IDSym / DeviceSym), so
+	// the per-pass bookkeeping is slice indexing and bitsets instead of
+	// string-keyed map-of-map juggling.
+	readyBits  []bool           // rule IDSym → readiness at the last pass
+	readyRules [][]*core.Rule   // device DeviceSym → ready rules
+	devRefs    []core.DeviceRef // device DeviceSym → reference
+	devOwner   []uint32         // device DeviceSym → owning rule IDSym (0 = none)
+	devSeen    core.IDSet       // DeviceSyms that ever had a ready rule
+	devRank    []uint32         // DeviceSym → lexicographic rank among seen devices
+	rankStale  bool             // devSeen grew; devRank must be rebuilt
 
 	// Ingest caches (interned mode): first sight of a device variable, an
-	// arrival event name or the EPG feed interns its keys; every later event
-	// with the same signature reuses the ids without building a string.
+	// arrival signature, a place name or the EPG feed interns its keys; every
+	// later event with the same signature reuses the ids without building a
+	// string.
 	varCache    map[varSig]*cachedVar
-	eventDep    map[string]uint32 // arrival event name → dep id
+	arrCache    map[arrSig]arrIDs // arrival person+event → interned ids
+	placeSlot   map[string]uint32 // place name → interned place id + 1
 	programsDep uint32            // interned core.ProgramsDepKey
 
 	// Per-pass scratch, reused across passes and cleared on exit so a
 	// steady-state pass allocates nothing.
-	scCand    map[string]*core.Rule   // candidate rules to re-evaluate
-	scChanged map[string]struct{}     // device keys whose ready-set changed
+	scCand    map[string]*core.Rule   // candidate rules to re-evaluate (string-keyed mode)
+	scChanged map[string]struct{}     // device keys whose ready-set changed (string-keyed mode)
 	scKeys    []string                // sorted device keys to reconcile
 	scList    []*core.Rule            // ready-rule list handed to arbitration
 	scReady   map[string][]*core.Rule // full-scan mode: ready rules by device
 	scRefs    map[string]core.DeviceRef
+	scCandSet core.IDSet   // candidate rule IDSyms (interned mode dedup)
+	scCands   []*core.Rule // candidate rules (interned mode)
+	scDevs    core.IDSet   // DeviceSyms whose ready-set changed (interned mode)
+	scDevIDs  []uint32     // reconciliation-order scratch (interned mode)
 
 	// Cached observability snapshot: rebuilt only when the context data (or
 	// its clock) actually changed since the last Snapshot call.
@@ -248,7 +293,8 @@ func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, disp
 		ictx.EventTTL = e.ctx.EventTTL
 		e.ctx = ictx
 		e.varCache = make(map[varSig]*cachedVar)
-		e.eventDep = make(map[string]uint32)
+		e.arrCache = make(map[arrSig]arrIDs)
+		e.placeSlot = make(map[string]uint32)
 		e.programsDep = e.tab.Intern(core.ProgramsDepKey)
 	} else {
 		e.stringKeys = true
@@ -308,6 +354,15 @@ func (e *Engine) DispatchBatches() uint64 {
 func (e *Engine) Owners() map[string]string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if !e.stringKeys && !e.fullScan {
+		out := make(map[string]string, e.devSeen.Len())
+		for _, dev := range e.devSeen.IDs() {
+			if o := e.devOwner[dev]; o != 0 {
+				out[e.tab.Name(dev-1)] = e.tab.Name(o - 1)
+			}
+		}
+		return out
+	}
 	out := make(map[string]string, len(e.owners))
 	for k, v := range e.owners {
 		out[k] = v
@@ -397,8 +452,12 @@ func (e *Engine) buildVarCacheLocked(sig varSig) *cachedVar {
 	cv := &cachedVar{kind: device.KindOfVar(sig.name)}
 	switch cv.kind {
 	case device.VarKindSpecial:
-		if user, ok := strings.CutPrefix(sig.name, "presence-"); ok {
+		// A bare "presence-" (empty user) stays out of the cache plan: the
+		// empty cv.user makes the apply step a no-op, matching the string
+		// path's rejection of the malformed variable.
+		if user, ok := strings.CutPrefix(sig.name, "presence-"); ok && user != "" {
 			cv.user = user
+			cv.userID = e.tab.Intern(user)
 			for _, k := range core.LocationDirtyKeys(user) {
 				cv.dirtyIDs = append(cv.dirtyIDs, e.tab.Intern(k))
 			}
@@ -425,25 +484,54 @@ func (e *Engine) buildVarCacheLocked(sig varSig) *cachedVar {
 func (e *Engine) applySpecialInternedLocked(cv *cachedVar, name, value string) {
 	switch {
 	case cv.user != "":
-		e.ctx.SetLocation(cv.user, value)
+		e.ctx.SetLocationID(cv.userID, e.placeSlotLocked(value))
 		e.dirtyIDs.AddAll(cv.dirtyIDs)
 	case name == "event":
-		// "person|event|seq"
-		parts := strings.SplitN(value, "|", 3)
-		if len(parts) >= 2 && parts[0] != "" {
-			e.ctx.Now = e.now()
-			e.ctx.RecordEvent(parts[0], parts[1])
-			id, ok := e.eventDep[parts[1]]
-			if !ok {
-				id = e.tab.Intern(core.EventDepKey(parts[1]))
-				e.eventDep[parts[1]] = id
-			}
-			e.dirtyIDs.Add(id)
+		// "person|event|seq" — Cut instead of Split so the steady state
+		// slices the value without allocating.
+		person, rest, ok := strings.Cut(value, "|")
+		if !ok || person == "" {
+			return
 		}
+		event, _, _ := strings.Cut(rest, "|")
+		ids, ok := e.arrCache[arrSig{person, event}]
+		if !ok {
+			ids = e.buildArrCacheLocked(person, event)
+		}
+		e.ctx.Now = e.now()
+		e.ctx.RecordEventID(ids.key, ids.name)
+		e.dirtyIDs.Add(ids.name)
 	case name == "programs":
 		e.ctx.SetPrograms(device.DecodePrograms(value))
 		e.dirtyIDs.Add(e.programsDep)
 	}
+}
+
+// placeSlotLocked resolves a place name to its interned slot (place id plus
+// one; "" = 0), memoized so the steady-state presence churn between known
+// places costs one map lookup and no interning lock.
+func (e *Engine) placeSlotLocked(place string) uint32 {
+	if place == "" {
+		return 0
+	}
+	if slot, ok := e.placeSlot[place]; ok {
+		return slot
+	}
+	slot := e.tab.Intern(place) + 1
+	e.placeSlot[strings.Clone(place)] = slot
+	return slot
+}
+
+// buildArrCacheLocked interns one arrival signature's ids and memoizes them
+// under cloned keys (the signature's strings alias the raw event value).
+func (e *Engine) buildArrCacheLocked(person, event string) arrIDs {
+	person, event = strings.Clone(person), strings.Clone(event)
+	ids := arrIDs{
+		key:  e.tab.Intern(person + "|" + event),
+		name: e.tab.Intern(core.EventDepKey(event)),
+	}
+	e.arrCache[arrSig{person, event}] = ids
+	return ids
 }
 
 // ingestStringLocked is the retained string-keyed ingest path (oracle mode).
@@ -482,6 +570,12 @@ func (e *Engine) applySpecialLocked(name, value string) {
 	switch {
 	case strings.HasPrefix(name, "presence-"):
 		user := strings.TrimPrefix(name, "presence-")
+		if user == "" {
+			// A bare "presence-" variable is malformed; recording it would
+			// count a phantom "" user in the presence quantifiers. The
+			// interned ingest path drops it the same way.
+			return
+		}
 		e.ctx.SetLocation(user, value)
 		e.markDirtyLocked(core.LocationDirtyKeys(user))
 	case name == "event":
@@ -515,10 +609,13 @@ func (e *Engine) evaluateLocked() {
 	e.ctx.Now = e.now()
 	e.passes++
 	var fired []Fired
-	if e.fullScan {
+	switch {
+	case e.fullScan:
 		fired = e.fullScanPassLocked()
-	} else {
+	case e.stringKeys:
 		fired = e.incrementalPassLocked()
+	default:
+		fired = e.internedPassLocked()
 	}
 	if len(fired) > 0 {
 		e.batches++
@@ -650,11 +747,10 @@ func (e *Engine) fullScanPassLocked() []Fired {
 	return fired
 }
 
-// incrementalPassLocked re-evaluates only the rules the dirty keys (plus
-// time, plus rule churn) can have affected, then re-arbitrates only the
-// devices whose ready-set changed or whose contextual priority order was
-// touched. All per-pass scratch (candidates, changed keys, sort buffers) is
-// reused between passes, so a steady-state pass allocates nothing.
+// incrementalPassLocked is the string-keyed incremental evaluator (oracle
+// mode): dirty keys are strings, readiness is cached in string-keyed maps,
+// and arbitration rebuilds owner-position maps. The interned pass
+// (internedPassLocked) must agree with it exactly.
 func (e *Engine) incrementalPassLocked() []Fired {
 	nowChanged := !e.ctx.Now.Equal(e.lastEvalAt)
 	e.lastEvalAt = e.ctx.Now
@@ -708,20 +804,10 @@ func (e *Engine) incrementalPassLocked() []Fired {
 		// generation sync; only evaluate rules the sync has seen (the rest
 		// are picked up as added on the next pass), or cached state could
 		// outlive a rule the eviction loop never knew about.
-		if e.stringKeys {
-			for key := range e.dirty {
-				for _, r := range e.db.ByDep(key) {
-					if e.known[r.ID] == r {
-						candidates[r.ID] = r
-					}
-				}
-			}
-		} else {
-			for _, depID := range e.dirtyIDs.IDs() {
-				for _, r := range e.db.ByDepID(depID) {
-					if e.known[r.ID] == r {
-						candidates[r.ID] = r
-					}
+		for key := range e.dirty {
+			for _, r := range e.db.ByDep(key) {
+				if e.known[r.ID] == r {
+					candidates[r.ID] = r
 				}
 			}
 		}
@@ -770,17 +856,7 @@ func (e *Engine) incrementalPassLocked() []Fired {
 	// plus those whose contextual priority order may have flipped.
 	arbitrate := changed
 	if g := e.priorities.Generation(); g != e.tblGen {
-		e.tblGen = g
-		e.tblDeps = e.tblDeps[:0]
-		for _, o := range e.priorities.Orders() {
-			if o.Context != nil {
-				od := orderDep{device: o.Device, deps: core.CondDeps(o.Context)}
-				if !e.stringKeys {
-					od.ids = od.deps.IDsIn(e.tab)
-				}
-				e.tblDeps = append(e.tblDeps, od)
-			}
-		}
+		e.syncTableDepsLocked(g)
 		// The table itself changed: every owned or ready device may rank
 		// differently now.
 		for key, m := range e.readyByDev {
@@ -790,13 +866,7 @@ func (e *Engine) incrementalPassLocked() []Fired {
 		}
 	} else {
 		for _, od := range e.tblDeps {
-			var hit bool
-			if e.stringKeys {
-				hit = od.deps.Intersects(e.dirty)
-			} else {
-				hit = e.dirtyIDs.IntersectsAny(od.ids)
-			}
-			touched := e.allDirty || (od.deps.Time && nowChanged) || hit
+			touched := e.allDirty || (od.deps.Time && nowChanged) || od.deps.Intersects(e.dirty)
 			if !touched {
 				continue
 			}
@@ -847,11 +917,247 @@ func (e *Engine) incrementalPassLocked() []Fired {
 	}
 
 	clear(e.dirty)
-	e.dirtyIDs.Reset()
 	e.allDirty = false
 	e.scCand = resetScratchMap(candidates)
 	e.scChanged = resetScratchMap(changed)
 	return fired
+}
+
+// syncTableDepsLocked recomputes the cached contextual-order dependency sets
+// for a new priority-table generation (interning them when in interned mode).
+func (e *Engine) syncTableDepsLocked(gen uint64) {
+	e.tblGen = gen
+	e.tblDeps = e.tblDeps[:0]
+	for _, o := range e.priorities.Orders() {
+		if o.Context != nil {
+			od := orderDep{device: o.Device, deps: core.CondDeps(o.Context)}
+			if !e.stringKeys {
+				od.ids = od.deps.IDsIn(e.tab)
+			}
+			e.tblDeps = append(e.tblDeps, od)
+		}
+	}
+}
+
+// internedPassLocked is the id-indexed incremental evaluator — the default
+// firing path. It mirrors incrementalPassLocked step for step, but every
+// piece of per-pass bookkeeping is addressed by interned ids: candidates are
+// deduplicated through a rule-id bitset, readiness lives in an IDSym-indexed
+// bit slice, ready rules are grouped in DeviceSym-indexed slices, ownership
+// is a DeviceSym-indexed id vector, and reconciliation order comes from a
+// cached lexicographic device rank — so a steady-state pass (and a
+// steady-state re-arbitration whose winner does not change) performs no map
+// iteration, no string comparison and no allocation.
+func (e *Engine) internedPassLocked() []Fired {
+	nowChanged := !e.ctx.Now.Equal(e.lastEvalAt)
+	e.lastEvalAt = e.ctx.Now
+
+	// Sync rule additions and removals with the database.
+	var added []*core.Rule
+	if g := e.db.Generation(); g != e.dbGen {
+		e.dbGen = g
+		e.timeRules = e.db.TimeDependent()
+		all := e.db.All()
+		current := make(map[string]*core.Rule, len(all))
+		for _, r := range all {
+			current[r.ID] = r
+			// A pointer mismatch means the ID was removed and re-registered
+			// with a different rule between passes: evict the stale cached
+			// state below, then treat the replacement as newly added.
+			if known, ok := e.known[r.ID]; !ok || known != r {
+				added = append(added, r)
+			}
+		}
+		for id, r := range e.known {
+			if current[id] == r {
+				continue
+			}
+			delete(e.known, id)
+			if int(r.IDSym) < len(e.readyBits) && e.readyBits[r.IDSym] {
+				e.readyBits[r.IDSym] = false
+				e.dropReadyLocked(r)
+				e.scDevs.Add(r.DeviceSym)
+			}
+		}
+		for _, r := range added {
+			e.known[r.ID] = r
+		}
+	}
+
+	// Collect the candidate rules to re-evaluate, deduplicated through the
+	// rule-id bitset.
+	cands := e.scCands[:0]
+	if e.allDirty {
+		for _, r := range e.known {
+			if e.scCandSet.Add(r.IDSym) {
+				cands = append(cands, r)
+			}
+		}
+	} else {
+		// As in the string pass: only evaluate rules the generation sync has
+		// seen, or cached state could outlive a rule the eviction loop never
+		// knew about.
+		for _, depID := range e.dirtyIDs.IDs() {
+			for _, r := range e.db.ByDepID(depID) {
+				if e.known[r.ID] == r && e.scCandSet.Add(r.IDSym) {
+					cands = append(cands, r)
+				}
+			}
+		}
+		if nowChanged {
+			for _, r := range e.timeRules {
+				if e.known[r.ID] == r && e.scCandSet.Add(r.IDSym) {
+					cands = append(cands, r)
+				}
+			}
+		}
+		for _, r := range added {
+			if e.known[r.ID] == r && e.scCandSet.Add(r.IDSym) {
+				cands = append(cands, r)
+			}
+		}
+	}
+
+	// Maintain duration holds before readiness (see incrementalPassLocked).
+	for _, r := range cands {
+		e.maintainHoldsLocked(r)
+	}
+
+	// Re-evaluate candidates and diff cached readiness.
+	for _, r := range cands {
+		rdy := r.ReadyBound(e.ctx)
+		for int(r.IDSym) >= len(e.readyBits) {
+			e.readyBits = append(e.readyBits, false)
+		}
+		if rdy == e.readyBits[r.IDSym] {
+			continue
+		}
+		e.readyBits[r.IDSym] = rdy
+		dev := r.DeviceSym
+		if rdy {
+			for int(dev) >= len(e.readyRules) {
+				e.readyRules = append(e.readyRules, nil)
+				e.devRefs = append(e.devRefs, core.DeviceRef{})
+				e.devOwner = append(e.devOwner, 0)
+			}
+			if e.devSeen.Add(dev) {
+				e.rankStale = true
+				e.devRefs[dev] = r.Device
+			}
+			e.readyRules[dev] = append(e.readyRules[dev], r)
+		} else {
+			e.dropReadyLocked(r)
+		}
+		e.scDevs.Add(dev)
+	}
+
+	// Decide which devices to re-arbitrate: those whose ready-set changed,
+	// plus those whose contextual priority order may have flipped.
+	if g := e.priorities.Generation(); g != e.tblGen {
+		e.syncTableDepsLocked(g)
+		for _, dev := range e.devSeen.IDs() {
+			if len(e.readyRules[dev]) > 0 {
+				e.scDevs.Add(dev)
+			}
+		}
+	} else {
+		for _, od := range e.tblDeps {
+			touched := e.allDirty || (od.deps.Time && nowChanged) || e.dirtyIDs.IntersectsAny(od.ids)
+			if !touched {
+				continue
+			}
+			for _, dev := range e.devSeen.IDs() {
+				if len(e.readyRules[dev]) > 0 && od.device.Matches(e.devRefs[dev]) {
+					e.scDevs.Add(dev)
+				}
+			}
+		}
+	}
+
+	// Reconcile ownership for the affected devices, ordered by the devices'
+	// lexicographic rank so the fired log is deterministic and identical to
+	// the string-keyed passes' sorted-key order.
+	var fired []Fired
+	if e.scDevs.Len() > 0 {
+		if e.rankStale {
+			e.rebuildDevRankLocked()
+		}
+		devs := append(e.scDevIDs[:0], e.scDevs.IDs()...)
+		slices.SortFunc(devs, func(a, b uint32) int { return int(e.devRank[a]) - int(e.devRank[b]) })
+		e.scDevIDs = devs
+		for _, dev := range devs {
+			list := e.readyRules[dev]
+			if len(list) == 0 {
+				e.devOwner[dev] = 0
+				continue
+			}
+			winner := e.priorities.ArbitrateWinner(e.devRefs[dev], e.ctx, list)
+			if e.devOwner[dev] == winner.IDSym {
+				continue
+			}
+			// Ownership changed: build the full ranked list for the log. The
+			// recorded owner comes from the ranked list, not the earlier
+			// winner scan: a concurrent Table.Set between the two calls may
+			// re-rank, and owner, dispatch and log must agree (the table's
+			// generation bump re-arbitrates on the next pass regardless).
+			ranked := e.priorities.Arbitrate(e.devRefs[dev], e.ctx, list)
+			if e.devOwner[dev] == ranked[0].IDSym {
+				continue
+			}
+			e.devOwner[dev] = ranked[0].IDSym
+			fired = append(fired, Fired{
+				Time:       e.ctx.Now,
+				Rule:       ranked[0],
+				Suppressed: ranked[1:],
+			})
+		}
+	}
+
+	e.dirtyIDs.Reset()
+	e.allDirty = false
+	clear(cands)
+	e.scCands = cands[:0]
+	e.scCandSet.Reset()
+	e.scDevs.Reset()
+	return fired
+}
+
+// dropReadyLocked removes a rule from its device's ready list by identity
+// (order is irrelevant: arbitration is a total order over the list).
+func (e *Engine) dropReadyLocked(r *core.Rule) {
+	if int(r.DeviceSym) >= len(e.readyRules) {
+		return
+	}
+	list := e.readyRules[r.DeviceSym]
+	for i, x := range list {
+		if x == r {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			e.readyRules[r.DeviceSym] = list[:last]
+			return
+		}
+	}
+}
+
+// rebuildDevRankLocked recomputes the lexicographic rank of every seen
+// device key. It runs only when a device is seen for the first time — the
+// only event that can change relative order — so steady-state passes sort
+// device ids by a cached integer rank instead of comparing strings.
+func (e *Engine) rebuildDevRankLocked() {
+	ids := append([]uint32(nil), e.devSeen.IDs()...)
+	slices.SortFunc(ids, func(a, b uint32) int {
+		return strings.Compare(e.tab.Name(a-1), e.tab.Name(b-1))
+	})
+	for _, id := range ids {
+		for int(id) >= len(e.devRank) {
+			e.devRank = append(e.devRank, 0)
+		}
+	}
+	for rank, id := range ids {
+		e.devRank[id] = uint32(rank)
+	}
+	e.rankStale = false
 }
 
 // scratchShrink bounds how large a reused per-pass scratch map may stay.

@@ -141,6 +141,39 @@ func TestInternedSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestMalformedPresenceVarIgnored: a bare "presence-" variable (empty user
+// name) is rejected identically on every path — recording it would count a
+// phantom "" user in the presence quantifiers and diverge the fired logs.
+func TestMalformedPresenceVarIgnored(t *testing.T) {
+	for name, oracleOpts := range map[string][]Option{
+		"vs-stringkeys": {WithStringKeys()},
+		"vs-fullscan":   {WithFullScan()},
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := newEnginePairOpts(t, nil, oracleOpts)
+			if err := p.db.Add(&core.Rule{
+				ID: "off", Owner: "tom", Device: core.DeviceRef{Name: "fluorescent light"},
+				Action: core.Action{Verb: "turn-off"},
+				Cond:   &core.Nobody{Place: "home"},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			p.each(func(e *Engine) { e.SetUsers([]string{"tom"}) })
+			// The malformed variable must not register a phantom presence:
+			// nobody-at-home still holds and both logs stay identical (the
+			// pair's check asserts that after every stimulus).
+			p.event(device.TypePresenceSensor, "presence sensor", "home",
+				map[string]string{"presence-": "living room"})
+			if owners := p.inc.Owners(); owners["fluorescent light"] != "off" {
+				t.Fatalf("owners = %v, want nobody-at-home rule in effect", owners)
+			}
+			if locs := p.inc.Snapshot().Locations; len(locs) != 0 {
+				t.Fatalf("Locations = %v, want no phantom user recorded", locs)
+			}
+		})
+	}
+}
+
 // TestSnapshotCaching pins the observability path: repeated Snapshot calls
 // without context changes return the same object (no clone per poll), any
 // data write or clock advance refreshes it, and Context still hands out

@@ -314,6 +314,8 @@ func (h *Home) SetPriority(ref core.DeviceRef, users []string, contextSource str
 }
 
 // PriorityOrders returns the orders applying to a device, contextual first.
+// The slice is the priority table's generation-gated cache (immutable once
+// built; a later SetPriority produces a fresh one): treat it as read-only.
 func (h *Home) PriorityOrders(ref core.DeviceRef) []conflict.Order {
 	return h.priorities.OrdersFor(ref)
 }

@@ -77,6 +77,9 @@ func (db *DB) Add(r *core.Rule) error {
 	r.Seq = db.seq
 	r.Bound = core.Bind(r.Cond, db.tab)
 	r.Holds = core.CollectHolds(r.Bound)
+	r.IDSym = db.tab.Intern(r.ID) + 1
+	r.OwnerSym = db.tab.Intern(r.Owner) + 1
+	r.DeviceSym = db.tab.Intern(r.Device.Key()) + 1
 	db.rules[r.ID] = r
 	db.byName[r.Device.Name] = append(db.byName[r.Device.Name], r)
 	db.byOwner[r.Owner] = append(db.byOwner[r.Owner], r)

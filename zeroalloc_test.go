@@ -1,0 +1,43 @@
+package cadel
+
+// The tentpole allocation budgets, enforced as tests so a regression fails
+// tier-1 (`go test ./...`), not just the benchmark trend: steady-state
+// presence churn (quantified conditions re-evaluated every pass) and
+// steady-state arbitration churn (the contextual order's dependency dirtied
+// every pass, winner unchanged) must run the interned firing path with zero
+// heap allocations. The single-key variant lives in
+// internal/engine.TestInternedSteadyStateZeroAlloc.
+
+import (
+	"testing"
+
+	"repro/internal/benchwork"
+)
+
+func assertZeroAlloc(t *testing.T, workload string) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	w, err := benchwork.NewEngineWorkload(workload, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(300, func() {
+		w.Replay(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state %s pass allocated %v times, want 0", workload, allocs)
+	}
+}
+
+// TestPresenceChurnZeroAlloc: Example Rules 2/3 shape — a user moving
+// between rooms re-evaluates nobody/everyone/someone-at with no allocation.
+func TestPresenceChurnZeroAlloc(t *testing.T) { assertZeroAlloc(t, "presence_eval") }
+
+// TestArbitrationChurnZeroAlloc: the Fig. 1 shape without a hand-off —
+// every pass re-arbitrates the stereo's contenders through the interned
+// owner-rank index with no allocation.
+func TestArbitrationChurnZeroAlloc(t *testing.T) { assertZeroAlloc(t, "arbitrate") }
