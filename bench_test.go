@@ -460,6 +460,38 @@ func BenchmarkArbitrateHandoff(b *testing.B) {
 	})
 }
 
+// BenchmarkRuleChurn measures one rule-lifecycle step (add a unique-named
+// rule, remove the oldest, evaluate) over a fixed live window — the workload
+// that grows the symtab and every id-indexed slice forever without epoch
+// compaction. The compact rows run the default dead-id watermark (epochs
+// amortize across steps); the nocompact rows are the unbounded-growth
+// baseline the watermark is measured against.
+func BenchmarkRuleChurn(b *testing.B) {
+	for _, live := range []int{1000} {
+		b.Run(fmt.Sprintf("compact-%d", live), func(b *testing.B) {
+			benchmarkRuleChurn(b, live)
+		})
+		b.Run(fmt.Sprintf("nocompact-%d", live), func(b *testing.B) {
+			benchmarkRuleChurn(b, live, engine.WithCompactFloor(0))
+		})
+	}
+}
+
+func benchmarkRuleChurn(b *testing.B, live int, opts ...engine.Option) {
+	w, err := benchwork.NewChurnWorkload(live, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.Symbols()), "symbols")
+}
+
 // ---- fleet hub ----
 
 // buildFleetHub seeds a hub with the standard benchwork fleet workload.

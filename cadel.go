@@ -62,6 +62,10 @@ type (
 	RemoteDevice = upnp.RemoteDevice
 	// SubmitResult reports the outcome of registering a CADEL command.
 	SubmitResult = fleet.Result
+	// SymbolStats is the home's symbol-table and id-slice footprint.
+	SymbolStats = engine.SymbolStats
+	// CompactStats reports one symbol-compaction epoch.
+	CompactStats = engine.CompactStats
 )
 
 // NewNetwork creates a LAN segment.
@@ -354,7 +358,9 @@ func (s *Server) PriorityOrders(ref DeviceRef) []conflict.Order {
 // advancing a simulation clock.
 func (s *Server) Tick() { _ = s.hub.Tick(localHome) }
 
-// Log returns the executed-action log.
+// Log returns the executed-action log. The log is a bounded ring (the
+// fleet's DefaultLogLimit, most recent entries kept), so a long-running
+// server does not grow it without bound.
 func (s *Server) Log() []Fired {
 	log, _ := s.hub.Log(localHome)
 	return log
@@ -364,6 +370,30 @@ func (s *Server) Log() []Fired {
 func (s *Server) Snapshot() *Context {
 	ctx, _ := s.hub.Context(localHome)
 	return ctx
+}
+
+// SymbolStats returns the home's symbol-table and id-slice footprint (zero
+// before the first user or rule registration materializes the home).
+func (s *Server) SymbolStats() SymbolStats {
+	st, err := s.hub.HomeStats(localHome)
+	if err != nil {
+		return SymbolStats{}
+	}
+	return st.Symbols
+}
+
+// CompactSymbols forces a symbol-compaction epoch on the server's home:
+// symbol ids orphaned by removed rules are reclaimed and the live ids
+// renumbered densely. The engine also compacts automatically once enough
+// ids are dead; this passthrough mirrors the fleet API's per-home compact
+// endpoint. ok is false when there is nothing to compact (no home yet, or
+// an oracle-mode engine).
+func (s *Server) CompactSymbols() (CompactStats, bool) {
+	st, compacted, err := s.hub.CompactHome(localHome)
+	if err != nil {
+		return CompactStats{}, false
+	}
+	return st, compacted
 }
 
 // Hub exposes the server's underlying single-home fleet hub.

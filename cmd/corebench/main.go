@@ -17,6 +17,11 @@
 //	                 contending owners on one device under a contextual
 //	                 priority order dirtied by presence churn; the winner
 //	                 never changes, so nothing fires)
+//	rule_churn       one rule-lifecycle step (add a unique-named rule,
+//	                 remove the oldest, evaluate) over a fixed live window,
+//	                 with the default symbol-compaction watermark ("compact")
+//	                 and with compaction disabled ("nocompact") — the symtab
+//	                 id-space hygiene rows
 //
 // each on the evaluator configurations:
 //
@@ -98,6 +103,11 @@ func main() {
 			d.Engine = append(d.Engine, r)
 			printRow(r)
 		}
+		for _, mode := range []string{"compact", "nocompact"} {
+			r := benchChurn(n, mode)
+			d.Engine = append(d.Engine, r)
+			printRow(r)
+		}
 	}
 	for _, shards := range parseInts(*shardsFlag) {
 		r := benchFleet(*homes, shards)
@@ -161,6 +171,39 @@ func benchEngine(bench string, n int, mode string) engineRow {
 	})
 	return engineRow{
 		Bench:       bench,
+		Mode:        mode,
+		Rules:       n,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+	}
+}
+
+// benchChurn runs the rule-churn workload (add a unique-named rule, remove
+// the oldest, evaluate) over a live window of n rules, with the default
+// compaction watermark ("compact") or compaction disabled ("nocompact") —
+// the symtab id-space hygiene rows.
+func benchChurn(n int, mode string) engineRow {
+	var opts []engine.Option
+	if mode == "nocompact" {
+		opts = append(opts, engine.WithCompactFloor(0))
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		w, err := benchwork.NewChurnWorkload(n, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return engineRow{
+		Bench:       "rule_churn",
 		Mode:        mode,
 		Rules:       n,
 		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),

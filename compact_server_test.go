@@ -1,0 +1,50 @@
+package cadel
+
+import (
+	"testing"
+)
+
+// TestServerCompactSymbols covers the single-home passthrough of the fleet's
+// per-home symbol compaction: register and remove rules, force an epoch,
+// and check the footprint observability before and after.
+func TestServerCompactSymbols(t *testing.T) {
+	_, srv := newHomeServer(t)
+
+	// Before any state exists... the home was materialized by RegisterUser
+	// in newHomeServer, so stats are live but the table is untouched.
+	if st := srv.SymbolStats(); st.Epoch != 0 {
+		t.Fatalf("fresh server epoch = %d, want 0", st.Epoch)
+	}
+
+	res, err := srv.Submit("If temperature is higher than 28 degrees, turn on the air conditioner.", "tom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.SymbolStats()
+	if before.Symbols == 0 {
+		t.Fatal("no symbols after rule registration")
+	}
+	if err := srv.RemoveRule(res.Rule.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.SymbolStats(); st.DeadEstimate == 0 {
+		t.Fatalf("dead estimate zero after removal: %+v", st)
+	}
+
+	cst, ok := srv.CompactSymbols()
+	if !ok {
+		t.Fatal("CompactSymbols refused")
+	}
+	if cst.Epoch != 1 || cst.After >= before.Symbols {
+		t.Fatalf("compaction = %+v, want epoch 1 and fewer than %d symbols", cst, before.Symbols)
+	}
+	after := srv.SymbolStats()
+	if after.Epoch != 1 || after.DeadEstimate != 0 {
+		t.Fatalf("post-compaction stats = %+v", after)
+	}
+
+	// The server still registers and evaluates rules on the renumbered ids.
+	if _, err := srv.Submit("If humidity is higher than 60 %, turn on the dehumidifier.", "tom"); err != nil {
+		t.Fatal(err)
+	}
+}

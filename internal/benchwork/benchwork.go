@@ -377,6 +377,67 @@ func HandoffEvents() []map[string]string {
 	}
 }
 
+// ---- rule-churn workload: symtab growth under unique-name lifecycle ----
+
+// ChurnWorkload drives one rule-lifecycle step per op over a fixed live
+// window: register a rule with names unique to its sequence number, remove
+// the oldest, evaluate. This is the shape that grows a home's symbol table
+// (and every id-indexed slice hanging off it) without bound unless epoch
+// compaction reclaims the retired ids; BenchmarkRuleChurn measures it with
+// the default watermark against a compaction-disabled baseline.
+type ChurnWorkload struct {
+	DB     *registry.DB
+	Engine *engine.Engine
+	live   int
+	seq    int
+}
+
+// churnRule builds the seq-th unique-named rule: its variable, id and
+// device all carry the sequence number, so nothing is shared with any other
+// churn rule.
+func churnRule(seq int) *core.Rule {
+	return &core.Rule{
+		ID:     fmt.Sprintf("churn-%d", seq),
+		Owner:  "u",
+		Device: core.DeviceRef{Name: fmt.Sprintf("churn-dev-%d", seq)},
+		Action: core.Action{Verb: "turn-on"},
+		Cond:   &core.Compare{Var: fmt.Sprintf("churn-room-%d/temperature", seq), Op: simplex.GT, Value: 20},
+	}
+}
+
+// NewChurnWorkload builds a churn workload with live rules resident and the
+// engine at a pass boundary. Pass engine.WithCompactFloor(0) to measure the
+// no-compaction baseline.
+func NewChurnWorkload(live int, opts ...engine.Option) (*ChurnWorkload, error) {
+	w := &ChurnWorkload{DB: registry.New(), live: live}
+	w.Engine = engine.New(w.DB, conflict.NewTable(), func() time.Time { return Epoch }, nil, opts...)
+	for ; w.seq < live; w.seq++ {
+		if err := w.DB.Add(churnRule(w.seq)); err != nil {
+			return nil, err
+		}
+	}
+	w.Engine.Tick()
+	return w, nil
+}
+
+// Step runs one churn op: add the next unique-named rule, remove the oldest,
+// and run the evaluation pass whose boundary hosts the compaction watermark.
+func (w *ChurnWorkload) Step() error {
+	if err := w.DB.Add(churnRule(w.seq)); err != nil {
+		return err
+	}
+	if err := w.DB.Remove(fmt.Sprintf("churn-%d", w.seq-w.live)); err != nil {
+		return err
+	}
+	w.seq++
+	w.Engine.Tick()
+	return nil
+}
+
+// Symbols returns the current symtab length — the quantity compaction
+// bounds.
+func (w *ChurnWorkload) Symbols() int { return w.Engine.SymbolStats().Symbols }
+
 // ---- fleet workload ----
 
 // FleetRule is the one rule every benchmark home registers.

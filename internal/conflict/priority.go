@@ -90,6 +90,21 @@ func (t *Table) Set(o Order) {
 	t.orders = append(t.orders, o)
 }
 
+// Invalidate drops the generation-gated per-device caches and bumps the
+// table generation, as if every order had been re-registered. The engine
+// calls it after a symbol-compaction epoch: the cached entries hold interned
+// user-rank vectors and bound order contexts whose ids predate the remap,
+// and the symtab pointer itself is unchanged, so the caches cannot notice
+// the renumbering on their own. The generation bump makes the engine re-sync
+// its cached order dependencies and re-arbitrate, exactly as after a Set.
+func (t *Table) Invalidate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gen++
+	t.devs = nil
+	t.tab = nil
+}
+
 // Generation returns a counter that increments on every Set. The execution
 // engine compares it against the generation of its last evaluation pass to
 // notice priority edits without re-arbitrating every device every time.

@@ -1,0 +1,122 @@
+package core
+
+// Symbol-compaction support for the id-holding rule state: a registered
+// rule's interned identity (IDSym/OwnerSym/DeviceSym), its sorted dependency
+// ids (DepIDs) and the ids embedded in its pre-bound condition tree all
+// reference the owning database's symbol table, so a compaction epoch must
+// mark them live and rewrite them through the remap table. The two walkers
+// below cover exactly the bound node kinds Bind emits, field for field: a
+// field Bind leaves unset (the person of an "anyone" presence, the key of a
+// Someone arrival) is neither marked nor remapped.
+
+// MarkLiveIDs adds every symbol id the registered rule holds to live.
+func (r *Rule) MarkLiveIDs(live *IDSet) {
+	live.AddAll(r.DepIDs)
+	for _, sym := range [...]uint32{r.IDSym, r.OwnerSym, r.DeviceSym} {
+		if sym != 0 {
+			live.Add(sym - 1)
+		}
+	}
+	MarkCondIDs(r.Bound, live)
+}
+
+// RemapIDs rewrites every symbol id the registered rule holds for a
+// compaction epoch. All of them must have been marked live (MarkLiveIDs);
+// the ids are rewritten in place, so the rule object keeps its identity.
+func (r *Rule) RemapIDs(remap []uint32) {
+	for i, id := range r.DepIDs {
+		r.DepIDs[i] = remap[id]
+	}
+	if r.IDSym != 0 {
+		r.IDSym = remap[r.IDSym-1] + 1
+	}
+	if r.OwnerSym != 0 {
+		r.OwnerSym = remap[r.OwnerSym-1] + 1
+	}
+	if r.DeviceSym != 0 {
+		r.DeviceSym = remap[r.DeviceSym-1] + 1
+	}
+	RemapCondIDs(r.Bound, remap)
+}
+
+// MarkCondIDs adds every symbol id a bound condition tree reads to live.
+// Unbound leaves (time windows, EPG, foreign kinds) hold no ids.
+func MarkCondIDs(c Condition, live *IDSet) {
+	switch n := c.(type) {
+	case *And:
+		for _, t := range n.Terms {
+			MarkCondIDs(t, live)
+		}
+	case *Or:
+		for _, t := range n.Terms {
+			MarkCondIDs(t, live)
+		}
+	case *Duration:
+		MarkCondIDs(n.Inner, live)
+	case *BoundCompare:
+		live.Add(n.ID)
+	case *BoundBoolIs:
+		live.Add(n.ID)
+	case *BoundPresence:
+		if !n.anyone {
+			live.Add(n.person)
+		}
+		if !n.home {
+			live.Add(n.place)
+		}
+	case *BoundNobody:
+		if !n.home {
+			live.Add(n.place)
+		}
+	case *BoundEveryone:
+		if !n.home {
+			live.Add(n.place)
+		}
+	case *BoundArrival:
+		live.Add(n.nameID)
+		if n.Person != Someone {
+			live.Add(n.keyID)
+		}
+	}
+}
+
+// RemapCondIDs rewrites a bound condition tree's symbol ids in place for a
+// compaction epoch; every id must have been marked live via MarkCondIDs.
+func RemapCondIDs(c Condition, remap []uint32) {
+	switch n := c.(type) {
+	case *And:
+		for _, t := range n.Terms {
+			RemapCondIDs(t, remap)
+		}
+	case *Or:
+		for _, t := range n.Terms {
+			RemapCondIDs(t, remap)
+		}
+	case *Duration:
+		RemapCondIDs(n.Inner, remap)
+	case *BoundCompare:
+		n.ID = remap[n.ID]
+	case *BoundBoolIs:
+		n.ID = remap[n.ID]
+	case *BoundPresence:
+		if !n.anyone {
+			n.person = remap[n.person]
+		}
+		if !n.home {
+			n.place = remap[n.place]
+		}
+	case *BoundNobody:
+		if !n.home {
+			n.place = remap[n.place]
+		}
+	case *BoundEveryone:
+		if !n.home {
+			n.place = remap[n.place]
+		}
+	case *BoundArrival:
+		n.nameID = remap[n.nameID]
+		if n.Person != Someone {
+			n.keyID = remap[n.keyID]
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzCompactRemap drives Symtab.Compact with byte-derived intern/kill/
+// compact streams and asserts the remap invariants every id holder depends
+// on:
+//
+//   - the remap table always covers the pre-compaction id space;
+//   - live ids renumber densely and monotonically (order preserved), dead
+//     ids map to DeadID exactly;
+//   - names round-trip across any number of epochs (Name/Lookup agree with
+//     a shadow map), dead names stop resolving, and re-interning a dead
+//     name appends a fresh id;
+//   - Len always equals the live count and the epoch counter increments
+//     once per compaction.
+func FuzzCompactRemap(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 4, 5, 251, 6})
+	f.Add([]byte{250, 250, 250})
+	f.Add([]byte{0, 250, 0, 250, 0, 250})
+	f.Add([]byte{9, 8, 7, 6, 5, 251, 1, 2, 3, 250, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := NewSymtab()
+		alive := make(map[string]bool) // name → currently marked live
+		var order []string             // live names in id order (the shadow table)
+		epochs := uint64(0)
+
+		compact := func() {
+			live := &IDSet{}
+			var kept []string
+			for _, n := range order {
+				if alive[n] {
+					id, ok := tab.Lookup(n)
+					if !ok {
+						t.Fatalf("live name %q unknown before compaction", n)
+					}
+					live.Add(id)
+					kept = append(kept, n)
+				}
+			}
+			before := tab.Len()
+			remap, epoch := tab.Compact(live)
+			epochs++
+			if epoch != epochs {
+				t.Fatalf("epoch = %d, want %d", epoch, epochs)
+			}
+			if len(remap) != before {
+				t.Fatalf("remap covers %d ids, want %d", len(remap), before)
+			}
+			next := uint32(0)
+			for id := range remap {
+				dead := !alive[order[id]]
+				switch {
+				case dead && remap[id] != DeadID:
+					t.Fatalf("dead id %d remapped to %d, want DeadID", id, remap[id])
+				case !dead && remap[id] != next:
+					t.Fatalf("live id %d remapped to %d, want %d (not dense/monotonic)", id, remap[id], next)
+				case !dead:
+					next++
+				}
+			}
+			for _, n := range order {
+				if !alive[n] {
+					if id, ok := tab.Lookup(n); ok {
+						t.Fatalf("dead name %q still resolves to %d", n, id)
+					}
+					delete(alive, n)
+				}
+			}
+			order = kept
+			if tab.Len() != len(order) {
+				t.Fatalf("Len = %d after compaction, want %d live", tab.Len(), len(order))
+			}
+		}
+
+		for _, b := range data {
+			switch {
+			case b == 250:
+				compact()
+			case b == 251: // kill every other live name
+				for i, n := range order {
+					if i%2 == 1 {
+						alive[n] = false
+					}
+				}
+			default:
+				n := fmt.Sprintf("sym-%d", b%64)
+				id := tab.Intern(n)
+				if !alive[n] {
+					if int(id) != len(order) {
+						// Known live names return their id; everything else
+						// (fresh or previously killed+compacted) appends.
+						if known, ok := tab.Lookup(n); !ok || known != id {
+							t.Fatalf("Intern(%q) = %d, inconsistent with Lookup", n, id)
+						}
+						if idx := int(id); idx >= len(order) || order[idx] != n {
+							t.Fatalf("Intern(%q) = %d, not dense (live %d)", n, id, len(order))
+						}
+					} else {
+						order = append(order, n)
+					}
+					alive[n] = true
+				}
+			}
+		}
+
+		// Final sweep: the shadow table and the symtab agree id for id.
+		if tab.Len() != len(order) {
+			t.Fatalf("final Len = %d, shadow %d", tab.Len(), len(order))
+		}
+		for i, n := range order {
+			if got := tab.Name(uint32(i)); got != n {
+				t.Fatalf("final Name(%d) = %q, shadow %q", i, got, n)
+			}
+			if id, ok := tab.Lookup(n); !ok || id != uint32(i) {
+				t.Fatalf("final Lookup(%q) = %d,%v, shadow id %d", n, id, ok, i)
+			}
+		}
+	})
+}

@@ -177,6 +177,137 @@ func (c *Context) Clone() *Context {
 	return out
 }
 
+// ---- compaction (epoch/remap contract) ----
+
+// MarkLive adds every symbol id the interned store holds to live: populated
+// number/boolean slots, present persons and their places, the registered
+// user ids, and fresh arrival keys with their event-name index ids.
+// Persons recorded as away (slot 0) are deliberately not marked — the
+// id-indexed readers treat an unknown person and an away person
+// identically, and the string-keyed Locations map stays truthful either
+// way — so unreferenced ids can be reclaimed.
+//
+// Arrival events are freshness-gated: an event older than the TTL is
+// already invisible to every reader (HasEventKeyID and friends test
+// freshness), so pinning its ids would regrow the event store without bound
+// under event-name churn — the exact leak compaction exists to close.
+// Expired events are therefore pruned here, from the id store and the
+// Events map alike, before their ids go unmarked. This assumes Now does not
+// move backwards, like the rest of the engine's clock handling.
+func (c *Context) MarkLive(live *IDSet) {
+	if c.tab == nil {
+		return
+	}
+	live.AddAll(c.numPop)
+	live.AddAll(c.boolPop)
+	for person, slot := range c.locVals {
+		if slot != 0 {
+			live.Add(uint32(person))
+			live.Add(slot - 1)
+		}
+	}
+	live.AddAll(c.userIDs)
+	ttl := c.eventTTL()
+	pruned := false
+	for name, keys := range c.evByName {
+		kept := keys[:0]
+		for _, key := range keys {
+			if c.Now.Sub(c.evTimes[key]) <= ttl {
+				kept = append(kept, key)
+				live.Add(key)
+				live.Add(uint32(name))
+				continue
+			}
+			c.evHas[key] = false
+			c.evTimes[key] = time.Time{}
+			delete(c.Events, c.tab.Name(key))
+			pruned = true
+		}
+		c.evByName[name] = kept
+	}
+	if pruned {
+		c.ver++
+	}
+}
+
+// Remap rewrites the interned store for a compaction epoch: every id-indexed
+// slice is rebuilt under the new numbering (newLen = the compacted symtab
+// length) and the per-generation resolution caches are dropped (cached slots
+// reference old ids; the populations are unchanged, so the next read of each
+// name recomputes once). Every id the store holds must have been marked live
+// (MarkLive) or Remap panics on the DeadID sentinel — by contract the string
+// maps are untouched, so observability and clones see no change.
+func (c *Context) Remap(remap []uint32, newLen int) {
+	if c.tab == nil {
+		return
+	}
+	// Numbers / booleans: rebuild the dense value arrays; the populations
+	// remap in place (populated slots are live by construction).
+	numVals, numHas := make([]float64, newLen), make([]bool, newLen)
+	for i, id := range c.numPop {
+		nid := remap[id]
+		numVals[nid], numHas[nid] = c.numVals[id], true
+		c.numPop[i] = nid
+	}
+	c.numVals, c.numHas, c.numRes = numVals, numHas, nil
+	boolVals, boolHas := make([]bool, newLen), make([]bool, newLen)
+	for i, id := range c.boolPop {
+		nid := remap[id]
+		boolVals[nid], boolHas[nid] = c.boolVals[id], true
+		c.boolPop[i] = nid
+	}
+	c.boolVals, c.boolHas, c.boolRes = boolVals, boolHas, nil
+
+	// Presence: present persons move to their new ids; away persons whose
+	// ids died are dropped (semantically identical for the id readers). The
+	// reverse-index counters are rebuilt from the new slots.
+	locVals := make([]uint32, newLen)
+	placeCount := make([]int32, 0, len(c.placeCount))
+	present := 0
+	for person, slot := range c.locVals {
+		if slot == 0 {
+			continue // away: the new slot is zero whether the id lived or died
+		}
+		np, ns := remap[person], remap[slot-1]+1
+		locVals[np] = ns
+		for int(ns-1) >= len(placeCount) {
+			placeCount = append(placeCount, 0)
+		}
+		placeCount[ns-1]++
+		present++
+	}
+	c.locVals, c.placeCount, c.present = locVals, placeCount, present
+	for i, u := range c.userIDs {
+		c.userIDs[i] = remap[u]
+	}
+
+	// Arrival events: recorded keys move; the per-event-name index is
+	// rebuilt under the new name ids.
+	evTimes, evHas := make([]time.Time, newLen), make([]bool, newLen)
+	evByName := make([][]uint32, 0, len(c.evByName))
+	for name, keys := range c.evByName {
+		if len(keys) == 0 {
+			continue
+		}
+		nn := remap[name]
+		for int(nn) >= len(evByName) {
+			evByName = append(evByName, nil)
+		}
+		for _, key := range keys {
+			nk := remap[key]
+			evTimes[nk], evHas[nk] = c.evTimes[key], true
+			evByName[nn] = append(evByName[nn], nk)
+		}
+	}
+	c.evTimes, c.evHas, c.evByName = evTimes, evHas, evByName
+}
+
+// IDSliceLens reports the lengths of the interned store's id-indexed slices
+// (numbers, booleans, locations, arrival events) for memory observability.
+func (c *Context) IDSliceLens() (num, boolean, loc, ev int) {
+	return len(c.numVals), len(c.boolVals), len(c.locVals), len(c.evTimes)
+}
+
 // ---- writes ----
 
 // SetNumber stores a numeric reading under its full key.

@@ -17,11 +17,25 @@ import (
 // registration, first sight of a device variable — under an internal lock,
 // so concurrent readers (HTTP observability, a second oracle engine over the
 // same database) stay safe without taxing per-evaluation work.
+//
+// Ids are stable between compaction epochs only. Compact renumbers the live
+// symbols densely and drops the dead ones, so a home that churns rules with
+// unique names does not grow its id space forever; every layer holding ids
+// must rewrite them through the returned remap table (see the epoch/remap
+// contract in the package README). registry.DB.CompactSymtab coordinates an
+// epoch across all holders.
 type Symtab struct {
 	mu    sync.RWMutex
 	ids   map[string]uint32
 	names []string
+	epoch uint64
 }
+
+// DeadID is the remap-table entry for a symbol dropped by Compact. Holders
+// of an id that remaps to DeadID must discard the state attached to it (by
+// construction such state was unreachable, or the id would have been marked
+// live).
+const DeadID = ^uint32(0)
 
 // NewSymtab returns an empty symbol table.
 func NewSymtab() *Symtab {
@@ -69,6 +83,47 @@ func (t *Symtab) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.names)
+}
+
+// Epoch returns how many compaction epochs the table has run. Ids are only
+// comparable within one epoch.
+func (t *Symtab) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Compact renumbers the live symbols densely, dropping every id not in
+// live, and returns the remap table (old id → new id, DeadID for dropped
+// symbols) and the new epoch. Renumbering preserves relative order, so the
+// remap is monotonically increasing over live ids and a name's id never
+// grows. A dropped name is forgotten entirely: re-interning it later
+// assigns a fresh id at the end of the table.
+//
+// Compact only renumbers the table itself. The caller owns the coordination
+// problem — every structure holding ids from this table must be rewritten
+// through the remap before the next use; registry.DB.CompactSymtab runs the
+// whole epoch under one lock so no holder can observe mixed ids.
+func (t *Symtab) Compact(live *IDSet) (remap []uint32, epoch uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	remap = make([]uint32, len(t.names))
+	next := uint32(0)
+	for id, name := range t.names {
+		if !live.Has(uint32(id)) {
+			remap[id] = DeadID
+			delete(t.ids, name)
+			continue
+		}
+		remap[id] = next
+		t.names[next] = name
+		t.ids[name] = next
+		next++
+	}
+	// Release the dropped tail so a heavily churned table actually shrinks.
+	t.names = append([]string(nil), t.names[:next]...)
+	t.epoch++
+	return remap, t.epoch
 }
 
 // minSuffixMatch scans a population of interned ids and returns the id whose

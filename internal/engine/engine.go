@@ -42,6 +42,16 @@
 // map iteration and no allocation. The ranked list (and its allocation) is
 // built only when ownership actually changes and the suppressed set must be
 // logged.
+//
+// Symbol ids are stable only within a compaction epoch. Rule churn with
+// unique names retires ids forever, so the engine watches a dead-id
+// watermark (registry.DB.Retired vs symtab size) at churn-pass boundaries
+// and runs an epoch (CompactSymbols) that renumbers the live ids densely
+// and rewrites every holder — database rules and indexes, context slices,
+// the engine's reconciliation state, the priority table's caches — under
+// one registry lock (see the epoch/remap contract in internal/core's
+// README). Steady-state passes never check the watermark, so the zero-alloc
+// hot path is untouched.
 package engine
 
 import (
@@ -151,6 +161,9 @@ type Engine struct {
 	passes  uint64 // evaluation passes run
 	batches uint64 // dispatch batches handed out (≤ one per pass)
 	logCap  int    // keep at most this many log entries; 0 = unbounded
+	// compactFloor is the symbol-count floor for automatic symbol
+	// compaction (see WithCompactFloor); <= 0 disables the watermark.
+	compactFloor int
 
 	// Incremental-evaluation state (unused in full-scan mode).
 	dirty      map[string]struct{}   // dirty dependency keys (string-keyed mode)
@@ -243,6 +256,27 @@ func WithLogLimit(n int) Option {
 	return optionFunc(func(e *Engine) { e.logCap = n })
 }
 
+// DefaultCompactFloor is the symbol count below which automatic symbol
+// compaction never triggers: small homes never pay a compaction pause, and
+// oracle pairings that share one rule database between two interned engines
+// (which compaction does not support — see WithCompactFloor) stay safe as
+// long as they stay under it.
+const DefaultCompactFloor = 4096
+
+// WithCompactFloor tunes the automatic symbol-compaction watermark: at the
+// end of an interned evaluation pass that saw rule churn, the engine runs a
+// compaction epoch (CompactSymbols) once the symbol table holds at least n
+// symbols AND the registry's retired-id estimate says at least half of them
+// may be dead. n <= 0 disables automatic compaction entirely.
+//
+// Compaction rewrites the rule database's symbol ids in place, so it assumes
+// this engine is the database's only interned evaluator; a second interned
+// engine over the same database (e.g. a full-scan oracle pairing) must
+// disable it. String-keyed engines never hold ids and are unaffected.
+func WithCompactFloor(n int) Option {
+	return optionFunc(func(e *Engine) { e.compactFloor = n })
+}
+
 // WithFullScan disables incremental evaluation: every pass re-evaluates
 // every registered rule and re-arbitrates every device, exactly as the
 // paper's prototype does. Tests use a full-scan engine as the oracle the
@@ -267,22 +301,23 @@ func WithStringKeys() Option {
 // evaluates on the interned hot path.
 func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, dispatch Dispatcher, opts ...Option) *Engine {
 	e := &Engine{
-		ctx:        core.NewContext(now()),
-		db:         db,
-		priorities: priorities,
-		dispatch:   dispatch,
-		now:        now,
-		dirty:      make(map[string]struct{}),
-		allDirty:   true,
-		known:      make(map[string]*core.Rule),
-		ready:      make(map[string]bool),
-		readyByDev: make(map[string]map[string]*core.Rule),
-		refs:       make(map[string]core.DeviceRef),
-		owners:     make(map[string]string),
-		scCand:     make(map[string]*core.Rule),
-		scChanged:  make(map[string]struct{}),
-		scReady:    make(map[string][]*core.Rule),
-		scRefs:     make(map[string]core.DeviceRef),
+		ctx:          core.NewContext(now()),
+		db:           db,
+		priorities:   priorities,
+		dispatch:     dispatch,
+		now:          now,
+		compactFloor: DefaultCompactFloor,
+		dirty:        make(map[string]struct{}),
+		allDirty:     true,
+		known:        make(map[string]*core.Rule),
+		ready:        make(map[string]bool),
+		readyByDev:   make(map[string]map[string]*core.Rule),
+		refs:         make(map[string]core.DeviceRef),
+		owners:       make(map[string]string),
+		scCand:       make(map[string]*core.Rule),
+		scChanged:    make(map[string]struct{}),
+		scReady:      make(map[string][]*core.Rule),
+		scRefs:       make(map[string]core.DeviceRef),
 	}
 	for _, o := range opts {
 		o.apply(e)
@@ -954,7 +989,9 @@ func (e *Engine) internedPassLocked() []Fired {
 
 	// Sync rule additions and removals with the database.
 	var added []*core.Rule
+	churned := false
 	if g := e.db.Generation(); g != e.dbGen {
+		churned = true
 		e.dbGen = g
 		e.timeRules = e.db.TimeDependent()
 		all := e.db.All()
@@ -1119,7 +1156,174 @@ func (e *Engine) internedPassLocked() []Fired {
 	e.scCands = cands[:0]
 	e.scCandSet.Reset()
 	e.scDevs.Reset()
+
+	// Dead-id watermark: only passes that saw rule churn can have retired
+	// ids, so the steady state never takes the registry lock or the symtab
+	// lock here. The epoch runs at this pass boundary, with the engine's
+	// cached rule state freshly in sync.
+	if churned && e.compactFloor > 0 {
+		if n := e.tab.Len(); n >= e.compactFloor && 2*e.db.Retired() >= uint64(n) {
+			e.compactLocked()
+		}
+	}
 	return fired
+}
+
+// ---- symbol compaction (epoch/remap contract) ----
+
+// CompactStats reports one symbol-compaction epoch.
+type CompactStats struct {
+	// Before and After are the symbol-table lengths around the epoch.
+	Before int `json:"symbols_before"`
+	After  int `json:"symbols_after"`
+	// Epoch is the symbol table's epoch counter after the compaction.
+	Epoch uint64 `json:"epoch"`
+}
+
+// SymbolStats is an engine's symbol-table and id-slice footprint, for
+// idle-memory observability: how many symbols are interned, an upper-bound
+// estimate of how many are dead (retired by rule removals since the last
+// epoch), the compaction epoch, and the lengths of the id-indexed stores
+// that grow with the id space. All zero for string-keyed engines.
+type SymbolStats struct {
+	Symbols      int    `json:"symbols"`
+	DeadEstimate uint64 `json:"dead_estimate"`
+	Epoch        uint64 `json:"epoch"`
+	NumSlots     int    `json:"num_slots"`
+	BoolSlots    int    `json:"bool_slots"`
+	LocSlots     int    `json:"loc_slots"`
+	EventSlots   int    `json:"event_slots"`
+	ReadySlots   int    `json:"ready_slots"`
+}
+
+// SymbolStats returns the engine's current symbol footprint.
+func (e *Engine) SymbolStats() SymbolStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tab == nil {
+		return SymbolStats{}
+	}
+	st := SymbolStats{
+		Symbols:      e.tab.Len(),
+		DeadEstimate: e.db.Retired(),
+		Epoch:        e.tab.Epoch(),
+		ReadySlots:   len(e.readyBits),
+	}
+	st.NumSlots, st.BoolSlots, st.LocSlots, st.EventSlots = e.ctx.IDSliceLens()
+	return st
+}
+
+// CompactSymbols forces a symbol-compaction epoch: run an evaluation pass to
+// sync with the rule database, then renumber the live symbols densely and
+// rewrite every id holder (database rules and indexes, context slices,
+// reconciliation state, priority-table caches). ok is false when the engine
+// runs an oracle mode (string-keyed engines hold no ids; full-scan engines
+// keep no synced rule state) or when concurrent rule churn kept outrunning
+// the sync. Automatic compaction calls the same machinery from the
+// watermark check at churn-pass boundaries.
+func (e *Engine) CompactSymbols() (CompactStats, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		e.mu.Lock()
+		if e.stringKeys || e.fullScan {
+			e.mu.Unlock()
+			return CompactStats{}, false
+		}
+		e.evaluateLocked() // releases e.mu
+		e.mu.Lock()
+		st, ok := e.compactLocked()
+		e.mu.Unlock()
+		if ok {
+			return st, true
+		}
+	}
+	return CompactStats{}, false
+}
+
+// compactLocked runs one compaction epoch under the engine lock, at a pass
+// boundary. The whole renumbering happens inside the database lock
+// (registry.DB.CompactSymtab), so no rule mutation interleaves; the ifGen
+// guard refuses the epoch if the database moved past the engine's last sync,
+// in which case the caller retries at the next sync point.
+func (e *Engine) compactLocked() (CompactStats, bool) {
+	if e.stringKeys || e.fullScan || e.tab == nil {
+		return CompactStats{}, false
+	}
+	res, ok := e.db.CompactSymtab(e.dbGen, func(live *core.IDSet) {
+		e.ctx.MarkLive(live)
+	}, func(remap []uint32) {
+		e.ctx.Remap(remap, e.tab.Len())
+		e.remapStateLocked(remap)
+	})
+	if !ok {
+		return CompactStats{}, false
+	}
+	// The priority table's per-device caches hold pre-remap ids and cannot
+	// notice the renumbering (the symtab pointer is unchanged); invalidating
+	// bumps its generation, so the next pass re-syncs the cached order
+	// dependencies and re-arbitrates — winners are unchanged, so nothing
+	// fires.
+	e.priorities.Invalidate()
+	return CompactStats{Before: res.Before, After: res.After, Epoch: res.Epoch}, true
+}
+
+// remapStateLocked rewrites the engine's id-indexed reconciliation state for
+// a compaction epoch and drops the ingest caches (they memoize pre-remap
+// ids; the next event per signature re-interns against the compacted table).
+// It runs inside the database lock, after the database rewrote its rules.
+func (e *Engine) remapStateLocked(remap []uint32) {
+	n := e.tab.Len()
+
+	// Rule readiness: every set bit belongs to a known (hence live) rule.
+	readyBits := make([]bool, n+1)
+	for i, rdy := range e.readyBits {
+		if rdy {
+			readyBits[remap[i-1]+1] = true
+		}
+	}
+	e.readyBits = readyBits
+
+	// Device-indexed state: seen devices with remaining state move to their
+	// new ids; devices whose rules were all removed earlier may be dead, and
+	// by construction their ready list is empty and their owner cleared, so
+	// they are simply forgotten.
+	readyRules := make([][]*core.Rule, n+1)
+	devRefs := make([]core.DeviceRef, n+1)
+	devOwner := make([]uint32, n+1)
+	var devSeen core.IDSet
+	for _, dev := range e.devSeen.IDs() {
+		nd := remap[dev-1]
+		if nd == core.DeadID {
+			continue
+		}
+		readyRules[nd+1] = e.readyRules[dev]
+		devRefs[nd+1] = e.devRefs[dev]
+		if o := e.devOwner[dev]; o != 0 {
+			devOwner[nd+1] = remap[o-1] + 1
+		}
+		devSeen.Add(nd + 1)
+	}
+	e.readyRules, e.devRefs, e.devOwner, e.devSeen = readyRules, devRefs, devOwner, devSeen
+	e.devRank = nil
+	e.rankStale = true
+
+	// Pending dirty ids (ingested but not yet evaluated): a dirty id that
+	// died has no live rule depending on it, so dropping it is sound; new
+	// rules re-intern their dependencies and are candidates on their first
+	// pass regardless.
+	dirty := append([]uint32(nil), e.dirtyIDs.IDs()...)
+	e.dirtyIDs = core.IDSet{}
+	for _, id := range dirty {
+		if nid := remap[id]; nid != core.DeadID {
+			e.dirtyIDs.Add(nid)
+		}
+	}
+	e.scCandSet, e.scDevs = core.IDSet{}, core.IDSet{}
+	e.scDevIDs = nil
+
+	clear(e.varCache)
+	clear(e.arrCache)
+	clear(e.placeSlot)
+	e.programsDep = e.tab.Intern(core.ProgramsDepKey)
 }
 
 // dropReadyLocked removes a rule from its device's ready list by identity

@@ -41,7 +41,16 @@ var (
 	// ErrForbidden marks a rule whose owner lacks the privilege for the
 	// target device and action.
 	ErrForbidden = errors.New("fleet: user may not perform this action on this device")
+	// ErrNoHome marks a per-home read (stats, compaction) on a home that was
+	// never written; reads must not materialize homes.
+	ErrNoHome = errors.New("fleet: home does not exist")
 )
+
+// DefaultLogLimit is the per-home fired-action log cap applied unless
+// WithLogLimit overrides it. Long-running homes fire indefinitely, so an
+// unbounded log is a slow leak at fleet scale; pass WithLogLimit(0) to keep
+// everything (single-home debugging, short-lived tests).
+const DefaultLogLimit = 1024
 
 // Dispatcher applies one fired action of one home to the real (or simulated)
 // appliance. The single-home server wires this to UPnP control.
@@ -108,7 +117,8 @@ func WithEventTTL(ttl time.Duration) HubOption {
 }
 
 // WithLogLimit caps each home's fired-action log (engine.WithLogLimit).
-// 0, the default, keeps everything — set a cap for long-lived fleets.
+// The default is DefaultLogLimit; n <= 0 removes the cap and keeps
+// everything.
 func WithLogLimit(n int) HubOption {
 	return optionFunc(func(c *config) { c.logLimit = n })
 }

@@ -345,8 +345,19 @@ func (h *Home) Snapshot() *core.Context { return h.engine.Snapshot() }
 
 // Symtab returns the home's symbol table. Each home owns exactly one (its
 // rule database creates it; the engine and context share it), so symbol ids
-// are meaningful only within the home.
+// are meaningful only within the home — and only within the current
+// compaction epoch (CompactSymbols).
 func (h *Home) Symtab() *core.Symtab { return h.db.Symtab() }
+
+// SymbolStats returns the home's symbol-table and id-slice footprint.
+func (h *Home) SymbolStats() engine.SymbolStats { return h.engine.SymbolStats() }
+
+// CompactSymbols forces a symbol-compaction epoch on the home's engine:
+// live symbol ids are renumbered densely and every id holder (rule database,
+// context, engine state, priority caches) is rewritten. The store is not
+// involved — persisted records are CADEL source, and replay re-interns from
+// scratch, so a rehydrated home naturally starts compact.
+func (h *Home) CompactSymbols() (engine.CompactStats, bool) { return h.engine.CompactSymbols() }
 
 // Owners returns the home's device → owning-rule-ID map.
 func (h *Home) Owners() map[string]string { return h.engine.Owners() }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lang"
 	"repro/internal/registry"
 	"repro/internal/vocab"
@@ -25,6 +26,8 @@ import (
 //	POST   /fleet/homes/{home}/priority  {"device","users",       set a priority order
 //	                                      "context"}
 //	GET    /fleet/homes/{home}/log                                fired actions of the home
+//	GET    /fleet/homes/{home}/stats                              home counters + symbol footprint
+//	POST   /fleet/homes/{home}/compact                            force a symbol-compaction epoch
 //	GET    /fleet/homes                                           list home ids
 //	GET    /fleet/stats                                           hub counters
 //	POST   /fleet/compact                                         snapshot + truncate store
@@ -44,6 +47,8 @@ func NewHTTPHandler(hub *Hub) *HTTPHandler {
 	h.mux.HandleFunc("POST /fleet/homes/{home}/events", h.postEvents)
 	h.mux.HandleFunc("POST /fleet/homes/{home}/priority", h.postPriority)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/log", h.getLog)
+	h.mux.HandleFunc("GET /fleet/homes/{home}/stats", h.getHomeStats)
+	h.mux.HandleFunc("POST /fleet/homes/{home}/compact", h.postHomeCompact)
 	h.mux.HandleFunc("GET /fleet/homes", h.getHomes)
 	h.mux.HandleFunc("GET /fleet/stats", h.getStats)
 	h.mux.HandleFunc("POST /fleet/compact", h.postCompact)
@@ -80,7 +85,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, vocab.ErrDuplicate):
 		status = http.StatusConflict
-	case errors.Is(err, registry.ErrNotFound):
+	case errors.Is(err, registry.ErrNotFound), errors.Is(err, ErrNoHome):
 		status = http.StatusNotFound
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
@@ -281,6 +286,31 @@ func (h *HTTPHandler) getLog(w http.ResponseWriter, r *http.Request) {
 		out = append(out, fb)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *HTTPHandler) getHomeStats(w http.ResponseWriter, r *http.Request) {
+	st, err := h.hub.HomeStats(r.PathValue("home"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// compactBody reports one forced symbol-compaction epoch. Compacted is
+// false when the home's engine runs an oracle mode and holds no ids.
+type compactBody struct {
+	Compacted bool `json:"compacted"`
+	engine.CompactStats
+}
+
+func (h *HTTPHandler) postHomeCompact(w http.ResponseWriter, r *http.Request) {
+	st, compacted, err := h.hub.CompactHome(r.PathValue("home"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compactBody{Compacted: compacted, CompactStats: st})
 }
 
 func (h *HTTPHandler) getHomes(w http.ResponseWriter, _ *http.Request) {

@@ -196,6 +196,7 @@ func NewHub(opts ...HubOption) (*Hub, error) {
 		shards:   runtime.GOMAXPROCS(0),
 		now:      time.Now,
 		eventTTL: 4 * time.Hour,
+		logLimit: DefaultLogLimit,
 		lexicon:  func(string) *vocab.Lexicon { return vocab.Default() },
 	}
 	for _, o := range opts {
@@ -666,6 +667,53 @@ func (h *Hub) Owners(home string) (map[string]string, error) {
 		return nil
 	})
 	return out, err
+}
+
+// HomeStats is one home's observability snapshot: rule/user counts, the
+// engine's pass counters, and its symbol-table / id-slice footprint (the
+// idle-memory side of the symtab id-space hygiene work).
+type HomeStats struct {
+	Home    string             `json:"home"`
+	Users   int                `json:"users"`
+	Rules   int                `json:"rules"`
+	Passes  uint64             `json:"passes"`
+	Batches uint64             `json:"dispatch_batches"`
+	Symbols engine.SymbolStats `json:"symbols"`
+}
+
+// HomeStats returns one home's counters and symbol footprint. It fails with
+// ErrNoHome for homes that were never written (reads must not materialize
+// homes).
+func (h *Hub) HomeStats(home string) (HomeStats, error) {
+	st := HomeStats{Home: home}
+	err := h.do(home, func(hm *Home) error {
+		if hm == nil {
+			return ErrNoHome
+		}
+		st.Users = len(hm.users)
+		st.Rules = hm.db.Len()
+		st.Passes = hm.engine.Passes()
+		st.Batches = hm.engine.DispatchBatches()
+		st.Symbols = hm.SymbolStats()
+		return nil
+	})
+	return st, err
+}
+
+// CompactHome forces a symbol-compaction epoch on one home's engine,
+// mirroring the store-level Compact endpoint at the id layer. It runs on the
+// home's shard goroutine, serialized with the home's event stream like any
+// other operation. compacted is false when the home's engine runs an oracle
+// mode (string-keyed or full-scan) and holds no compactible ids.
+func (h *Hub) CompactHome(home string) (st engine.CompactStats, compacted bool, err error) {
+	err = h.do(home, func(hm *Home) error {
+		if hm == nil {
+			return ErrNoHome
+		}
+		st, compacted = hm.CompactSymbols()
+		return nil
+	})
+	return st, compacted, err
 }
 
 // Passes returns how many evaluation passes a home's engine has run.

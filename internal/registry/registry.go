@@ -43,6 +43,12 @@ type DB struct {
 	gen      uint64                  // bumped on every Add/Remove
 	seq      uint64
 	inserted []string // insertion order of rule IDs
+	// retired is an upper-bound estimate of symbol ids orphaned by Remove
+	// since the last compaction epoch (a removed rule's dependency ids,
+	// identity symbols and condition variables may still be shared by live
+	// rules, so this overcounts). The engine compares it against the symtab
+	// length as its compaction watermark.
+	retired uint64
 }
 
 // New returns an empty database with a fresh symbol table.
@@ -108,14 +114,17 @@ func (db *DB) Remove(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	delete(db.rules, id)
-	db.byName[r.Device.Name] = removeRule(db.byName[r.Device.Name], id)
-	db.byOwner[r.Owner] = removeRule(db.byOwner[r.Owner], id)
+	// Emptied index entries are deleted, not left as empty slices: a home
+	// churning uniquely-named rules would otherwise grow every string-keyed
+	// index map without bound (the map-key twin of the symtab id leak).
+	setOrDelete(db.byName, r.Device.Name, removeRule(db.byName[r.Device.Name], id))
+	setOrDelete(db.byOwner, r.Owner, removeRule(db.byOwner[r.Owner], id))
 	deps := core.CondDeps(r.Cond)
 	for key := range deps.Keys {
-		db.byDep[key] = removeRule(db.byDep[key], id)
+		setOrDelete(db.byDep, key, removeRule(db.byDep[key], id))
 	}
 	for _, depID := range r.DepIDs {
-		db.byDepID[depID] = removeRule(db.byDepID[depID], id)
+		setOrDelete(db.byDepID, depID, removeRule(db.byDepID[depID], id))
 	}
 	if deps.Time {
 		db.timeDep = removeRule(db.timeDep, id)
@@ -126,8 +135,23 @@ func (db *DB) Remove(id string) error {
 			break
 		}
 	}
+	// Rough id-orphan estimate: the dependency ids, the three identity
+	// symbols, and one condition-variable id per dependency (variable names
+	// and dependency keys intern separately: "temperature" vs
+	// "num/temperature").
+	db.retired += uint64(2*len(r.DepIDs) + 3)
 	db.gen++
 	return nil
+}
+
+// setOrDelete stores a (possibly shrunk) index list back, dropping the map
+// entry entirely once the list is empty.
+func setOrDelete[K comparable](m map[K][]*core.Rule, key K, list []*core.Rule) {
+	if len(list) == 0 {
+		delete(m, key)
+		return
+	}
+	m[key] = list
 }
 
 func removeRule(list []*core.Rule, id string) []*core.Rule {
@@ -249,6 +273,74 @@ func (db *DB) Generation() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.gen
+}
+
+// Retired returns the upper-bound estimate of symbol ids orphaned by rule
+// removals since the last compaction epoch. The engine's dead-id watermark
+// reads it; CompactSymtab resets it.
+func (db *DB) Retired() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.retired
+}
+
+// CompactResult reports one symbol-compaction epoch.
+type CompactResult struct {
+	// Before and After are the symtab lengths around the epoch.
+	Before, After int
+	// Epoch is the symtab's epoch counter after compaction.
+	Epoch uint64
+}
+
+// CompactSymtab runs one symbol-compaction epoch over the database and its
+// symbol table, coordinating every id holder under the database lock so no
+// Add or Remove can interleave with the renumbering:
+//
+//  1. every registered rule's ids are marked live (identity symbols,
+//     dependency ids, bound condition tree), then mark — typically the
+//     engine marking its context's populated slots — adds the rest;
+//  2. the symtab compacts, renumbering live ids densely;
+//  3. every rule is rewritten through the remap table and the id-keyed
+//     dependency index is rebuilt;
+//  4. remapped hands the remap table to the caller so it can rewrite its own
+//     id-indexed state (context slices, engine reconciliation state) before
+//     anything can evaluate again.
+//
+// ifGen guards against state the caller synced going stale: when the
+// database generation no longer equals it, some rule was added or removed
+// after the caller's last sync and the epoch is refused (ok=false) — the
+// caller retries at its next sync point. Both callbacks run under the
+// database lock and must not call back into the database.
+func (db *DB) CompactSymtab(ifGen uint64, mark func(live *core.IDSet), remapped func(remap []uint32)) (CompactResult, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.gen != ifGen {
+		return CompactResult{}, false
+	}
+	live := &core.IDSet{}
+	for _, r := range db.rules {
+		r.MarkLiveIDs(live)
+	}
+	if mark != nil {
+		mark(live)
+	}
+	res := CompactResult{Before: db.tab.Len()}
+	remap, epoch := db.tab.Compact(live)
+	res.After, res.Epoch = db.tab.Len(), epoch
+	byDepID := make(map[uint32][]*core.Rule, len(db.byDepID))
+	for _, id := range db.inserted {
+		r := db.rules[id]
+		r.RemapIDs(remap)
+		for _, dep := range r.DepIDs {
+			byDepID[dep] = append(byDepID[dep], r)
+		}
+	}
+	db.byDepID = byDepID
+	if remapped != nil {
+		remapped(remap)
+	}
+	db.retired = 0
+	return res, true
 }
 
 // Record is the serialized form of one rule: its CADEL source plus metadata.
