@@ -40,20 +40,25 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	cadel "repro"
 	"repro/internal/fleet"
 	"repro/internal/home"
 	"repro/internal/httpapi"
+	"repro/internal/ingest"
 )
 
 func main() {
@@ -68,9 +73,13 @@ func run() error {
 	shards := flag.Int("shards", 0, "fleet mode: shard count (0 = one per CPU)")
 	storeDir := flag.String("store", "", "fleet mode: persist rules to this directory (append-only JSONL, rehydrated on restart)")
 	workers := flag.Int("dispatch-workers", 4, "fleet mode: dispatch worker pool size")
+	ingestRate := flag.Float64("ingest-rate", 0, "fleet mode: per-home event admission rate (events/sec, 0 = unlimited)")
+	ingestBurst := flag.Float64("ingest-burst", 0, "fleet mode: per-home admission burst (0 = max(rate, 1))")
+	ingestBacklog := flag.Int("ingest-backlog", 0, "fleet mode: shed events once a home's shard queue exceeds this depth (0 = never)")
 	flag.Parse()
 	if *fleetAddr != "" {
-		return runFleet(*fleetAddr, *shards, *storeDir, *workers)
+		limits := ingest.Limits{Rate: *ingestRate, Burst: *ingestBurst, MaxBacklog: *ingestBacklog}
+		return runFleet(*fleetAddr, *shards, *storeDir, *workers, limits)
 	}
 
 	network := cadel.NewNetwork()
@@ -149,10 +158,18 @@ func run() error {
 	return sc.Err()
 }
 
-// runFleet serves the sharded multi-home hub over HTTP until the process is
-// stopped. Homes are created on first touch through the API; fired actions
-// are logged per home (no real appliances are attached in this mode).
-func runFleet(addr string, shards int, storeDir string, workers int) error {
+// runFleet serves the sharded multi-home hub over HTTP until the process
+// receives SIGINT or SIGTERM. Homes are created on first touch through the
+// API; fired actions are logged per home (no real appliances are attached in
+// this mode).
+//
+// The hot POST-events route is served by the ingest fast path (zero-alloc
+// decoder plus token-bucket/backlog admission control); every other route
+// goes through the stock encoding/json handlers. On shutdown the HTTP
+// listener drains in-flight requests first, then the hub quiesces its shards
+// and flushes the store, so an orderly stop never loses accepted events or
+// journal appends.
+func runFleet(addr string, shards int, storeDir string, workers int, limits ingest.Limits) error {
 	opts := []fleet.HubOption{
 		fleet.WithDispatchWorkers(workers),
 		fleet.WithLogLimit(1024),
@@ -176,9 +193,55 @@ func runFleet(addr string, shards int, storeDir string, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cadel fleet hub — %d shards, %d homes rehydrated, API at http://localhost%s/fleet/\n",
-		st.Shards, st.Homes, addr)
-	return http.ListenAndServe(addr, fleet.NewHTTPHandler(hub))
+
+	sink := fleet.NewEventSink(hub, limits)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           fleet.NewHTTPHandler(hub, fleet.WithEventSink(sink)),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	display := addr
+	if strings.HasPrefix(display, ":") {
+		display = "localhost" + display
+	}
+	fmt.Printf("cadel fleet hub — %d shards, %d homes rehydrated, API at http://%s/fleet/\n",
+		st.Shards, st.Homes, display)
+	if limits.Rate > 0 || limits.MaxBacklog > 0 {
+		fmt.Printf("admission: rate %g ev/s, burst %g, max backlog %d\n",
+			limits.Rate, limits.Burst, limits.MaxBacklog)
+	}
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("\nshutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		_ = srv.Close()
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Drain the shards (accepted events finish evaluating) and flush the
+	// store before the deferred Close tears the hub down.
+	if err := hub.Quiesce(); err != nil {
+		return err
+	}
+	return hub.Close()
 }
 
 func colon(hm *home.Home, srv *cadel.Server, owner *string, line string) error {

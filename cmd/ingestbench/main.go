@@ -1,0 +1,310 @@
+// Command ingestbench measures wire-level event ingestion throughput over a
+// real TCP socket — the stock encoding/json handler versus the ingest fast
+// path — and exercises admission control under deliberate overload, writing
+// the result as JSON so CI can track the perf trajectory (BENCH_ingest.json).
+//
+//	$ ingestbench -homes 256 -events 100000 -shards 4 -out BENCH_ingest.json
+//
+// Both modes serve the identical fleet API on a loopback listener and replay
+// the identical body stream (temperatures alternating across the rule
+// threshold, so every event flips readiness and the full evaluate/arbitrate/
+// dispatch path runs); the only difference is the POST-events route's
+// handler. The run ends when every shard has drained (hub.Quiesce), so the
+// rate includes evaluation, not just acks. The saturation phase floods one
+// home past a configured admission rate and verifies over-budget posts shed
+// with 429 + Retry-After while an in-budget home on the same shard is served.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchwork"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/ingest"
+)
+
+type modeResult struct {
+	Mode         string  `json:"mode"` // "baseline" (encoding/json) or "fast" (ingest sink)
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type saturationResult struct {
+	RateLimit      float64 `json:"rate_limit"`
+	Burst          float64 `json:"burst"`
+	FloodPosted    int     `json:"flood_posted"`
+	FloodAdmitted  int     `json:"flood_admitted"`
+	FloodShed      int     `json:"flood_shed"`
+	CalmPosted     int     `json:"calm_posted"`
+	CalmAdmitted   int     `json:"calm_admitted"`
+	RetryAfterSeen bool    `json:"retry_after_seen"`
+	ShedRate       uint64  `json:"shed_rate"`
+	ShedBacklog    uint64  `json:"shed_backlog"`
+}
+
+type report struct {
+	Name          string           `json:"name"`
+	GeneratedUnix int64            `json:"generated_unix"`
+	Homes         int              `json:"homes"`
+	Events        int              `json:"events"`
+	Shards        int              `json:"shards"`
+	Producers     int              `json:"producers"`
+	MaxProcs      int              `json:"maxprocs"`
+	Results       []modeResult     `json:"results"`
+	Speedup       float64          `json:"speedup"` // fast events/sec over baseline
+	Saturation    saturationResult `json:"saturation"`
+}
+
+func main() {
+	homes := flag.Int("homes", 256, "number of homes")
+	events := flag.Int("events", 100000, "number of events to post per mode")
+	shards := flag.Int("shards", 4, "hub shard count")
+	producers := flag.Int("producers", 4, "HTTP client goroutines")
+	rate := flag.Float64("sat-rate", 50, "saturation phase: admission rate (events/sec)")
+	burst := flag.Float64("sat-burst", 10, "saturation phase: admission burst")
+	flood := flag.Int("sat-flood", 500, "saturation phase: posts from the over-budget home")
+	out := flag.String("out", "BENCH_ingest.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Name:          "wire-ingest",
+		GeneratedUnix: time.Now().Unix(),
+		Homes:         *homes,
+		Events:        *events,
+		Shards:        *shards,
+		Producers:     *producers,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+	}
+	for _, mode := range []string{"baseline", "fast"} {
+		res, err := runWire(mode, *homes, *events, *shards, *producers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-8s %9.0f events/sec  (%.2fs)\n", mode, res.EventsPerSec, res.Seconds)
+	}
+	rep.Speedup = rep.Results[1].EventsPerSec / rep.Results[0].EventsPerSec
+	fmt.Printf("speedup  %9.2fx\n", rep.Speedup)
+
+	sat, err := runSaturation(*rate, *burst, *flood)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Saturation = sat
+	fmt.Printf("saturation: flood %d/%d admitted (%d shed, retry-after %v), calm %d/%d admitted\n",
+		sat.FloodAdmitted, sat.FloodPosted, sat.FloodShed, sat.RetryAfterSeen,
+		sat.CalmAdmitted, sat.CalmPosted)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// serve starts an HTTP server for the handler on a loopback listener and
+// returns the base URL, a keep-alive client sized for the producer count,
+// and a shutdown func.
+func serve(handler http.Handler, producers int) (string, *http.Client, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	tr := &http.Transport{
+		MaxIdleConns:        producers * 2,
+		MaxIdleConnsPerHost: producers * 2,
+	}
+	client := &http.Client{Transport: tr}
+	stop := func() {
+		tr.CloseIdleConnections()
+		_ = srv.Close()
+	}
+	return "http://" + ln.Addr().String(), client, stop, nil
+}
+
+// eventBody builds the thermometer JSON body posted for the given value —
+// the same shape the fleet workload's PostEvent calls produce.
+func eventBody(value string) []byte {
+	return fmt.Appendf(nil,
+		`{"deviceType":%q,"name":"thermometer","location":"living room","vars":{"temperature":%q}}`,
+		device.TypeThermometer, value)
+}
+
+func post(client *http.Client, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp, nil
+}
+
+func runWire(mode string, homes, events, shards, producers int) (modeResult, error) {
+	hub, ids, err := benchwork.BuildHub(homes, shards)
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer func() { _ = hub.Close() }()
+
+	var opts []fleet.HandlerOption
+	if mode == "fast" {
+		opts = append(opts, fleet.WithEventSink(fleet.NewEventSink(hub, ingest.Limits{})))
+	}
+	base, client, stop, err := serve(fleet.NewHTTPHandler(hub, opts...), producers)
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer stop()
+
+	bodies := [2][]byte{eventBody("31"), eventBody("20")}
+	urls := make([]string, homes)
+	for i, id := range ids {
+		urls[i] = base + "/fleet/homes/" + id + "/events"
+	}
+
+	var idx atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := idx.Add(1)
+				if i > uint64(events) {
+					return
+				}
+				var body []byte
+				if benchwork.FleetEventValue(i, homes) == "31" {
+					body = bodies[0]
+				} else {
+					body = bodies[1]
+				}
+				resp, err := post(client, urls[i%uint64(homes)], body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusAccepted {
+					errs <- fmt.Errorf("%s: post: status %d", mode, resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		// A failed producer means fewer events than configured went through;
+		// publishing events/elapsed anyway would inflate the tracked number.
+		return modeResult{}, fmt.Errorf("ingestbench: %w", err)
+	default:
+	}
+	if err := hub.Quiesce(); err != nil {
+		return modeResult{}, err
+	}
+	elapsed := time.Since(start)
+	return modeResult{
+		Mode:         mode,
+		Seconds:      elapsed.Seconds(),
+		EventsPerSec: float64(events) / elapsed.Seconds(),
+	}, nil
+}
+
+// runSaturation floods one home past the admission budget while a second
+// home on the same (single) shard posts within budget: the flood must shed
+// with 429 + Retry-After, the calm home must stay fully served.
+func runSaturation(rate, burst float64, flood int) (saturationResult, error) {
+	hub, ids, err := benchwork.BuildHub(2, 1)
+	if err != nil {
+		return saturationResult{}, err
+	}
+	defer func() { _ = hub.Close() }()
+
+	adm := ingest.NewAdmission(ingest.Limits{Rate: rate, Burst: burst}, hub.Backlog)
+	sink := fleet.NewEventSink(hub, ingest.Limits{}, ingest.WithAdmission(adm))
+	base, client, stop, err := serve(
+		fleet.NewHTTPHandler(hub, fleet.WithEventSink(sink)), 1)
+	if err != nil {
+		return saturationResult{}, err
+	}
+	defer stop()
+
+	res := saturationResult{RateLimit: rate, Burst: burst}
+	body := eventBody("31")
+	for i := 0; i < flood; i++ {
+		resp, err := post(client, base+"/fleet/homes/"+ids[0]+"/events", body)
+		if err != nil {
+			return res, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			res.FloodAdmitted++
+		case http.StatusTooManyRequests:
+			res.FloodShed++
+			if resp.Header.Get("Retry-After") != "" {
+				res.RetryAfterSeen = true
+			}
+		default:
+			return res, fmt.Errorf("flood: status %d", resp.StatusCode)
+		}
+		res.FloodPosted++
+	}
+
+	// The calm home spends well under the burst; every post must land even
+	// though the flood home on the same shard is being shed.
+	calm := int(burst / 2)
+	if calm < 1 {
+		calm = 1
+	}
+	for i := 0; i < calm; i++ {
+		resp, err := post(client, base+"/fleet/homes/"+ids[1]+"/events", body)
+		if err != nil {
+			return res, err
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			res.CalmAdmitted++
+		}
+		res.CalmPosted++
+	}
+	if err := hub.Quiesce(); err != nil {
+		return res, err
+	}
+	st := adm.Stats()
+	res.ShedRate, res.ShedBacklog = st.ShedRate, st.ShedBacklog
+	if res.CalmAdmitted != res.CalmPosted {
+		return res, fmt.Errorf("saturation: calm home shed %d of %d posts",
+			res.CalmPosted-res.CalmAdmitted, res.CalmPosted)
+	}
+	if res.FloodShed == 0 {
+		return res, fmt.Errorf("saturation: flood of %d posts was never shed", flood)
+	}
+	if !res.RetryAfterSeen {
+		return res, fmt.Errorf("saturation: 429 responses missing Retry-After")
+	}
+	return res, nil
+}

@@ -200,6 +200,16 @@ type Engine struct {
 	placeSlot   map[string]uint32 // place name → interned place id + 1
 	programsDep uint32            // interned core.ProgramsDepKey
 
+	// Byte-path ingest caches (interned mode): the wire decoder hands
+	// IngestEvent byte slices, so these mirror varCache/arrCache under
+	// combined byte-string keys (0xff-separated — decoded fields are valid
+	// UTF-8, so the separator cannot occur in them) and are consulted with
+	// the allocation-free m[string(b)] lookup form. Invalidated together
+	// with the string caches on symbol compaction.
+	varCacheB  map[string]*cachedVar
+	arrCacheB  map[string]arrIDs
+	sigScratch []byte
+
 	// Per-pass scratch, reused across passes and cleared on exit so a
 	// steady-state pass allocates nothing.
 	scCand    map[string]*core.Rule   // candidate rules to re-evaluate (string-keyed mode)
@@ -330,6 +340,8 @@ func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, disp
 		e.varCache = make(map[varSig]*cachedVar)
 		e.arrCache = make(map[arrSig]arrIDs)
 		e.placeSlot = make(map[string]uint32)
+		e.varCacheB = make(map[string]*cachedVar)
+		e.arrCacheB = make(map[string]arrIDs)
 		e.programsDep = e.tab.Intern(core.ProgramsDepKey)
 	} else {
 		e.stringKeys = true
@@ -1323,6 +1335,8 @@ func (e *Engine) remapStateLocked(remap []uint32) {
 	clear(e.varCache)
 	clear(e.arrCache)
 	clear(e.placeSlot)
+	clear(e.varCacheB)
+	clear(e.arrCacheB)
 	e.programsDep = e.tab.Intern(core.ProgramsDepKey)
 }
 

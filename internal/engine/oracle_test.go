@@ -28,6 +28,11 @@ type enginePair struct {
 	inc   *Engine
 	full  *Engine
 	step  int
+
+	// apply overrides how an event stimulus reaches an engine (nil =
+	// HandleDeviceEvent); the wire-ingest suite routes p.inc through the
+	// byte-path decoder while the oracle keeps the map path.
+	apply func(e *Engine, deviceType, name, location string, vars map[string]string)
 }
 
 func newEnginePair(t *testing.T) *enginePair {
@@ -57,7 +62,13 @@ func (p *enginePair) each(fn func(e *Engine)) {
 }
 
 func (p *enginePair) event(deviceType, name, location string, vars map[string]string) {
-	p.each(func(e *Engine) { e.HandleDeviceEvent(deviceType, name, location, vars) })
+	p.each(func(e *Engine) {
+		if p.apply != nil {
+			p.apply(e, deviceType, name, location, vars)
+			return
+		}
+		e.HandleDeviceEvent(deviceType, name, location, vars)
+	})
 }
 
 func (p *enginePair) advance(d time.Duration) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/conflict"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/lang"
 	"repro/internal/registry"
 	"repro/internal/vocab"
@@ -49,12 +50,15 @@ type wordDef struct {
 	owner  string
 }
 
-// eventMsg is one ingested device event, pre-coalescing.
+// eventMsg is one ingested device event, pre-coalescing. Exactly one shape
+// is set: the string/map fields (stock handler, API surface) or fast (the
+// wire decoder's pooled event, released by the shard after application).
 type eventMsg struct {
 	deviceType   string
 	friendlyName string
 	location     string
 	vars         map[string]string
+	fast         *ingest.Event
 }
 
 func newHome(id string, c *config, batch engine.BatchDispatcher) *Home {
@@ -321,8 +325,16 @@ func (h *Home) PriorityOrders(ref core.DeviceRef) []conflict.Order {
 }
 
 // ApplyEvent ingests one device event's context writes without evaluating;
-// the shard flushes the accumulated dirty set in one pass afterwards.
+// the shard flushes the accumulated dirty set in one pass afterwards. A
+// wire-decoded event is released back to its pool here — application is the
+// end of its ownership chain.
 func (h *Home) ApplyEvent(ev *eventMsg) {
+	if ev.fast != nil {
+		h.engine.IngestEvent(ev.fast)
+		ev.fast.Release()
+		ev.fast = nil
+		return
+	}
 	h.engine.Ingest(ev.deviceType, ev.friendlyName, ev.location, ev.vars)
 }
 

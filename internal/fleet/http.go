@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/lang"
 	"repro/internal/registry"
 	"repro/internal/vocab"
@@ -22,7 +23,7 @@ import (
 //	GET    /fleet/homes/{home}/rules                              list rules
 //	DELETE /fleet/homes/{home}/rules/{id}                         remove a rule
 //	POST   /fleet/homes/{home}/events    {"deviceType","name",    ingest a device event
-//	                                      "location","vars"}      (async, 202)
+//	                                      "location","vars"}      (async 202, sync 200)
 //	POST   /fleet/homes/{home}/priority  {"device","users",       set a priority order
 //	                                      "context"}
 //	GET    /fleet/homes/{home}/log                                fired actions of the home
@@ -32,19 +33,56 @@ import (
 //	GET    /fleet/stats                                           hub counters
 //	POST   /fleet/compact                                         snapshot + truncate store
 type HTTPHandler struct {
-	hub *Hub
-	mux *http.ServeMux
+	hub       *Hub
+	mux       *http.ServeMux
+	eventSink http.Handler // non-nil replaces postEvents on the hot route
+}
+
+// HandlerOption configures NewHTTPHandler.
+type HandlerOption interface{ applyHandler(*HTTPHandler) }
+
+type handlerOptionFunc func(*HTTPHandler)
+
+func (f handlerOptionFunc) applyHandler(h *HTTPHandler) { f(h) }
+
+// WithEventSink routes POST /fleet/homes/{home}/events through sink — the
+// wire-speed ingest path (see NewEventSink) — instead of the stock
+// encoding/json handler. Every other route keeps the stock implementation.
+func WithEventSink(sink http.Handler) HandlerOption {
+	return handlerOptionFunc(func(h *HTTPHandler) { h.eventSink = sink })
+}
+
+// NewEventSink builds the fast event handler for a hub: the streaming
+// decoder and pooled buffers of internal/ingest in front of PostEventFast,
+// with admission control wired to the hub's shard-backlog signal and the
+// hub's sentinel-error → status table, so the sink and the stock handler
+// answer identically. Pass extra sink options (ingest.WithMaxBody, a test
+// admission) after the limits.
+func NewEventSink(hub *Hub, limits ingest.Limits, opts ...ingest.SinkOption) *ingest.Sink {
+	base := []ingest.SinkOption{
+		ingest.WithMaxBody(maxEventBody),
+		ingest.WithAdmission(ingest.NewAdmission(limits, hub.Backlog)),
+		ingest.WithStatusMapper(errorStatus),
+	}
+	return ingest.NewSink(hub, append(base, opts...)...)
 }
 
 // NewHTTPHandler builds the fleet API for a hub.
-func NewHTTPHandler(hub *Hub) *HTTPHandler {
+func NewHTTPHandler(hub *Hub, opts ...HandlerOption) *HTTPHandler {
 	h := &HTTPHandler{hub: hub, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o.applyHandler(h)
+	}
 	h.mux.HandleFunc("POST /fleet/homes/{home}/users", h.postUsers)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/users", h.getUsers)
 	h.mux.HandleFunc("POST /fleet/homes/{home}/rules", h.postRules)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/rules", h.getRules)
 	h.mux.HandleFunc("DELETE /fleet/homes/{home}/rules/{id}", h.deleteRule)
-	h.mux.HandleFunc("POST /fleet/homes/{home}/events", h.postEvents)
+	if h.eventSink != nil {
+		h.mux.Handle("POST /fleet/homes/{home}/events", h.eventSink)
+	} else {
+		h.mux.HandleFunc("POST /fleet/homes/{home}/events", h.postEvents)
+	}
 	h.mux.HandleFunc("POST /fleet/homes/{home}/priority", h.postPriority)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/log", h.getLog)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/stats", h.getHomeStats)
@@ -70,33 +108,59 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// errorStatus maps the hub's sentinel errors to HTTP statuses. It is the
+// single source of truth for both the stock handler (writeError) and the
+// fast event sink's status mapper, so the two paths answer identically.
+func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownUser):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, ErrForbidden):
-		status = http.StatusForbidden
+		return http.StatusForbidden
 	case errors.Is(err, ErrInconsistent):
-		status = http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	case errors.Is(err, lang.ErrParse), errors.Is(err, core.ErrCompile):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	case errors.Is(err, vocab.ErrDuplicate):
-		status = http.StatusConflict
+		return http.StatusConflict
 	case errors.Is(err, registry.ErrNotFound), errors.Is(err, ErrNoHome):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	return http.StatusInternalServerError
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errorStatus(err), errorBody{Error: err.Error()})
+}
+
+// Per-route request-body caps. Metadata bodies (a user, a priority order)
+// are tiny; rule submissions carry CADEL source and events carry a vars
+// object, so they get more headroom. All are far above any legitimate
+// payload — the caps exist so a client cannot stream an unbounded body into
+// the decoder.
+const (
+	maxMetaBody  = 16 << 10
+	maxRuleBody  = 64 << 10
+	maxEventBody = 64 << 10
+)
+
+// decodeBody decodes a JSON request body of at most limit bytes into v.
+// Oversized bodies answer 413, malformed ones 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
 		return false
 	}
-	return true
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	return false
 }
 
 // ---- users ----
@@ -108,10 +172,13 @@ type userRequest struct {
 
 func (h *HTTPHandler) postUsers(w http.ResponseWriter, r *http.Request) {
 	var req userRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxMetaBody, &req) {
 		return
 	}
-	if vocab.Normalize(req.Name) == "" {
+	// The hub registers the normalized form; echo that, not the raw request
+	// name, so clients address the user the hub actually knows.
+	name := vocab.Normalize(req.Name)
+	if name == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "fleet: empty user name"})
 		return
 	}
@@ -119,7 +186,7 @@ func (h *HTTPHandler) postUsers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, req.Name)
+	writeJSON(w, http.StatusCreated, name)
 }
 
 func (h *HTTPHandler) getUsers(w http.ResponseWriter, r *http.Request) {
@@ -166,7 +233,7 @@ func toRuleBody(r *core.Rule) ruleBody {
 
 func (h *HTTPHandler) postRules(w http.ResponseWriter, r *http.Request) {
 	var req ruleRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxRuleBody, &req) {
 		return
 	}
 	res, err := h.hub.Submit(r.PathValue("home"), req.Source, req.Owner)
@@ -217,9 +284,14 @@ type eventRequest struct {
 	Sync bool `json:"sync,omitempty"`
 }
 
+// postEvents is the stock event route — and the correctness oracle the fast
+// sink is tested against. Status contract: an async post is acknowledged
+// with 202 Accepted (the event is queued, evaluation happens later on the
+// home's shard); a "sync":true post already waited for the home to evaluate
+// before answering, so it returns 200 OK — the work is done, not pending.
 func (h *HTTPHandler) postEvents(w http.ResponseWriter, r *http.Request) {
 	var req eventRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxEventBody, &req) {
 		return
 	}
 	home := r.PathValue("home")
@@ -233,7 +305,11 @@ func (h *HTTPHandler) postEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	w.WriteHeader(http.StatusAccepted)
+	if req.Sync {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
 }
 
 // ---- priorities ----
@@ -246,7 +322,7 @@ type priorityRequest struct {
 
 func (h *HTTPHandler) postPriority(w http.ResponseWriter, r *http.Request) {
 	var req priorityRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxMetaBody, &req) {
 		return
 	}
 	if err := h.hub.SetPriority(r.PathValue("home"), req.Device, req.Users, req.Context); err != nil {

@@ -77,7 +77,7 @@ func TestFleetHTTPEndToEnd(t *testing.T) {
 		"vars":       map[string]string{"temperature": "31"},
 		"sync":       true,
 	})
-	if resp.StatusCode != http.StatusAccepted {
+	if resp.StatusCode != http.StatusOK { // sync post: evaluation already done
 		t.Fatalf("post event: %d %s", resp.StatusCode, body)
 	}
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/conflict"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/registry"
 	"repro/internal/vocab"
 )
@@ -614,6 +615,42 @@ func (h *Hub) PostEventSync(home, deviceType, friendlyName, location string, var
 	return nil
 }
 
+// PostEventFast asynchronously ingests a wire-decoded event. On success the
+// hub takes ownership of ev (including every slice decoded from it) and
+// releases it to the pool after the home applies it; on error the caller
+// still owns ev. This is the ingest.Poster surface the fast sink posts into.
+func (h *Hub) PostEventFast(home string, ev *ingest.Event) error {
+	err := h.send(home, task{home: home, create: true, event: &eventMsg{fast: ev}})
+	if err == nil {
+		h.events.Add(1)
+	}
+	return err
+}
+
+// PostEventFastSync is PostEventFast waiting until the home has evaluated
+// the event. Ownership transfers as in PostEventFast; ev is already released
+// by the time this returns.
+func (h *Hub) PostEventFastSync(home string, ev *ingest.Event) error {
+	done := make(chan struct{})
+	err := h.send(home, task{home: home, create: true, event: &eventMsg{fast: ev}, done: done})
+	if err != nil {
+		return err
+	}
+	h.events.Add(1)
+	<-done
+	return nil
+}
+
+// Backlog reports how many tasks are queued right now on the shard that owns
+// home — the admission-control load signal: the shard mailbox is unbounded
+// by design, so the transport sheds on this depth instead.
+func (h *Hub) Backlog(home string) int {
+	s := h.shardFor(home)
+	s.mb.mu.Lock()
+	defer s.mb.mu.Unlock()
+	return len(s.mb.queue)
+}
+
 // Tick re-evaluates a home at the current clock time (after advancing a
 // simulation clock). A no-op for homes that do not exist yet.
 func (h *Hub) Tick(home string) error {
@@ -679,13 +716,16 @@ type HomeStats struct {
 	Passes  uint64             `json:"passes"`
 	Batches uint64             `json:"dispatch_batches"`
 	Symbols engine.SymbolStats `json:"symbols"`
+	// Backlog is the queue depth of the shard owning this home at snapshot
+	// time — the signal admission control sheds on.
+	Backlog int `json:"backlog"`
 }
 
 // HomeStats returns one home's counters and symbol footprint. It fails with
 // ErrNoHome for homes that were never written (reads must not materialize
 // homes).
 func (h *Hub) HomeStats(home string) (HomeStats, error) {
-	st := HomeStats{Home: home}
+	st := HomeStats{Home: home, Backlog: h.Backlog(home)}
 	err := h.do(home, func(hm *Home) error {
 		if hm == nil {
 			return ErrNoHome
@@ -761,14 +801,20 @@ type Stats struct {
 	Batches uint64 `json:"dispatch_batches"`
 	Rules   int    `json:"rules"`  // registered rules across homes
 	Queued  int    `json:"queued"` // tasks waiting in mailboxes right now
+	// ShardQueues is the per-shard mailbox depth behind Queued, in shard
+	// order — the granularity admission control sheds on (one hot shard can
+	// be saturated while the rest of the fleet idles).
+	ShardQueues []int `json:"shard_queues"`
 }
 
 // Stats returns a consistent-enough snapshot of the hub's counters. The
 // events/passes ratio is the ingestion coalescing factor.
 func (h *Hub) Stats() (Stats, error) {
 	st := Stats{Shards: len(h.shards), Events: h.events.Load()}
-	for _, s := range h.shards {
+	st.ShardQueues = make([]int, len(h.shards))
+	for i, s := range h.shards {
 		s.mb.mu.Lock()
+		st.ShardQueues[i] = len(s.mb.queue)
 		st.Queued += len(s.mb.queue)
 		s.mb.mu.Unlock()
 	}

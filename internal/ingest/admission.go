@@ -1,0 +1,183 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors reported by Admit; the transport maps both to 429 + Retry-After.
+var (
+	// ErrOverRate marks a home posting faster than its token bucket refills.
+	ErrOverRate = errors.New("ingest: home over sustained event rate, retry later")
+	// ErrBacklog marks a shard whose mailbox is deeper than the shed
+	// threshold; accepting more external events would starve the homes
+	// already queued (including their dispatch-feedback events).
+	ErrBacklog = errors.New("ingest: shard backlog full, retry later")
+)
+
+// Limits configures admission control in front of the hub's PostEvent path.
+// The zero value admits everything.
+type Limits struct {
+	// Rate is the sustained per-home event budget in events/second;
+	// <= 0 disables the token bucket.
+	Rate float64
+	// Burst is the token-bucket capacity — how many events a home may post
+	// back-to-back before the sustained rate applies. Defaults to
+	// max(Rate, 1) when 0.
+	Burst float64
+	// MaxBacklog sheds events while the queue of the home's shard is deeper
+	// than this many tasks; <= 0 disables backlog shedding. The shard
+	// mailbox itself is deliberately unbounded (dispatch feedback must
+	// never deadlock a shard), so this is the only thing standing between
+	// an external flood and unbounded memory.
+	MaxBacklog int
+}
+
+// AdmissionStats counts shed events by cause.
+type AdmissionStats struct {
+	ShedRate    uint64 `json:"shed_rate"`
+	ShedBacklog uint64 `json:"shed_backlog"`
+}
+
+// admShardCount spreads the per-home bucket map over independently locked
+// shards so concurrent transport goroutines do not serialize on one mutex.
+const admShardCount = 64
+
+// Admission is the transport-side gate in front of Hub.PostEvent: a token
+// bucket per home plus a backlog-aware load shedder wired to the owning
+// shard's queue depth. Buckets are created on first sight and live as long
+// as the Admission does — their footprint is bounded by the number of
+// distinct homes the transport has seen, the same cardinality the hub
+// itself holds.
+type Admission struct {
+	limits  Limits
+	now     func() time.Time
+	backlog func(home string) int
+
+	shedRate    atomic.Uint64
+	shedBacklog atomic.Uint64
+
+	shards [admShardCount]admShard
+}
+
+type admShard struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// AdmissionOption configures NewAdmission.
+type AdmissionOption interface{ applyAdmission(*Admission) }
+
+type admissionOptionFunc func(*Admission)
+
+func (f admissionOptionFunc) applyAdmission(a *Admission) { f(a) }
+
+// WithAdmissionClock overrides the bucket clock (deterministic tests).
+func WithAdmissionClock(now func() time.Time) AdmissionOption {
+	return admissionOptionFunc(func(a *Admission) { a.now = now })
+}
+
+// NewAdmission builds an admission gate. backlog reports the queue depth of
+// the shard owning a home (fleet wires Hub.Backlog); nil disables backlog
+// shedding regardless of Limits.MaxBacklog.
+func NewAdmission(limits Limits, backlog func(home string) int, opts ...AdmissionOption) *Admission {
+	if limits.Burst <= 0 {
+		limits.Burst = limits.Rate
+		if limits.Burst < 1 {
+			limits.Burst = 1
+		}
+	}
+	a := &Admission{limits: limits, now: time.Now, backlog: backlog}
+	for _, o := range opts {
+		o.applyAdmission(a)
+	}
+	return a
+}
+
+// Admit charges one event against home's budget. A nil error admits the
+// event; ErrBacklog or ErrOverRate rejects it with a hint of how long the
+// client should wait before retrying (at least one second, so the
+// Retry-After header is never zero).
+func (a *Admission) Admit(home string) (retryAfter time.Duration, err error) {
+	if a.limits.MaxBacklog > 0 && a.backlog != nil {
+		if q := a.backlog(home); q > a.limits.MaxBacklog {
+			a.shedBacklog.Add(1)
+			// Scale the hint with how far past the threshold the queue is:
+			// a marginally full shard retries in a second, a drowning one
+			// backs off proportionally.
+			over := float64(q-a.limits.MaxBacklog) / float64(a.limits.MaxBacklog)
+			return clampRetry(time.Duration(over * float64(time.Second))), ErrBacklog
+		}
+	}
+	if a.limits.Rate <= 0 {
+		return 0, nil
+	}
+	sh := &a.shards[fnv32(home)%admShardCount]
+	now := a.now()
+	sh.mu.Lock()
+	if sh.buckets == nil {
+		sh.buckets = make(map[string]*bucket)
+	}
+	b := sh.buckets[home]
+	if b == nil {
+		b = &bucket{tokens: a.limits.Burst, last: now}
+		sh.buckets[home] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * a.limits.Rate
+		if b.tokens > a.limits.Burst {
+			b.tokens = a.limits.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		sh.mu.Unlock()
+		return 0, nil
+	}
+	need := (1 - b.tokens) / a.limits.Rate
+	sh.mu.Unlock()
+	a.shedRate.Add(1)
+	return clampRetry(time.Duration(need * float64(time.Second))), ErrOverRate
+}
+
+// Stats returns the shed counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		ShedRate:    a.shedRate.Load(),
+		ShedBacklog: a.shedBacklog.Load(),
+	}
+}
+
+func clampRetry(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	return d
+}
+
+// RetrySeconds renders a retry hint as whole seconds for the Retry-After
+// header, rounding up and never below 1.
+func RetrySeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func fnv32(s string) uint32 {
+	hash := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		hash ^= uint32(s[i])
+		hash *= 16777619
+	}
+	return hash
+}

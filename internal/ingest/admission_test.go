@@ -1,0 +1,159 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func TestAdmissionBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(Limits{Rate: 2, Burst: 3}, nil, WithAdmissionClock(clk.Now))
+
+	for i := 0; i < 3; i++ {
+		if _, err := a.Admit("h"); err != nil {
+			t.Fatalf("burst event %d rejected: %v", i, err)
+		}
+	}
+	retry, err := a.Admit("h")
+	if !errors.Is(err, ErrOverRate) {
+		t.Fatalf("over-burst event: err=%v", err)
+	}
+	if retry < time.Second {
+		t.Fatalf("retry hint %v below the 1s clamp", retry)
+	}
+
+	// Half a second at 2/s refills one token.
+	clk.Advance(500 * time.Millisecond)
+	if _, err := a.Admit("h"); err != nil {
+		t.Fatalf("refilled event rejected: %v", err)
+	}
+	if _, err := a.Admit("h"); !errors.Is(err, ErrOverRate) {
+		t.Fatalf("second event on one token: err=%v", err)
+	}
+
+	// A long idle period refills to burst, not beyond.
+	clk.Advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if _, err := a.Admit("h"); err != nil {
+			t.Fatalf("post-idle event %d rejected: %v", i, err)
+		}
+	}
+	if _, err := a.Admit("h"); !errors.Is(err, ErrOverRate) {
+		t.Fatal("burst cap not enforced after idle")
+	}
+}
+
+func TestAdmissionPerHomeIsolation(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(Limits{Rate: 1, Burst: 1}, nil, WithAdmissionClock(clk.Now))
+	if _, err := a.Admit("flood"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit("flood"); !errors.Is(err, ErrOverRate) {
+		t.Fatal("flood home not limited")
+	}
+	// A different home has its own bucket.
+	if _, err := a.Admit("calm"); err != nil {
+		t.Fatalf("calm home rejected alongside flood: %v", err)
+	}
+	st := a.Stats()
+	if st.ShedRate != 1 || st.ShedBacklog != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionBacklogShedding(t *testing.T) {
+	depth := 0
+	a := NewAdmission(Limits{MaxBacklog: 10}, func(string) int { return depth })
+
+	depth = 10
+	if _, err := a.Admit("h"); err != nil {
+		t.Fatalf("at-threshold backlog rejected: %v", err)
+	}
+	depth = 11
+	retry, err := a.Admit("h")
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatalf("over-threshold backlog: err=%v", err)
+	}
+	if retry < time.Second {
+		t.Fatalf("retry hint %v below the 1s clamp", retry)
+	}
+	// A drowning shard backs clients off proportionally.
+	depth = 50
+	deepRetry, err := a.Admit("h")
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatal(err)
+	}
+	if deepRetry <= retry {
+		t.Fatalf("retry hint should scale with backlog: %v then %v", retry, deepRetry)
+	}
+	if st := a.Stats(); st.ShedBacklog != 2 {
+		t.Fatalf("shed_backlog = %d, want 2", st.ShedBacklog)
+	}
+}
+
+func TestAdmissionZeroValueAdmitsEverything(t *testing.T) {
+	a := NewAdmission(Limits{}, func(string) int { return 1 << 20 })
+	for i := 0; i < 100; i++ {
+		if _, err := a.Admit("h"); err != nil {
+			t.Fatalf("zero-limit admission rejected: %v", err)
+		}
+	}
+}
+
+func TestRetrySeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Millisecond, 2},
+		{2500 * time.Millisecond, 3},
+	}
+	for _, c := range cases {
+		if got := RetrySeconds(c.d); got != c.want {
+			t.Errorf("RetrySeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(Limits{Rate: 1000, Burst: 10}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			home := string(rune('a' + g%4))
+			for i := 0; i < 500; i++ {
+				a.Admit(home)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,103 @@
+package ingest
+
+import "strconv"
+
+// ParseFloat parses a decimal number from b without materializing a string
+// on the fast path. The fast path covers the steady-state sensor shapes —
+// up to 15 significant digits with a decimal exponent within ±22 — and is
+// bit-exact with strconv.ParseFloat there (the mantissa is below 2^53 and
+// the power of ten is exact, so the single multiply rounds correctly).
+// Everything else (hex floats, Inf/NaN, underscores, long mantissas) falls
+// back to strconv, allocating one string. ok is false when b is not a
+// number strconv accepts.
+func ParseFloat(b []byte) (float64, bool) {
+	if f, ok := parseFloatFast(b); ok {
+		return f, true
+	}
+	f, err := strconv.ParseFloat(string(b), 64)
+	return f, err == nil
+}
+
+var pow10 = [...]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+func parseFloatFast(b []byte) (float64, bool) {
+	i, neg := 0, false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	start := i
+	var mant uint64
+	nd := 0
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		mant = mant*10 + uint64(c-'0')
+		nd++
+	}
+	if i == start {
+		return 0, false // no leading digits: ".5", "inf", "0x..." → slow path
+	}
+	frac := 0
+	if i < len(b) && b[i] == '.' {
+		i++
+		fs := i
+		for ; i < len(b); i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				break
+			}
+			mant = mant*10 + uint64(c-'0')
+			frac++
+		}
+		if i == fs {
+			return 0, false
+		}
+		nd += frac
+	}
+	exp := 0
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		esign := 1
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			if b[i] == '-' {
+				esign = -1
+			}
+			i++
+		}
+		es := i
+		for ; i < len(b) && isDigit(b[i]); i++ {
+			exp = exp*10 + int(b[i]-'0')
+			if exp > 1000 {
+				return 0, false
+			}
+		}
+		if i == es {
+			return 0, false
+		}
+		exp *= esign
+	}
+	if i != len(b) || nd > 15 {
+		return 0, false // trailing bytes or a mantissa the fast path can't hold exactly
+	}
+	exp -= frac
+	if exp < -22 || exp > 22 {
+		return 0, false
+	}
+	f := float64(mant)
+	switch {
+	case exp > 0:
+		f *= pow10[exp]
+	case exp < 0:
+		f /= pow10[-exp]
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}

@@ -1,0 +1,570 @@
+package ingest
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Decode parses data as one JSON event body into e, resetting any previously
+// decoded fields. The decoder is a single forward scan with no intermediate
+// allocation: clean string segments alias data, and only escapes or invalid
+// UTF-8 are rewritten into the event's scratch arena (invalid sequences
+// become U+FFFD, as encoding/json coerces them). Steady-state event shapes —
+// ASCII, escape-free — decode with zero heap allocations.
+//
+// Semantics deliberately mirror json.Decoder.Decode into the oracle
+// handler's request struct: field names match ASCII-case-insensitively,
+// null leaves a field untouched (but records a vars key with an empty
+// value), duplicate keys overwrite, unknown fields are validated and
+// skipped, a top-level null is an empty event, and bytes after the first
+// top-level value are ignored. The fuzz and randomized equivalence tests
+// hold the two decoders to the same outcome on the same body bytes.
+func (e *Event) Decode(data []byte) error {
+	e.DeviceType, e.Name, e.Location = nil, nil, nil
+	e.Vars = e.Vars[:0]
+	e.Sync = false
+	e.scratch = e.scratch[:0]
+	p := parser{data: data, ev: e}
+	return p.top()
+}
+
+// SyntaxError reports where and why decoding failed; the transport maps it
+// to 400.
+type SyntaxError struct {
+	Off int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("ingest: invalid event body at offset %d: %s", e.Off, e.Msg)
+}
+
+// maxNestingDepth bounds skipped unknown-field values, mirroring
+// encoding/json's nesting limit.
+const maxNestingDepth = 10000
+
+type parser struct {
+	data []byte
+	pos  int
+	ev   *Event
+}
+
+func (p *parser) errf(msg string) error {
+	return &SyntaxError{Off: p.pos, Msg: msg}
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	if p.pos >= len(p.data) || p.data[p.pos] != c {
+		return p.errf("expected " + string(rune(c)))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) lit(s string) error {
+	if len(p.data)-p.pos < len(s) || string(p.data[p.pos:p.pos+len(s)]) != s {
+		return p.errf("invalid literal")
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *parser) top() error {
+	p.skipWS()
+	if p.pos >= len(p.data) {
+		return p.errf("unexpected end of body")
+	}
+	if p.data[p.pos] == 'n' {
+		// A top-level null decodes to the zero event, like encoding/json.
+		return p.lit("null")
+	}
+	if p.data[p.pos] != '{' {
+		return p.errf("event body must be a JSON object")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return nil
+	}
+	for {
+		p.skipWS()
+		key, err := p.str()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		p.skipWS()
+		switch {
+		case foldEq(key, "devicetype"):
+			err = p.strField(&p.ev.DeviceType)
+		case foldEq(key, "name"):
+			err = p.strField(&p.ev.Name)
+		case foldEq(key, "location"):
+			err = p.strField(&p.ev.Location)
+		case foldEq(key, "vars"):
+			err = p.vars()
+		case foldEq(key, "sync"):
+			err = p.boolField(&p.ev.Sync)
+		default:
+			err = p.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			return p.errf("unexpected end of body")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return nil
+		default:
+			return p.errf("expected ',' or '}' after object member")
+		}
+	}
+}
+
+// strField assigns a string member; null leaves the field as it was.
+func (p *parser) strField(dst *[]byte) error {
+	if p.pos < len(p.data) && p.data[p.pos] == 'n' {
+		return p.lit("null")
+	}
+	s, err := p.str()
+	if err != nil {
+		return err
+	}
+	*dst = s
+	return nil
+}
+
+// boolField assigns a boolean member; null leaves the field as it was.
+func (p *parser) boolField(dst *bool) error {
+	if p.pos >= len(p.data) {
+		return p.errf("unexpected end of body")
+	}
+	switch p.data[p.pos] {
+	case 't':
+		if err := p.lit("true"); err != nil {
+			return err
+		}
+		*dst = true
+		return nil
+	case 'f':
+		if err := p.lit("false"); err != nil {
+			return err
+		}
+		*dst = false
+		return nil
+	case 'n':
+		return p.lit("null")
+	default:
+		return p.errf("expected boolean")
+	}
+}
+
+// vars parses the {"key":"value",...} variable object. Values must be
+// strings (or null, recorded as an empty value); anything else is the same
+// type error the oracle's map[string]string raises.
+func (p *parser) vars() error {
+	if p.pos >= len(p.data) {
+		return p.errf("unexpected end of body")
+	}
+	if p.data[p.pos] == 'n' {
+		// null sets a map field to nil (unlike string/bool fields, which it
+		// leaves untouched) — discard any vars decoded so far.
+		if err := p.lit("null"); err != nil {
+			return err
+		}
+		p.ev.Vars = p.ev.Vars[:0]
+		return nil
+	}
+	if p.data[p.pos] != '{' {
+		return p.errf("vars must be an object of string values")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return nil
+	}
+	for {
+		p.skipWS()
+		k, err := p.str()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		p.skipWS()
+		var v []byte
+		if p.pos < len(p.data) && p.data[p.pos] == 'n' {
+			if err := p.lit("null"); err != nil {
+				return err
+			}
+		} else if v, err = p.str(); err != nil {
+			return err
+		}
+		p.ev.setVar(k, v)
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			return p.errf("unexpected end of body")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return nil
+		default:
+			return p.errf("expected ',' or '}' in vars")
+		}
+	}
+}
+
+// str parses a JSON string and returns its decoded bytes. The fast path is
+// one scan that aliases the body; escapes divert to strSlow and non-ASCII
+// segments are UTF-8-validated (invalid sequences coerced to U+FFFD).
+func (p *parser) str() ([]byte, error) {
+	if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+		return nil, p.errf("expected string")
+	}
+	p.pos++
+	start := p.pos
+	ascii := true
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			s := p.data[start:p.pos]
+			p.pos++
+			if !ascii && !utf8.Valid(s) {
+				return p.fixUTF8(s), nil
+			}
+			return s, nil
+		case c == '\\':
+			return p.strSlow(start)
+		case c < 0x20:
+			return nil, p.errf("control character in string")
+		default:
+			if c >= utf8.RuneSelf {
+				ascii = false
+			}
+			p.pos++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+// strSlow finishes a string containing escapes, unescaping into the scratch
+// arena. start is the offset of the string's first content byte.
+func (p *parser) strSlow(start int) ([]byte, error) {
+	base := len(p.ev.scratch)
+	sc := append(p.ev.scratch, p.data[start:p.pos]...)
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			p.ev.scratch = sc
+			s := sc[base:]
+			if !utf8.Valid(s) {
+				return p.fixUTF8(s), nil
+			}
+			return s, nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return nil, p.errf("unterminated string")
+			}
+			esc := p.data[p.pos]
+			p.pos++
+			switch esc {
+			case '"', '\\', '/':
+				sc = append(sc, esc)
+			case 'b':
+				sc = append(sc, '\b')
+			case 'f':
+				sc = append(sc, '\f')
+			case 'n':
+				sc = append(sc, '\n')
+			case 'r':
+				sc = append(sc, '\r')
+			case 't':
+				sc = append(sc, '\t')
+			case 'u':
+				r, err := p.hex4()
+				if err != nil {
+					return nil, err
+				}
+				if utf16.IsSurrogate(r) {
+					// Try to combine with a following \uXXXX low surrogate;
+					// a lone surrogate becomes U+FFFD and the next escape is
+					// reprocessed on its own, matching encoding/json.
+					dec := rune(unicode.ReplacementChar)
+					if p.pos+1 < len(p.data) && p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
+						save := p.pos
+						p.pos += 2
+						lo, err := p.hex4()
+						if err != nil {
+							return nil, err
+						}
+						if d := utf16.DecodeRune(r, lo); d != unicode.ReplacementChar {
+							dec = d
+						} else {
+							p.pos = save
+						}
+					}
+					sc = utf8.AppendRune(sc, dec)
+				} else {
+					sc = utf8.AppendRune(sc, r)
+				}
+			default:
+				return nil, p.errf("invalid escape character")
+			}
+		case c < 0x20:
+			return nil, p.errf("control character in string")
+		default:
+			sc = append(sc, c)
+			p.pos++
+		}
+	}
+	return nil, p.errf("unterminated string")
+}
+
+// fixUTF8 rewrites s into the scratch arena with invalid UTF-8 sequences
+// replaced by U+FFFD, the coercion encoding/json applies to string values.
+func (p *parser) fixUTF8(s []byte) []byte {
+	base := len(p.ev.scratch)
+	for len(s) > 0 {
+		r, size := utf8.DecodeRune(s)
+		p.ev.scratch = utf8.AppendRune(p.ev.scratch, r)
+		s = s[size:]
+	}
+	return p.ev.scratch[base:]
+}
+
+func (p *parser) hex4() (rune, error) {
+	if p.pos+4 > len(p.data) {
+		return 0, p.errf("invalid \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := p.data[p.pos+i]
+		switch {
+		case '0' <= c && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case 'a' <= c && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case 'A' <= c && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, p.errf("invalid \\u escape")
+		}
+	}
+	p.pos += 4
+	return r, nil
+}
+
+// skipValue validates and discards one JSON value of any type (unknown
+// top-level fields), enforcing the same syntax the oracle's scanner does.
+func (p *parser) skipValue(depth int) error {
+	if depth > maxNestingDepth {
+		return p.errf("exceeded max nesting depth")
+	}
+	if p.pos >= len(p.data) {
+		return p.errf("unexpected end of body")
+	}
+	switch c := p.data[p.pos]; {
+	case c == '"':
+		return p.skipString()
+	case c == '{':
+		p.pos++
+		p.skipWS()
+		if p.pos < len(p.data) && p.data[p.pos] == '}' {
+			p.pos++
+			return nil
+		}
+		for {
+			p.skipWS()
+			if err := p.skipString(); err != nil {
+				return err
+			}
+			p.skipWS()
+			if err := p.expect(':'); err != nil {
+				return err
+			}
+			p.skipWS()
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			p.skipWS()
+			if p.pos >= len(p.data) {
+				return p.errf("unexpected end of body")
+			}
+			switch p.data[p.pos] {
+			case ',':
+				p.pos++
+			case '}':
+				p.pos++
+				return nil
+			default:
+				return p.errf("expected ',' or '}'")
+			}
+		}
+	case c == '[':
+		p.pos++
+		p.skipWS()
+		if p.pos < len(p.data) && p.data[p.pos] == ']' {
+			p.pos++
+			return nil
+		}
+		for {
+			p.skipWS()
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			p.skipWS()
+			if p.pos >= len(p.data) {
+				return p.errf("unexpected end of body")
+			}
+			switch p.data[p.pos] {
+			case ',':
+				p.pos++
+			case ']':
+				p.pos++
+				return nil
+			default:
+				return p.errf("expected ',' or ']'")
+			}
+		}
+	case c == 't':
+		return p.lit("true")
+	case c == 'f':
+		return p.lit("false")
+	case c == 'n':
+		return p.lit("null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		return p.skipNumber()
+	default:
+		return p.errf("unexpected character")
+	}
+}
+
+// skipString validates a string without unescaping it.
+func (p *parser) skipString() error {
+	if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+		return p.errf("expected string")
+	}
+	p.pos++
+	for p.pos < len(p.data) {
+		switch c := p.data[p.pos]; {
+		case c == '"':
+			p.pos++
+			return nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return p.errf("unterminated string")
+			}
+			switch p.data[p.pos] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				p.pos++
+			case 'u':
+				p.pos++
+				if _, err := p.hex4(); err != nil {
+					return err
+				}
+			default:
+				return p.errf("invalid escape character")
+			}
+		case c < 0x20:
+			return p.errf("control character in string")
+		default:
+			p.pos++
+		}
+	}
+	return p.errf("unterminated string")
+}
+
+// skipNumber validates a number against the JSON grammar (no leading zeros,
+// digits required around '.' and after an exponent sign).
+func (p *parser) skipNumber() error {
+	if p.data[p.pos] == '-' {
+		p.pos++
+	}
+	switch {
+	case p.pos < len(p.data) && p.data[p.pos] == '0':
+		p.pos++
+	case p.pos < len(p.data) && '1' <= p.data[p.pos] && p.data[p.pos] <= '9':
+		for p.pos < len(p.data) && isDigit(p.data[p.pos]) {
+			p.pos++
+		}
+	default:
+		return p.errf("invalid number")
+	}
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		p.pos++
+		if p.pos >= len(p.data) || !isDigit(p.data[p.pos]) {
+			return p.errf("invalid number")
+		}
+		for p.pos < len(p.data) && isDigit(p.data[p.pos]) {
+			p.pos++
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos >= len(p.data) || !isDigit(p.data[p.pos]) {
+			return p.errf("invalid number")
+		}
+		for p.pos < len(p.data) && isDigit(p.data[p.pos]) {
+			p.pos++
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// foldEq reports whether key equals lower under ASCII case folding — the
+// same (post-Go-1.20) field matching encoding/json applies. lower must
+// already be lowercase.
+func foldEq(key []byte, lower string) bool {
+	if len(key) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Poster is the hub-side surface the sink posts into. fleet.Hub implements
+// it. Ownership: a nil error means the poster took the event and will
+// Release it after the home applies it; on error the sink still owns it.
+type Poster interface {
+	// PostEventFast enqueues ev for home and returns without waiting.
+	PostEventFast(home string, ev *Event) error
+	// PostEventFastSync enqueues ev and blocks until the home has evaluated
+	// it and flushed.
+	PostEventFastSync(home string, ev *Event) error
+}
+
+// DefaultMaxBody caps event bodies when WithMaxBody is not given. Event
+// payloads are small (a device, a location, a handful of vars); 64 KiB
+// leaves two orders of magnitude of headroom.
+const DefaultMaxBody = 64 << 10
+
+// Sink is the fast handler for POST /fleet/homes/{home}/events: pooled
+// buffers, the streaming decoder, and admission control — no net/http
+// request-scoped allocations beyond what the server itself makes, and no
+// encoding/json. Register it on the hot route; keep the stock handler
+// elsewhere as the correctness oracle.
+type Sink struct {
+	poster    Poster
+	admission *Admission // nil = admit everything
+	maxBody   int64
+	status    func(error) int // maps poster errors to HTTP statuses
+}
+
+// SinkOption configures NewSink.
+type SinkOption interface{ applySink(*Sink) }
+
+type sinkOptionFunc func(*Sink)
+
+func (f sinkOptionFunc) applySink(s *Sink) { f(s) }
+
+// WithMaxBody overrides the event-body byte cap.
+func WithMaxBody(n int64) SinkOption {
+	return sinkOptionFunc(func(s *Sink) { s.maxBody = n })
+}
+
+// WithAdmission gates posts behind a; nil disables admission control.
+func WithAdmission(a *Admission) SinkOption {
+	return sinkOptionFunc(func(s *Sink) { s.admission = a })
+}
+
+// WithStatusMapper overrides how poster errors map to HTTP status codes
+// (fleet wires its sentinel-error table so the sink and the oracle handler
+// answer identically).
+func WithStatusMapper(f func(error) int) SinkOption {
+	return sinkOptionFunc(func(s *Sink) { s.status = f })
+}
+
+// NewSink builds the fast event handler in front of p.
+func NewSink(p Poster, opts ...SinkOption) *Sink {
+	s := &Sink{poster: p, maxBody: DefaultMaxBody, status: defaultStatus}
+	for _, o := range opts {
+		o.applySink(s)
+	}
+	return s
+}
+
+func defaultStatus(error) int { return http.StatusInternalServerError }
+
+// ServeHTTP handles one event post. Status contract (kept in lockstep with
+// the oracle handler): 200 for sync posts (evaluation completed before the
+// response), 202 for async (queued), 400 malformed body, 413 oversized,
+// 429 shed by admission control with Retry-After in whole seconds.
+func (s *Sink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	home := r.PathValue("home")
+	if home == "" {
+		writeJSONError(w, http.StatusNotFound, "missing home")
+		return
+	}
+	if s.admission != nil {
+		if retry, err := s.admission.Admit(home); err != nil {
+			w.Header().Set("Retry-After", strconv.Itoa(RetrySeconds(retry)))
+			writeJSONError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+	}
+	if r.ContentLength > s.maxBody {
+		writeJSONError(w, http.StatusRequestEntityTooLarge, ErrBodyTooLarge.Error())
+		return
+	}
+	ev := AcquireEvent()
+	if err := ev.ReadBody(r.Body, s.maxBody); err != nil {
+		ev.Release()
+		if errors.Is(err, ErrBodyTooLarge) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, err.Error())
+		} else {
+			writeJSONError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return
+	}
+	if err := ev.Decode(ev.Body); err != nil {
+		ev.Release()
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var err error
+	sync := ev.Sync
+	if sync {
+		err = s.poster.PostEventFastSync(home, ev)
+	} else {
+		err = s.poster.PostEventFast(home, ev)
+	}
+	if err != nil {
+		ev.Release()
+		writeJSONError(w, s.status(err), err.Error())
+		return
+	}
+	if sync {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
+}
+
+// writeJSONError emits the same {"error": "..."} shape as the stock fleet
+// handler, without encoding/json: messages here are sentinel errors and
+// decoder offsets, so only quote and backslash need escaping.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	buf := make([]byte, 0, len(msg)+16)
+	buf = append(buf, `{"error":"`...)
+	for i := 0; i < len(msg); i++ {
+		switch c := msg[i]; {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			buf = append(buf, `\u00`...)
+			const hex = "0123456789abcdef"
+			buf = append(buf, hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	buf = append(buf, `"}`...)
+	buf = append(buf, '\n')
+	w.Write(buf)
+}

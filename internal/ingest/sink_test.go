@@ -1,0 +1,156 @@
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// recordingPoster captures posted events (copying out of the pooled slices)
+// and can be primed to fail.
+type recordingPoster struct {
+	fail   error
+	home   string
+	sync   bool
+	device string
+	vars   map[string]string
+	posts  int
+}
+
+func (p *recordingPoster) post(home string, ev *Event, sync bool) error {
+	if p.fail != nil {
+		return p.fail
+	}
+	p.posts++
+	p.home, p.sync = home, sync
+	p.device = string(ev.DeviceType)
+	p.vars = map[string]string{}
+	for _, v := range ev.Vars {
+		p.vars[string(v.Key)] = string(v.Value)
+	}
+	ev.Release()
+	return nil
+}
+
+func (p *recordingPoster) PostEventFast(home string, ev *Event) error {
+	return p.post(home, ev, false)
+}
+
+func (p *recordingPoster) PostEventFastSync(home string, ev *Event) error {
+	return p.post(home, ev, true)
+}
+
+func sinkRequest(t *testing.T, s *Sink, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("POST /fleet/homes/{home}/events", s)
+	req := httptest.NewRequest(http.MethodPost, "/fleet/homes/casa/events", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+func TestSinkAsyncAccepted(t *testing.T) {
+	p := &recordingPoster{}
+	s := NewSink(p)
+	w := sinkRequest(t, s, `{"deviceType":"tv","vars":{"power":"1"}}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202; body %s", w.Code, w.Body)
+	}
+	if p.home != "casa" || p.sync || p.device != "tv" || p.vars["power"] != "1" {
+		t.Fatalf("poster saw %+v", p)
+	}
+}
+
+func TestSinkSyncOK(t *testing.T) {
+	p := &recordingPoster{}
+	s := NewSink(p)
+	w := sinkRequest(t, s, `{"deviceType":"tv","sync":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", w.Code)
+	}
+	if !p.sync {
+		t.Fatal("sync post routed to async path")
+	}
+}
+
+func TestSinkMalformedBody(t *testing.T) {
+	p := &recordingPoster{}
+	s := NewSink(p)
+	w := sinkRequest(t, s, `{"deviceType":}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", w.Code)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("error body %q not the {\"error\":...} shape: %v", w.Body, err)
+	}
+	if p.posts != 0 {
+		t.Fatal("malformed body reached the poster")
+	}
+}
+
+func TestSinkBodyTooLarge(t *testing.T) {
+	p := &recordingPoster{}
+	s := NewSink(p, WithMaxBody(32))
+	w := sinkRequest(t, s, `{"name":"`+strings.Repeat("x", 64)+`"}`)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", w.Code)
+	}
+	if p.posts != 0 {
+		t.Fatal("oversized body reached the poster")
+	}
+}
+
+func TestSinkAdmissionRejects(t *testing.T) {
+	clk := newFakeClock()
+	adm := NewAdmission(Limits{Rate: 1, Burst: 1}, nil, WithAdmissionClock(clk.Now))
+	p := &recordingPoster{}
+	s := NewSink(p, WithAdmission(adm))
+	if w := sinkRequest(t, s, `{}`); w.Code != http.StatusAccepted {
+		t.Fatalf("first post: %d", w.Code)
+	}
+	w := sinkRequest(t, s, `{}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", ra)
+	}
+	if p.posts != 1 {
+		t.Fatalf("poster saw %d posts, want 1", p.posts)
+	}
+}
+
+func TestSinkStatusMapper(t *testing.T) {
+	sentinel := errors.New("no such home")
+	p := &recordingPoster{fail: sentinel}
+	s := NewSink(p, WithStatusMapper(func(err error) int {
+		if errors.Is(err, sentinel) {
+			return http.StatusNotFound
+		}
+		return http.StatusInternalServerError
+	}))
+	if w := sinkRequest(t, s, `{}`); w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want mapped 404", w.Code)
+	}
+}
+
+func TestWriteJSONErrorEscaping(t *testing.T) {
+	w := httptest.NewRecorder()
+	writeJSONError(w, 400, "quote \" slash \\ ctrl \x02 end")
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("unparseable error body %q: %v", w.Body, err)
+	}
+	if e.Error != "quote \" slash \\ ctrl \x02 end" {
+		t.Fatalf("round-tripped message = %q", e.Error)
+	}
+}
