@@ -73,9 +73,10 @@ type fleetRow struct {
 }
 
 type doc struct {
-	GeneratedUnix int64       `json:"generated_unix"`
-	Engine        []engineRow `json:"engine"`
-	Fleet         []fleetRow  `json:"fleet"`
+	GeneratedUnix int64             `json:"generated_unix"`
+	Meta          benchwork.RunMeta `json:"meta"`
+	Engine        []engineRow       `json:"engine"`
+	Fleet         []fleetRow        `json:"fleet"`
 }
 
 func main() {
@@ -85,7 +86,7 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "output JSON path")
 	flag.Parse()
 
-	d := doc{GeneratedUnix: time.Now().Unix()}
+	d := doc{GeneratedUnix: time.Now().Unix(), Meta: benchwork.NewRunMeta()}
 
 	for _, n := range parseInts(*rulesFlag) {
 		for _, mode := range []string{"interned", "stringkeys", "fullscan"} {

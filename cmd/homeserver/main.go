@@ -36,6 +36,12 @@
 //
 // With -store the hub journals every home's rules to an append-only
 // JSON-lines log and rehydrates them on restart.
+//
+// In either mode -admin ADDR serves net/http/pprof on a separate listener
+// (kept off the API address so diagnostics are never publicly routed):
+//
+//	$ homeserver -fleet :8090 -admin localhost:6060
+//	$ go tool pprof localhost:6060/debug/pprof/profile
 package main
 
 import (
@@ -46,6 +52,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -admin: profiling endpoints on a separate listener
 	"os"
 	"os/signal"
 	"sort"
@@ -76,7 +83,24 @@ func run() error {
 	ingestRate := flag.Float64("ingest-rate", 0, "fleet mode: per-home event admission rate (events/sec, 0 = unlimited)")
 	ingestBurst := flag.Float64("ingest-burst", 0, "fleet mode: per-home admission burst (0 = max(rate, 1))")
 	ingestBacklog := flag.Int("ingest-backlog", 0, "fleet mode: shed events once a home's shard queue exceeds this depth (0 = never)")
+	adminAddr := flag.String("admin", "", "serve net/http/pprof diagnostics on this address (e.g. localhost:6060); off by default")
 	flag.Parse()
+	if *adminAddr != "" {
+		// pprof registers its handlers on http.DefaultServeMux at import.
+		// The admin listener is separate from the API listeners so profiling
+		// endpoints are never exposed on the fleet or home API address.
+		admin := &http.Server{
+			Addr:              *adminAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin listener: %v", err)
+			}
+		}()
+		fmt.Printf("admin: pprof at http://%s/debug/pprof/\n", *adminAddr)
+	}
 	if *fleetAddr != "" {
 		limits := ingest.Limits{Rate: *ingestRate, Burst: *ingestBurst, MaxBacklog: *ingestBacklog}
 		return runFleet(*fleetAddr, *shards, *storeDir, *workers, limits)

@@ -56,16 +56,17 @@ type saturationResult struct {
 }
 
 type report struct {
-	Name          string           `json:"name"`
-	GeneratedUnix int64            `json:"generated_unix"`
-	Homes         int              `json:"homes"`
-	Events        int              `json:"events"`
-	Shards        int              `json:"shards"`
-	Producers     int              `json:"producers"`
-	MaxProcs      int              `json:"maxprocs"`
-	Results       []modeResult     `json:"results"`
-	Speedup       float64          `json:"speedup"` // fast events/sec over baseline
-	Saturation    saturationResult `json:"saturation"`
+	Name          string            `json:"name"`
+	GeneratedUnix int64             `json:"generated_unix"`
+	Meta          benchwork.RunMeta `json:"meta"`
+	Homes         int               `json:"homes"`
+	Events        int               `json:"events"`
+	Shards        int               `json:"shards"`
+	Producers     int               `json:"producers"`
+	MaxProcs      int               `json:"maxprocs"`
+	Results       []modeResult      `json:"results"`
+	Speedup       float64           `json:"speedup"` // fast events/sec over baseline
+	Saturation    saturationResult  `json:"saturation"`
 }
 
 func main() {
@@ -82,6 +83,7 @@ func main() {
 	rep := report{
 		Name:          "wire-ingest",
 		GeneratedUnix: time.Now().Unix(),
+		Meta:          benchwork.NewRunMeta(),
 		Homes:         *homes,
 		Events:        *events,
 		Shards:        *shards,

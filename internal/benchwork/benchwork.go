@@ -24,6 +24,7 @@ package benchwork
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/conflict"
@@ -31,10 +32,33 @@ import (
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/simplex"
 	"repro/internal/vocab"
 )
+
+// RunMeta is the run environment block every BENCH_*.json report embeds, so
+// a perf trajectory across commits can tell a regression from a machine or
+// toolchain change.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// NewRunMeta captures the current process's run environment.
+func NewRunMeta() RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
 
 // Epoch is the fixed simulation instant every benchmark clock reports.
 var Epoch = time.Date(2005, 3, 7, 18, 0, 0, 0, time.UTC)
@@ -57,8 +81,15 @@ func (w *EngineWorkload) Replay(i int) {
 	w.Engine.HandleDeviceEvent(w.DeviceType, w.DeviceName, w.DeviceLocation, w.Events[i%len(w.Events)])
 }
 
+// TraceCap is the firing-trace ring capacity benchmark engines run with.
+const TraceCap = 16
+
 // NewEngineWorkload builds the named workload at n rules, seeded to steady
-// state. Names:
+// state. Engines are fully instrumented by default — metrics into a private
+// obs registry plus a TraceCap-slot firing-trace ring — so every benchmark
+// measures the production configuration; pass engine.WithMetrics(nil) /
+// engine.WithTrace(0) to strip either back off (the overhead gate's
+// baseline). Names:
 //
 //	engine_evaluate         single-key temperature event, no readiness flip
 //	engine_evaluate_firing  single-key event crossing rule 0's threshold
@@ -66,6 +97,10 @@ func (w *EngineWorkload) Replay(i int) {
 //	arbitrate               arbitration churn, winner unchanged
 //	arbitrate_handoff       arbitration churn flipping the winner every pass
 func NewEngineWorkload(name string, n int, opts ...engine.Option) (*EngineWorkload, error) {
+	opts = append([]engine.Option{
+		engine.WithMetrics(&obs.New(1).Shard(0).Engine),
+		engine.WithTrace(TraceCap),
+	}, opts...)
 	w := &EngineWorkload{DeviceType: device.TypePresenceSensor, DeviceName: "presence sensor", DeviceLocation: "home"}
 	var (
 		db  *registry.DB
@@ -105,6 +140,11 @@ func NewEngineWorkload(name string, n int, opts ...engine.Option) (*EngineWorklo
 		SeedPresence(w.Engine, w.Events)
 	default:
 		SeedArbitration(w.Engine, w.Events)
+	}
+	// Cycle the trace ring so every slot's slices reach steady-state capacity
+	// before the timed (and allocation-gated) loop starts.
+	for i := 0; i < 2*TraceCap+4; i++ {
+		w.Replay(i)
 	}
 	return w, nil
 }

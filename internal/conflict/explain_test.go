@@ -1,0 +1,134 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simplex"
+)
+
+// TestExplainMatchesArbitrateWinner pins the explain path's contract: it
+// always picks the same winner as ArbitrateWinner, and its Explain is
+// consistent with the winner it reports — Ordered iff some order applied,
+// Rank -1 iff the winner's owner is unlisted in that order.
+func TestExplainMatchesArbitrateWinner(t *testing.T) {
+	owners := []string{"tom", "alan", "emily", "guest", "visitor"}
+	_, ctx, rules := internedFixture(t, owners)
+	ctx.SetUsers(owners[:3])
+	rng := rand.New(rand.NewSource(7))
+
+	contexts := []struct {
+		cond   core.Condition
+		source string
+	}{
+		{nil, ""},
+		{&core.Arrival{Person: "emily", Event: "home-from-shopping"}, "emily got home from shopping"},
+		{&core.Nobody{Place: "bedroom"}, "nobody at bedroom"},
+		{&core.Compare{Var: "temperature", Op: simplex.GT, Value: 25}, "hot"},
+	}
+
+	tbl := NewTable()
+	ref := core.DeviceRef{Name: "tv"}
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			users := append([]string(nil), owners...)
+			rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+			cc := contexts[rng.Intn(len(contexts))]
+			tbl.Set(Order{
+				Device:        ref,
+				Context:       cc.cond,
+				ContextSource: cc.source,
+				Users:         users[:rng.Intn(len(users)+1)],
+			})
+		case 1:
+			switch rng.Intn(3) {
+			case 0:
+				ctx.RecordEvent("emily", "home-from-shopping")
+			case 1:
+				ctx.Now = ctx.Now.Add(time.Duration(rng.Intn(10)) * time.Minute)
+			default:
+				ctx.SetNumber("temperature", float64(10+rng.Intn(30)))
+			}
+		}
+		subset := make([]*core.Rule, 0, len(rules))
+		for _, r := range rules {
+			if rng.Intn(3) > 0 {
+				subset = append(subset, r)
+			}
+		}
+		winner := tbl.ArbitrateWinner(ref, ctx, subset)
+		got, ex := tbl.ArbitrateWinnerExplain(ref, ctx, subset)
+		if got != winner {
+			t.Fatalf("step %d: explain winner %v, ArbitrateWinner %v", step, got, winner)
+		}
+		if winner == nil {
+			if ex.Ordered || ex.Rank != -1 {
+				t.Fatalf("step %d: nil winner with explain %+v", step, ex)
+			}
+			continue
+		}
+		if !ex.Ordered && (ex.Rank != -1 || ex.Context != "") {
+			t.Fatalf("step %d: unordered explain carries rank/context: %+v", step, ex)
+		}
+		if ex.Rank >= 0 {
+			if !ex.Ordered {
+				t.Fatalf("step %d: ranked but not ordered: %+v", step, ex)
+			}
+			// The reported rank must point at the winner's owner in the
+			// applicable order.
+			applicable, ok := tbl.Applicable(ref, ctx)
+			if !ok {
+				t.Fatalf("step %d: ordered explain but no applicable order", step)
+			}
+			if ex.Context != applicable.ContextSource {
+				t.Fatalf("step %d: context %q, applicable %q", step, ex.Context, applicable.ContextSource)
+			}
+			if ex.Rank >= len(applicable.Users) || applicable.Users[ex.Rank] != winner.Owner {
+				t.Fatalf("step %d: rank %d does not name winner owner %q in %v",
+					step, ex.Rank, winner.Owner, applicable.Users)
+			}
+		}
+	}
+}
+
+// TestExplainStringContextFallback: the allocating oracle path reports the
+// same winner and a usable explain.
+func TestExplainStringContextFallback(t *testing.T) {
+	_, _, rules := internedFixture(t, []string{"tom", "alan"})
+	tbl := NewTable()
+	tbl.Set(Order{Device: core.DeviceRef{Name: "tv"}, Users: []string{"alan", "tom"}})
+	ctx := core.NewContext(time.Now())
+	winner, ex := tbl.ArbitrateWinnerExplain(core.DeviceRef{Name: "tv"}, ctx, rules)
+	if winner.Owner != "alan" {
+		t.Fatalf("winner = %s, want alan", winner.Owner)
+	}
+	if !ex.Ordered || ex.Rank != 0 || ex.Context != "" {
+		t.Fatalf("explain = %+v, want default order rank 0", ex)
+	}
+}
+
+// TestExplainSoleContender: unlike ArbitrateWinner, the explain path must
+// resolve the order even for a single ready rule so the trace can say where
+// the sole contender ranks.
+func TestExplainSoleContender(t *testing.T) {
+	_, ctx, rules := internedFixture(t, []string{"tom", "alan"})
+	tbl := NewTable()
+	tbl.Set(Order{Device: core.DeviceRef{Name: "tv"}, Users: []string{"alan", "tom"}})
+	winner, ex := tbl.ArbitrateWinnerExplain(core.DeviceRef{Name: "tv"}, ctx, rules[:1])
+	if winner != rules[0] {
+		t.Fatalf("winner = %v", winner)
+	}
+	if !ex.Ordered || ex.Rank != 1 {
+		t.Fatalf("explain = %+v, want tom ranked #2 (index 1) in the default order", ex)
+	}
+
+	// No order at all: unordered explain.
+	empty := NewTable()
+	winner, ex = empty.ArbitrateWinnerExplain(core.DeviceRef{Name: "tv"}, ctx, rules[:1])
+	if winner != rules[0] || ex.Ordered || ex.Rank != -1 {
+		t.Fatalf("winner %v explain %+v, want unordered sole rule", winner, ex)
+	}
+}

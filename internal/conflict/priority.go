@@ -240,6 +240,71 @@ func (t *Table) ArbitrateWinner(device core.DeviceRef, ctx *core.Context, rules 
 	return best
 }
 
+// Explain reports how an arbitration winner was picked, for firing traces.
+type Explain struct {
+	// Ordered reports whether any priority order applied to the device in
+	// the current context.
+	Ordered bool
+	// Context is the CADEL source of the applicable order's context (""
+	// for the device's default order); meaningful only when Ordered.
+	Context string
+	// Rank is the winning owner's position in the applicable order (0 =
+	// highest priority); -1 when the owner is unlisted or no order applies,
+	// in which case registration sequence decided.
+	Rank int
+}
+
+// ArbitrateWinnerExplain is ArbitrateWinner plus the explanation the firing
+// trace records: which priority order applied (if any) and where the winning
+// owner ranks in it. It shares ArbitrateWinner's zero-allocation rank scan
+// on the interned path and always returns the same winner — including for a
+// single ready rule, where it still resolves the applicable order so the
+// trace can say why the sole contender holds the device.
+func (t *Table) ArbitrateWinnerExplain(device core.DeviceRef, ctx *core.Context, rules []*core.Rule) (*core.Rule, Explain) {
+	if len(rules) == 0 {
+		return nil, Explain{Rank: -1}
+	}
+	tab := ctx.Symtab()
+	if tab == nil {
+		// String-keyed oracle path: the ranked list plus the applicable
+		// order (both allocate; tracing never runs this path steady-state).
+		winner := t.Arbitrate(device, ctx, rules)[0]
+		ex := Explain{Rank: -1}
+		if order, ok := t.Applicable(device, ctx); ok {
+			ex.Ordered = true
+			ex.Context = order.ContextSource
+			for i, u := range order.Users {
+				if u == winner.Owner {
+					ex.Rank = i
+					break
+				}
+			}
+		}
+		return winner, ex
+	}
+	t.mu.Lock()
+	do := t.deviceLocked(device, tab)
+	t.mu.Unlock()
+	users, idx := t.applicableEntry(do, ctx)
+	best := rules[0]
+	bestRank := ownerRank(users, best.OwnerSym)
+	for _, r := range rules[1:] {
+		rk := ownerRank(users, r.OwnerSym)
+		if rk < bestRank || (rk == bestRank && r.Seq < best.Seq) {
+			best, bestRank = r, rk
+		}
+	}
+	ex := Explain{Rank: -1}
+	if idx >= 0 {
+		ex.Ordered = true
+		ex.Context = do.orders[idx].ContextSource
+		if bestRank < 1<<30 {
+			ex.Rank = bestRank
+		}
+	}
+	return best, ex
+}
+
 // ownerRank returns the owner's highest-priority position in the applicable
 // order's interned user vector, or a rank below every listed owner when
 // absent (or when no order applies). User vectors hold ids plus one, so an
@@ -314,10 +379,17 @@ func (t *Table) Arbitrate(device core.DeviceRef, ctx *core.Context, rules []*cor
 // vector, or nil when no order applies (every owner then ranks equal and
 // registration order decides).
 func (t *Table) applicableUsers(do *deviceOrders, ctx *core.Context) []uint32 {
+	users, _ := t.applicableEntry(do, ctx)
+	return users
+}
+
+// applicableEntry is applicableUsers plus the index of the applicable order
+// (into do.orders), or -1 when none applies.
+func (t *Table) applicableEntry(do *deviceOrders, ctx *core.Context) ([]uint32, int) {
 	for i := range do.entries {
 		if do.entries[i].bound == nil || do.entries[i].bound.Eval(ctx) {
-			return do.entries[i].userIDs
+			return do.entries[i].userIDs, i
 		}
 	}
-	return nil
+	return nil, -1
 }

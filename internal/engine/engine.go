@@ -66,6 +66,7 @@ import (
 	"repro/internal/conflict"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -228,6 +229,21 @@ type Engine struct {
 	snap    *core.Context
 	snapVer uint64
 
+	// Metrics (WithMetrics): deltas accumulate in the plain mAcc fields
+	// under the engine lock and flush to the shared atomic block at firing
+	// passes and every 32nd pass, so a steady-state pass amortizes to well
+	// under one atomic add; the histograms are sampled on the same cadence.
+	em   *obs.EngineMetrics
+	mAcc metricsAcc
+
+	// Firing trace (WithTrace): a bounded ring of structured pass records,
+	// captured on the interned path with every slot's slices reused in
+	// place, so steady-state capture allocates nothing once the ring has
+	// cycled. traceCap is the requested capacity; the ring itself is built
+	// in New once the evaluation mode is known.
+	traceCap int
+	tr       *traceRing
+
 	owners map[string]string // device key → owning rule ID
 	log    []Fired
 	onFire func(Fired)
@@ -264,6 +280,31 @@ func WithBatchDispatcher(fn BatchDispatcher) Option {
 // grow their logs without bound; the default (0) keeps everything.
 func WithLogLimit(n int) Option {
 	return optionFunc(func(e *Engine) { e.logCap = n })
+}
+
+// metricsAcc batches metric deltas between flushes to the shared atomic
+// block (see Engine.flushMetricsLocked).
+type metricsAcc struct {
+	passes, checked, fired, suppressed, batches uint64
+}
+
+// WithMetrics points the engine at a shared metric block (typically its hub
+// shard's obs.ShardMetrics.Engine). The engine batches counter deltas under
+// its lock and flushes them at firing passes and every 32nd pass; PassNs
+// and DirtyKeys are sampled every 32nd pass. nil disables instrumentation
+// (the default), overriding an earlier WithMetrics.
+func WithMetrics(m *obs.EngineMetrics) Option {
+	return optionFunc(func(e *Engine) { e.em = m })
+}
+
+// WithTrace keeps a bounded ring of the last n structured pass records —
+// triggering dirty keys, candidate rules, per-device arbitration outcome
+// with winner, losers and rank reason — retrievable via TraceSnapshot.
+// Tracing runs only on the interned evaluation path and keeps it
+// allocation-free once the ring has cycled. n <= 0 disables tracing (the
+// default), overriding an earlier WithTrace.
+func WithTrace(n int) Option {
+	return optionFunc(func(e *Engine) { e.traceCap = n })
 }
 
 // DefaultCompactFloor is the symbol count below which automatic symbol
@@ -343,6 +384,9 @@ func New(db *registry.DB, priorities *conflict.Table, now func() time.Time, disp
 		e.varCacheB = make(map[string]*cachedVar)
 		e.arrCacheB = make(map[string]arrIDs)
 		e.programsDep = e.tab.Intern(core.ProgramsDepKey)
+		if e.traceCap > 0 {
+			e.tr = newTraceRing(e.traceCap)
+		}
 	} else {
 		e.stringKeys = true
 	}
@@ -395,6 +439,40 @@ func (e *Engine) DispatchBatches() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.batches
+}
+
+// flushMetricsLocked publishes the batched metric deltas to the shared
+// atomic block. Called with e.mu held, at firing passes and every 32nd
+// pass; FlushMetrics exposes it so a stats snapshot can drain the remainder.
+func (e *Engine) flushMetricsLocked() {
+	a := &e.mAcc
+	if a.passes != 0 {
+		e.em.Passes.Add(a.passes)
+	}
+	if a.checked != 0 {
+		e.em.RulesChecked.Add(a.checked)
+	}
+	if a.fired != 0 {
+		e.em.RulesFired.Add(a.fired)
+	}
+	if a.suppressed != 0 {
+		e.em.RulesSuppressed.Add(a.suppressed)
+	}
+	if a.batches != 0 {
+		e.em.DispatchBatches.Add(a.batches)
+	}
+	*a = metricsAcc{}
+}
+
+// FlushMetrics publishes any batched metric deltas immediately. The fleet
+// hub calls it per home before reading the shard blocks, so stats and
+// scrapes observe exact counts instead of up-to-seven-pass-stale ones.
+func (e *Engine) FlushMetrics() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.em != nil {
+		e.flushMetricsLocked()
+	}
 }
 
 // Owners returns a snapshot of the device → owning-rule-ID map.
@@ -655,6 +733,15 @@ func (e *Engine) Tick() {
 func (e *Engine) evaluateLocked() {
 	e.ctx.Now = e.now()
 	e.passes++
+	// Metrics: histograms are sampled every 32nd pass (two extra clock
+	// reads and four atomic adds, amortized under a nanosecond per pass) so
+	// the instrumented steady state stays within the CI overhead gate.
+	var t0 time.Time
+	sampled := e.em != nil && e.passes&31 == 0
+	if sampled {
+		e.em.DirtyKeys.Observe(uint64(e.dirtyIDs.Len() + len(e.dirty)))
+		t0 = time.Now()
+	}
 	var fired []Fired
 	switch {
 	case e.fullScan:
@@ -666,6 +753,22 @@ func (e *Engine) evaluateLocked() {
 	}
 	if len(fired) > 0 {
 		e.batches++
+	}
+	if e.em != nil {
+		e.mAcc.passes++
+		if n := len(fired); n > 0 {
+			e.mAcc.batches++
+			e.mAcc.fired += uint64(n)
+			for i := range fired {
+				e.mAcc.suppressed += uint64(len(fired[i].Suppressed))
+			}
+		}
+		if sampled {
+			e.em.PassNs.Observe(uint64(time.Since(t0)))
+		}
+		if sampled || len(fired) > 0 {
+			e.flushMetricsLocked()
+		}
 	}
 
 	batchDispatch := e.batchDispatch
@@ -744,6 +847,9 @@ func (e *Engine) fullScanPassLocked() []Fired {
 	clear(e.dirty) // tracked but unused in oracle mode
 	e.dirtyIDs.Reset()
 	rules := e.db.All()
+	if e.em != nil {
+		e.mAcc.checked += uint64(len(rules))
+	}
 
 	// Maintain duration holds.
 	for _, r := range rules {
@@ -873,6 +979,9 @@ func (e *Engine) incrementalPassLocked() []Fired {
 	// Maintain duration holds before readiness: all duration rules are
 	// time-dependent, so whenever time advanced they are all candidates and
 	// the hold marks stay exactly as the full scan would leave them.
+	if e.em != nil {
+		e.mAcc.checked += uint64(len(candidates))
+	}
 	for _, r := range candidates {
 		e.maintainHoldsLocked(r)
 	}
@@ -1067,6 +1176,10 @@ func (e *Engine) internedPassLocked() []Fired {
 		}
 	}
 
+	if e.em != nil {
+		e.mAcc.checked += uint64(len(cands))
+	}
+
 	// Maintain duration holds before readiness (see incrementalPassLocked).
 	for _, r := range cands {
 		e.maintainHoldsLocked(r)
@@ -1123,6 +1236,22 @@ func (e *Engine) internedPassLocked() []Fired {
 		}
 	}
 
+	// Firing trace: claim and fill a ring slot only when the pass has work
+	// (steady empty ticks do not churn the ring). Dirty names resolve
+	// through the symtab here, before the pass resets the dirty set; the
+	// recorded strings are the interner's own, so records stay valid across
+	// compaction epochs.
+	var rec *passRec
+	if e.tr != nil && (len(cands) > 0 || churned || e.allDirty || e.dirtyIDs.Len() > 0 || e.scDevs.Len() > 0) {
+		rec = e.tr.start(e.ctx.Now, e.allDirty)
+		for _, id := range e.dirtyIDs.IDs() {
+			rec.addDirty(e.tab.Name(id))
+		}
+		for _, r := range cands {
+			rec.addCand(r.ID)
+		}
+	}
+
 	// Reconcile ownership for the affected devices, ordered by the devices'
 	// lexicographic rank so the fired log is deterministic and identical to
 	// the string-keyed passes' sorted-key order.
@@ -1136,11 +1265,30 @@ func (e *Engine) internedPassLocked() []Fired {
 		e.scDevIDs = devs
 		for _, dev := range devs {
 			list := e.readyRules[dev]
+			var dec *passDec
+			if rec != nil {
+				if dec = rec.addDec(); dec != nil {
+					dec.setDevice(e.devRefs[dev])
+				}
+			}
 			if len(list) == 0 {
+				if dec != nil {
+					dec.fired = e.devOwner[dev] != 0 // ownership lapsed
+				}
 				e.devOwner[dev] = 0
 				continue
 			}
-			winner := e.priorities.ArbitrateWinner(e.devRefs[dev], e.ctx, list)
+			var winner *core.Rule
+			if dec != nil {
+				// The explain variant shares the winner scan but also
+				// resolves which priority order applied, so the trace can
+				// answer "why does this rule hold the device".
+				var ex conflict.Explain
+				winner, ex = e.priorities.ArbitrateWinnerExplain(e.devRefs[dev], e.ctx, list)
+				dec.setOutcome(winner, ex, list)
+			} else {
+				winner = e.priorities.ArbitrateWinner(e.devRefs[dev], e.ctx, list)
+			}
 			if e.devOwner[dev] == winner.IDSym {
 				continue
 			}
@@ -1154,6 +1302,14 @@ func (e *Engine) internedPassLocked() []Fired {
 				continue
 			}
 			e.devOwner[dev] = ranked[0].IDSym
+			if dec != nil {
+				dec.fired = true
+				if ranked[0] != winner {
+					// A concurrent Table.Set re-ranked between the two scans;
+					// the trace records the rule that actually took ownership.
+					dec.winner, dec.winnerOwner = ranked[0].ID, ranked[0].Owner
+				}
+			}
 			fired = append(fired, Fired{
 				Time:       e.ctx.Now,
 				Rule:       ranked[0],
@@ -1275,6 +1431,9 @@ func (e *Engine) compactLocked() (CompactStats, bool) {
 	// dependencies and re-arbitrates — winners are unchanged, so nothing
 	// fires.
 	e.priorities.Invalidate()
+	if e.em != nil {
+		e.em.CompactEpochs.Inc()
+	}
 	return CompactStats{Before: res.Before, After: res.After, Epoch: res.Epoch}, true
 }
 

@@ -52,6 +52,12 @@ var (
 // everything (single-home debugging, short-lived tests).
 const DefaultLogLimit = 1024
 
+// DefaultTraceLimit is the per-home firing-trace ring capacity (pass records
+// kept for GET /fleet/homes/{home}/trace) unless WithTraceLimit overrides
+// it. The ring reuses its slots in place, so the cap bounds idle memory, not
+// allocation rate.
+const DefaultTraceLimit = 64
+
 // Dispatcher applies one fired action of one home to the real (or simulated)
 // appliance. The single-home server wires this to UPnP control.
 type Dispatcher func(home string, ref core.DeviceRef, action core.Action) error
@@ -75,6 +81,7 @@ type config struct {
 	now             func() time.Time
 	eventTTL        time.Duration
 	logLimit        int
+	traceCap        int
 	fullScan        bool
 	stringKeys      bool
 	intervalFeas    bool
@@ -121,6 +128,13 @@ func WithEventTTL(ttl time.Duration) HubOption {
 // everything.
 func WithLogLimit(n int) HubOption {
 	return optionFunc(func(c *config) { c.logLimit = n })
+}
+
+// WithTraceLimit sets each home's firing-trace ring capacity
+// (engine.WithTrace). The default is DefaultTraceLimit; n <= 0 disables
+// tracing entirely.
+func WithTraceLimit(n int) HubOption {
+	return optionFunc(func(c *config) { c.traceCap = n })
 }
 
 // WithFullScan puts every home's engine in full-scan (oracle) mode.

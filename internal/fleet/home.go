@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/vocab"
 )
@@ -61,7 +62,7 @@ type eventMsg struct {
 	fast         *ingest.Event
 }
 
-func newHome(id string, c *config, batch engine.BatchDispatcher) *Home {
+func newHome(id string, c *config, batch engine.BatchDispatcher, sm *obs.ShardMetrics) *Home {
 	lex := c.lexicon(id)
 	h := &Home{
 		id:         id,
@@ -76,6 +77,12 @@ func newHome(id string, c *config, batch engine.BatchDispatcher) *Home {
 	engineOpts := []engine.Option{
 		engine.WithEventTTL(c.eventTTL),
 		engine.WithBatchDispatcher(batch),
+	}
+	if sm != nil {
+		engineOpts = append(engineOpts, engine.WithMetrics(&sm.Engine))
+	}
+	if c.traceCap > 0 {
+		engineOpts = append(engineOpts, engine.WithTrace(c.traceCap))
 	}
 	if c.logLimit > 0 {
 		engineOpts = append(engineOpts, engine.WithLogLimit(c.logLimit))

@@ -3,13 +3,17 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ingest"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/vocab"
 )
@@ -28,10 +32,13 @@ import (
 //	                                      "context"}
 //	GET    /fleet/homes/{home}/log                                fired actions of the home
 //	GET    /fleet/homes/{home}/stats                              home counters + symbol footprint
+//	GET    /fleet/homes/{home}/trace  ?rule=&device=&n=           firing-trace ring: why each
+//	                                                              device picked its rule
 //	POST   /fleet/homes/{home}/compact                            force a symbol-compaction epoch
 //	GET    /fleet/homes                                           list home ids
-//	GET    /fleet/stats                                           hub counters
+//	GET    /fleet/stats                                           hub counters + metric totals
 //	POST   /fleet/compact                                         snapshot + truncate store
+//	GET    /metrics                                               Prometheus text exposition
 type HTTPHandler struct {
 	hub       *Hub
 	mux       *http.ServeMux
@@ -62,6 +69,7 @@ func NewEventSink(hub *Hub, limits ingest.Limits, opts ...ingest.SinkOption) *in
 	base := []ingest.SinkOption{
 		ingest.WithMaxBody(maxEventBody),
 		ingest.WithAdmission(ingest.NewAdmission(limits, hub.Backlog)),
+		ingest.WithSinkMetrics(hub.metrics),
 		ingest.WithStatusMapper(errorStatus),
 	}
 	return ingest.NewSink(hub, append(base, opts...)...)
@@ -86,10 +94,12 @@ func NewHTTPHandler(hub *Hub, opts ...HandlerOption) *HTTPHandler {
 	h.mux.HandleFunc("POST /fleet/homes/{home}/priority", h.postPriority)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/log", h.getLog)
 	h.mux.HandleFunc("GET /fleet/homes/{home}/stats", h.getHomeStats)
+	h.mux.HandleFunc("GET /fleet/homes/{home}/trace", h.getTrace)
 	h.mux.HandleFunc("POST /fleet/homes/{home}/compact", h.postHomeCompact)
 	h.mux.HandleFunc("GET /fleet/homes", h.getHomes)
 	h.mux.HandleFunc("GET /fleet/stats", h.getStats)
 	h.mux.HandleFunc("POST /fleet/compact", h.postCompact)
+	h.mux.HandleFunc("GET /metrics", h.getMetrics)
 	return h
 }
 
@@ -398,13 +408,130 @@ func (h *HTTPHandler) getHomes(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, homes)
 }
 
+// statsBody extends the hub's counters with the metric registry's totals and
+// the admission controller's shed counters, so one stats call answers "what
+// is the fleet doing" without a second scrape.
+type statsBody struct {
+	Stats
+	Totals    obs.Totals             `json:"totals"`
+	Admission *ingest.AdmissionStats `json:"admission,omitempty"`
+}
+
 func (h *HTTPHandler) getStats(w http.ResponseWriter, _ *http.Request) {
 	st, err := h.hub.Stats()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	body := statsBody{Stats: st, Totals: h.hub.metrics.Totals()}
+	if adm := h.admission(); adm != nil {
+		s := adm.Stats()
+		body.Admission = &s
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// admission digs the admission controller out of the configured event sink;
+// nil when the stock handler serves events or admission is disabled.
+func (h *HTTPHandler) admission() *ingest.Admission {
+	if s, ok := h.eventSink.(*ingest.Sink); ok {
+		return s.Admission()
+	}
+	return nil
+}
+
+// getMetrics is the Prometheus text endpoint: the registry's counters and
+// histograms (flushed via the hub's barrier), plus the transport-side gauges
+// that live outside the registry — admission shed counts, posted events and
+// per-shard queue depths.
+func (h *HTTPHandler) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := h.hub.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WritePrometheus(w)
+
+	fmt.Fprintf(w, "# HELP cadel_events_posted_total Device events accepted by the hub.\n")
+	fmt.Fprintf(w, "# TYPE cadel_events_posted_total counter\n")
+	fmt.Fprintf(w, "cadel_events_posted_total %d\n", h.hub.EventsAccepted())
+
+	if adm := h.admission(); adm != nil {
+		st := adm.Stats()
+		fmt.Fprintf(w, "# HELP cadel_ingest_shed_total Events refused by admission control.\n")
+		fmt.Fprintf(w, "# TYPE cadel_ingest_shed_total counter\n")
+		fmt.Fprintf(w, "cadel_ingest_shed_total{cause=\"rate\"} %d\n", st.ShedRate)
+		fmt.Fprintf(w, "cadel_ingest_shed_total{cause=\"backlog\"} %d\n", st.ShedBacklog)
+	}
+
+	fmt.Fprintf(w, "# HELP cadel_shard_queue_depth Tasks waiting in each shard mailbox.\n")
+	fmt.Fprintf(w, "# TYPE cadel_shard_queue_depth gauge\n")
+	for i, depth := range h.hub.ShardQueues() {
+		fmt.Fprintf(w, "cadel_shard_queue_depth{shard=\"%d\"} %d\n", i, depth)
+	}
+}
+
+// getTrace serves a home's firing-trace ring with explain filters:
+// ?device= keeps decisions for one device (by key or bare name), ?rule=
+// keeps decisions where the rule won or lost, ?n= keeps the newest n passes.
+func (h *HTTPHandler) getTrace(w http.ResponseWriter, r *http.Request) {
+	traces, err := h.hub.Trace(r.PathValue("home"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	traces = filterTraces(traces, q.Get("rule"), q.Get("device"))
+	if nStr := q.Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "fleet: bad n"})
+			return
+		}
+		if n < len(traces) {
+			traces = traces[len(traces)-n:]
+		}
+	}
+	if traces == nil {
+		traces = []engine.PassTrace{}
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+// filterTraces applies the rule/device explain filters: passes keep only
+// matching decisions, and passes left with none are dropped entirely.
+func filterTraces(traces []engine.PassTrace, rule, device string) []engine.PassTrace {
+	if rule == "" && device == "" {
+		return traces
+	}
+	out := make([]engine.PassTrace, 0, len(traces))
+	for _, p := range traces {
+		var decs []engine.TraceDecision
+		for _, d := range p.Decisions {
+			if device != "" && d.Device != device && !strings.HasSuffix(d.Device, "/"+device) {
+				continue
+			}
+			if rule != "" && !decisionMentions(d, rule) {
+				continue
+			}
+			decs = append(decs, d)
+		}
+		if len(decs) == 0 {
+			continue
+		}
+		p.Decisions = decs
+		out = append(out, p)
+	}
+	return out
+}
+
+func decisionMentions(d engine.TraceDecision, rule string) bool {
+	if d.Winner == rule {
+		return true
+	}
+	for _, l := range d.Losers {
+		if l.Rule == rule {
+			return true
+		}
+	}
+	return false
 }
 
 func (h *HTTPHandler) postCompact(w http.ResponseWriter, _ *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/vocab"
 )
@@ -89,6 +90,7 @@ func (m *mailbox) close() {
 type shard struct {
 	hub     *Hub
 	mb      *mailbox
+	sm      *obs.ShardMetrics // this shard's stripe of the hub's metrics
 	homes   map[string]*Home
 	pending map[string]*Home // homes with ingested-but-unevaluated events
 	spare   []task           // recycled drain buffer
@@ -159,8 +161,9 @@ func (s *shard) flush() {
 func (s *shard) home(id string) *Home {
 	hm, ok := s.homes[id]
 	if !ok {
-		hm = newHome(id, &s.hub.cfg, s.hub.batchDispatcherFor(id))
+		hm = newHome(id, &s.hub.cfg, s.hub.batchDispatcherFor(id), s.sm)
 		s.homes[id] = hm
+		s.hub.metrics.Homes.Add(1)
 	}
 	return hm
 }
@@ -175,12 +178,13 @@ type dispatchJob struct {
 
 // Hub is the sharded multi-home engine.
 type Hub struct {
-	cfg    config
-	store  Store
-	shards []*shard
-	jobs   chan dispatchJob
-	wg     sync.WaitGroup
-	poolWG sync.WaitGroup
+	cfg     config
+	store   Store
+	metrics *obs.Metrics
+	shards  []*shard
+	jobs    chan dispatchJob
+	wg      sync.WaitGroup
+	poolWG  sync.WaitGroup
 
 	mu        sync.RWMutex // guards closed against in-flight sends
 	closed    bool
@@ -198,6 +202,7 @@ func NewHub(opts ...HubOption) (*Hub, error) {
 		now:      time.Now,
 		eventTTL: 4 * time.Hour,
 		logLimit: DefaultLogLimit,
+		traceCap: DefaultTraceLimit,
 		lexicon:  func(string) *vocab.Lexicon { return vocab.Default() },
 	}
 	for _, o := range opts {
@@ -206,11 +211,12 @@ func NewHub(opts ...HubOption) (*Hub, error) {
 	if cfg.shards < 1 {
 		cfg.shards = 1
 	}
-	h := &Hub{cfg: cfg, store: cfg.store}
+	h := &Hub{cfg: cfg, store: cfg.store, metrics: obs.New(cfg.shards)}
 	for i := 0; i < cfg.shards; i++ {
 		h.shards = append(h.shards, &shard{
 			hub:     h,
 			mb:      newMailbox(),
+			sm:      h.metrics.Shard(i),
 			homes:   make(map[string]*Home),
 			pending: make(map[string]*Home),
 		})
@@ -316,6 +322,13 @@ func (h *Hub) Close() error {
 	}
 	h.mu.Unlock()
 	h.wg.Wait()
+	// Shards are stopped: drain every engine's batched metric accumulators so
+	// a post-Close scrape of the registry reads final counts.
+	for _, s := range h.shards {
+		for _, hm := range s.homes {
+			hm.engine.FlushMetrics()
+		}
+	}
 	h.stopPool()
 	if h.store != nil {
 		return h.store.Close()
@@ -386,6 +399,22 @@ func (h *Hub) Quiesce() error { return h.barrier(func(*shard) {}) }
 
 // NumShards returns the hub's shard count.
 func (h *Hub) NumShards() int { return len(h.shards) }
+
+// ShardQueues returns each shard's mailbox depth right now, in shard order —
+// the signal admission control sheds on, exposed per shard because one hot
+// shard can be saturated while the rest of the fleet idles.
+func (h *Hub) ShardQueues() []int {
+	out := make([]int, len(h.shards))
+	for i, s := range h.shards {
+		s.mb.mu.Lock()
+		out[i] = len(s.mb.queue)
+		s.mb.mu.Unlock()
+	}
+	return out
+}
+
+// EventsAccepted returns how many device events PostEvent* accepted.
+func (h *Hub) EventsAccepted() uint64 { return h.events.Load() }
 
 // ---- per-home operations ----
 // Every operation runs on the home's shard goroutine, serialized with the
@@ -772,7 +801,39 @@ func (h *Hub) append(rec Record) error {
 	if h.store == nil {
 		return nil
 	}
-	return h.store.Append(rec)
+	if err := h.store.Append(rec); err != nil {
+		return err
+	}
+	h.metrics.StoreAppends.Inc()
+	return nil
+}
+
+// Metrics returns the hub's metrics registry after a flush barrier: every
+// home engine drains its batched accumulators first, so a scrape right after
+// Quiesce observes deterministic counts. On a closed hub the barrier is a
+// no-op (Close already flushed) and the final counters are returned.
+func (h *Hub) Metrics() *obs.Metrics {
+	_ = h.barrier(func(s *shard) {
+		for _, hm := range s.homes {
+			hm.engine.FlushMetrics()
+		}
+	})
+	return h.metrics
+}
+
+// Trace returns a home's firing-trace ring, oldest pass first. It fails with
+// ErrNoHome for homes that were never written, and returns nil when tracing
+// is disabled (WithTraceLimit(0)).
+func (h *Hub) Trace(home string) ([]engine.PassTrace, error) {
+	var out []engine.PassTrace
+	err := h.do(home, func(hm *Home) error {
+		if hm == nil {
+			return ErrNoHome
+		}
+		out = hm.engine.TraceSnapshot()
+		return nil
+	})
+	return out, err
 }
 
 // ---- fleet-wide operations ----
@@ -821,11 +882,15 @@ func (h *Hub) Stats() (Stats, error) {
 	err := h.barrier(func(s *shard) {
 		st.Homes += len(s.homes)
 		for _, hm := range s.homes {
-			st.Passes += hm.engine.Passes()
-			st.Batches += hm.engine.DispatchBatches()
+			hm.engine.FlushMetrics()
 			st.Rules += hm.db.Len()
 		}
 	})
+	// Pass/batch totals come from the metrics registry (flushed by the
+	// barrier above) instead of a second per-home counter walk.
+	tot := h.metrics.Totals()
+	st.Passes = tot.Passes
+	st.Batches = tot.DispatchBatches
 	return st, err
 }
 

@@ -6,6 +6,9 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // oracleEvent mirrors the stock fleet handler's request struct; the decoder
@@ -306,16 +309,22 @@ func TestDecodeZeroAlloc(t *testing.T) {
 }
 
 // BenchmarkDecodeEvent is the CI allocation gate: the steady-state event
-// shape must decode with 0 allocs/op.
+// shape must decode with 0 allocs/op — with ingest metrics recording, as the
+// instrumented sink path does.
 func BenchmarkDecodeEvent(b *testing.B) {
 	ev := AcquireEvent()
 	defer ev.Release()
+	m := obs.New(4)
+	im := m.IngestShard("home-000042")
 	b.ReportAllocs()
 	b.SetBytes(int64(len(benchBody)))
 	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
 		if err := ev.Decode(benchBody); err != nil {
 			b.Fatal(err)
 		}
+		im.DecodeNs.Observe(uint64(time.Since(t0)))
+		im.EventsDecoded.Inc()
 	}
 }
 

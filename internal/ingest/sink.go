@@ -4,6 +4,9 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Poster is the hub-side surface the sink posts into. fleet.Hub implements
@@ -29,7 +32,8 @@ const DefaultMaxBody = 64 << 10
 // elsewhere as the correctness oracle.
 type Sink struct {
 	poster    Poster
-	admission *Admission // nil = admit everything
+	admission *Admission   // nil = admit everything
+	metrics   *obs.Metrics // nil = unobserved; stripes chosen by home hash
 	maxBody   int64
 	status    func(error) int // maps poster errors to HTTP statuses
 }
@@ -51,6 +55,13 @@ func WithAdmission(a *Admission) SinkOption {
 	return sinkOptionFunc(func(s *Sink) { s.admission = a })
 }
 
+// WithSinkMetrics records decode counts and latency into m, striped by the
+// same home hash the hub shards on (a home's transport metrics land on its
+// owning shard's block). Nil leaves the sink unobserved.
+func WithSinkMetrics(m *obs.Metrics) SinkOption {
+	return sinkOptionFunc(func(s *Sink) { s.metrics = m })
+}
+
 // WithStatusMapper overrides how poster errors map to HTTP status codes
 // (fleet wires its sentinel-error table so the sink and the oracle handler
 // answer identically).
@@ -68,6 +79,11 @@ func NewSink(p Poster, opts ...SinkOption) *Sink {
 }
 
 func defaultStatus(error) int { return http.StatusInternalServerError }
+
+// Admission exposes the sink's admission controller (nil when admission is
+// disabled) so the metrics endpoint can scrape shed counters without a
+// parallel plumbing path.
+func (s *Sink) Admission() *Admission { return s.admission }
 
 // ServeHTTP handles one event post. Status contract (kept in lockstep with
 // the oracle handler): 200 for sync posts (evaluation completed before the
@@ -100,10 +116,23 @@ func (s *Sink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	var im *obs.IngestMetrics
+	var t0 time.Time
+	if s.metrics != nil {
+		im = s.metrics.IngestShard(home)
+		t0 = time.Now()
+	}
 	if err := ev.Decode(ev.Body); err != nil {
 		ev.Release()
+		if im != nil {
+			im.DecodeErrors.Inc()
+		}
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if im != nil {
+		im.DecodeNs.Observe(uint64(time.Since(t0)))
+		im.EventsDecoded.Inc()
 	}
 	var err error
 	sync := ev.Sync
