@@ -35,7 +35,9 @@
 //	      -d '{"source":"Turn on the light at the hall.","owner":"tom"}'
 //
 // With -store the hub journals every home's rules to an append-only
-// JSON-lines log and rehydrates them on restart.
+// JSON-lines log and rehydrates them on restart; -store remote://host:port
+// journals to a cmd/logserver record-log service instead (idempotent
+// appends, retry/backoff, fail-closed degraded mode).
 //
 // In either mode -admin ADDR serves net/http/pprof on a separate listener
 // (kept off the API address so diagnostics are never publicly routed):
@@ -78,7 +80,7 @@ func run() error {
 	httpAddr := flag.String("http", "", "also serve the JSON API for interface devices (e.g. :8080)")
 	fleetAddr := flag.String("fleet", "", "run in multi-home mode, serving the fleet JSON API on this address (e.g. :8090)")
 	shards := flag.Int("shards", 0, "fleet mode: shard count (0 = one per CPU)")
-	storeDir := flag.String("store", "", "fleet mode: persist rules to this directory (append-only JSONL, rehydrated on restart)")
+	storeDir := flag.String("store", "", "fleet mode: persist rules to this directory (append-only JSONL), or to a remote log server with remote://host:port (see cmd/logserver)")
 	workers := flag.Int("dispatch-workers", 4, "fleet mode: dispatch worker pool size")
 	ingestRate := flag.Float64("ingest-rate", 0, "fleet mode: per-home event admission rate (events/sec, 0 = unlimited)")
 	ingestBurst := flag.Float64("ingest-burst", 0, "fleet mode: per-home admission burst (0 = max(rate, 1))")
@@ -202,11 +204,15 @@ func runFleet(addr string, shards int, storeDir string, workers int, limits inge
 		opts = append(opts, fleet.WithShards(shards))
 	}
 	if storeDir != "" {
-		st, err := fleet.OpenFileStore(storeDir)
-		if err != nil {
-			return err
+		if host, ok := strings.CutPrefix(storeDir, "remote://"); ok {
+			opts = append(opts, fleet.WithStore(fleet.OpenRemoteStore("http://"+host)))
+		} else {
+			st, err := fleet.OpenFileStore(storeDir)
+			if err != nil {
+				return err
+			}
+			opts = append(opts, fleet.WithStore(st))
 		}
-		opts = append(opts, fleet.WithStore(st))
 	}
 	hub, err := fleet.NewHub(opts...)
 	if err != nil {

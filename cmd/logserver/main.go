@@ -1,0 +1,66 @@
+// Command logserver runs the remote record-log service behind
+// fleet.RemoteStore: a durable, idempotent append/replay/snapshot store over
+// one fleet.FileStore directory. Point one or more home servers at it with
+//
+//	homeserver -fleet -store remote://host:9377
+//
+// and the hubs rehydrate from and journal to this node instead of a local
+// file. See internal/logserver for the protocol and internal/fleet/README.md
+// for the store contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/logserver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9377", "listen address")
+	dir := flag.String("dir", "cadel-log", "record-log store directory")
+	sync := flag.Bool("sync", true, "fsync every append before acknowledging it (group-committed)")
+	flag.Parse()
+
+	srv, err := logserver.New(logserver.Config{Dir: *dir, NoSync: !*sync})
+	if err != nil {
+		log.Fatalf("logserver: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("logserver: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The harness and scripts wait for this exact line before dialing.
+	fmt.Printf("logserver: serving on http://%s (dir=%s, sync=%v)\n", ln.Addr(), *dir, *sync)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("logserver: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("logserver: serve: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("logserver: close store: %v", err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package faultinject is the deterministic fault layer for the remote
+// record-log stack (internal/logserver + fleet.RemoteStore): everything a
+// flaky network or a dying process does to a store, reproducible from a
+// seed.
+//
+// Three seams, matching where real faults strike:
+//
+//   - Transport wraps an http.RoundTripper and injects connection timeouts,
+//     resets before and after delivery (the reset-after case performs the
+//     request and then loses the ack — the delivery the server must
+//     deduplicate), synthetic 500s, and duplicated deliveries.
+//
+//   - FlakyStore wraps a fleet.Store and injects failed appends (before the
+//     write), in-doubt appends (write lands, ack lost) and failed snapshots —
+//     the server-side view of the same faults, used to drive hub rollback
+//     paths without a network.
+//
+//   - The Crash* helpers build fleet.FaultHooks that kill the process at a
+//     chosen append or snapshot step; the crash-recovery harness runs a
+//     logserver under them in a child process and asserts recovery.
+//
+// All randomness comes from one seeded, mutex-guarded source, so a failing
+// run replays exactly from its seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fleet"
+)
+
+// Config sets the per-call probabilities (0..1) of each injected fault.
+type Config struct {
+	// Seed feeds the deterministic random source.
+	Seed int64
+
+	// TimeoutP drops the request before it is sent with a timeout error.
+	TimeoutP float64
+	// ResetBeforeP fails the request before it is sent (connection reset).
+	ResetBeforeP float64
+	// ResetAfterP performs the request, then reports a reset: the server saw
+	// and applied the request, the client never saw the ack.
+	ResetAfterP float64
+	// HTTP500P performs the request, then replaces the response with a 500.
+	HTTP500P float64
+	// DuplicateP performs the request twice (a retransmitted delivery) and
+	// returns the second response.
+	DuplicateP float64
+}
+
+// Stats counts the faults a Transport actually injected.
+type Stats struct {
+	Timeouts     uint64
+	ResetsBefore uint64
+	ResetsAfter  uint64
+	HTTP500s     uint64
+	Duplicates   uint64
+}
+
+// timeoutError satisfies net.Error with Timeout() true, like a real dial or
+// read deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultinject: request timed out" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ErrReset is the injected connection-reset error.
+var ErrReset = errors.New("faultinject: connection reset")
+
+// Transport is a fault-injecting http.RoundTripper.
+type Transport struct {
+	base http.RoundTripper
+	cfg  Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	timeouts, resetsBefore, resetsAfter, http500s, duplicates atomic.Uint64
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with the faults
+// in cfg.
+func NewTransport(cfg Config, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats reports the faults injected so far.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Timeouts:     t.timeouts.Load(),
+		ResetsBefore: t.resetsBefore.Load(),
+		ResetsAfter:  t.resetsAfter.Load(),
+		HTTP500s:     t.http500s.Load(),
+		Duplicates:   t.duplicates.Load(),
+	}
+}
+
+func (t *Transport) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64() < p
+}
+
+// perform runs the request once against the base transport, rewinding the
+// body via GetBody so one logical request can be delivered more than once.
+func (t *Transport) perform(req *http.Request) (*http.Response, error) {
+	r := req
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: rewind body: %w", err)
+		}
+		r = req.Clone(req.Context())
+		r.Body = body
+	}
+	return t.base.RoundTrip(r)
+}
+
+func drain(resp *http.Response) {
+	if resp != nil && resp.Body != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.hit(t.cfg.TimeoutP) {
+		t.timeouts.Add(1)
+		return nil, timeoutError{}
+	}
+	if t.hit(t.cfg.ResetBeforeP) {
+		t.resetsBefore.Add(1)
+		return nil, fmt.Errorf("%w before delivery", ErrReset)
+	}
+	dup := t.hit(t.cfg.DuplicateP)
+	resetAfter := t.hit(t.cfg.ResetAfterP)
+	fake500 := t.hit(t.cfg.HTTP500P)
+
+	resp, err := t.perform(req)
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		t.duplicates.Add(1)
+		drain(resp)
+		if resp, err = t.perform(req); err != nil {
+			return nil, err
+		}
+	}
+	if resetAfter {
+		t.resetsAfter.Add(1)
+		drain(resp)
+		return nil, fmt.Errorf("%w after delivery", ErrReset)
+	}
+	if fake500 {
+		t.http500s.Add(1)
+		drain(resp)
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Status:     "500 Internal Server Error (injected)",
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader("injected fault\n")),
+			Request: req,
+		}, nil
+	}
+	return resp, nil
+}
+
+// ErrInjected is the error FlakyStore returns for its injected failures.
+var ErrInjected = errors.New("faultinject: injected store fault")
+
+// FlakyStore wraps a fleet.Store with server-side append/snapshot faults.
+type FlakyStore struct {
+	inner fleet.Store
+
+	// FailBeforeP fails an Append without performing it.
+	FailBeforeP float64
+	// FailAfterP performs the Append, then reports failure: the record is
+	// durable but the caller thinks it is not (the in-doubt append).
+	FailAfterP float64
+	// SnapshotFailP fails WriteSnapshot without performing it.
+	SnapshotFailP float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFlakyStore wraps inner with seeded fault draws; set the probability
+// fields before first use.
+func NewFlakyStore(inner fleet.Store, seed int64) *FlakyStore {
+	return &FlakyStore{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *FlakyStore) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64() < p
+}
+
+// Append implements fleet.Store.
+func (s *FlakyStore) Append(rec fleet.Record) error {
+	if s.hit(s.FailBeforeP) {
+		return fmt.Errorf("%w: append refused", ErrInjected)
+	}
+	if err := s.inner.Append(rec); err != nil {
+		return err
+	}
+	if s.hit(s.FailAfterP) {
+		return fmt.Errorf("%w: append ack lost", ErrInjected)
+	}
+	return nil
+}
+
+// Replay implements fleet.Store.
+func (s *FlakyStore) Replay(fn func(fleet.Record) error) error { return s.inner.Replay(fn) }
+
+// WriteSnapshot implements fleet.Store.
+func (s *FlakyStore) WriteSnapshot(recs []fleet.Record) error {
+	if s.hit(s.SnapshotFailP) {
+		return fmt.Errorf("%w: snapshot refused", ErrInjected)
+	}
+	return s.inner.WriteSnapshot(recs)
+}
+
+// Close implements fleet.Store.
+func (s *FlakyStore) Close() error { return s.inner.Close() }
+
+// CrashOnAppend builds fleet.FaultHooks that call crash on the n'th append
+// write (1-based). With torn true, half the record reaches the WAL first —
+// the mid-append process kill; otherwise the whole record lands and the
+// crash hits before the append returns — the durable-but-unacked kill.
+// crash must not return (os.Exit in the harness's child process).
+func CrashOnAppend(n uint64, torn bool, crash func()) fleet.FaultHooks {
+	var calls atomic.Uint64
+	return fleet.FaultHooks{AppendWrite: func(w io.Writer, line []byte) (int, error) {
+		if calls.Add(1) != n {
+			return w.Write(line)
+		}
+		if torn {
+			w.Write(line[:len(line)/2])
+			crash()
+			return 0, errors.New("faultinject: crash hook returned")
+		}
+		nw, err := w.Write(line)
+		if err == nil && nw == len(line) {
+			crash()
+		}
+		return nw, errors.New("faultinject: crash hook returned")
+	}}
+}
+
+// CrashOnSnapshotStep builds fleet.FaultHooks that call crash when
+// WriteSnapshot reaches the given step. crash must not return.
+func CrashOnSnapshotStep(step fleet.SnapshotStep, crash func()) fleet.FaultHooks {
+	return fleet.FaultHooks{Snapshot: func(at fleet.SnapshotStep) error {
+		if at == step {
+			crash()
+			return errors.New("faultinject: crash hook returned")
+		}
+		return nil
+	}}
+}

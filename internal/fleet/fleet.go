@@ -22,6 +22,7 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -44,7 +45,37 @@ var (
 	// ErrNoHome marks a per-home read (stats, compaction) on a home that was
 	// never written; reads must not materialize homes.
 	ErrNoHome = errors.New("fleet: home does not exist")
+	// ErrStoreDegraded marks a write refused (or abandoned) because the
+	// durable store backend is unreachable: the hub fails the write closed —
+	// in-memory state rolls back and the HTTP layer answers 503 with a
+	// Retry-After — while reads keep serving from memory. Wrap it in a
+	// DegradedError to carry the retry hint.
+	ErrStoreDegraded = errors.New("fleet: store degraded")
 )
+
+// DegradedError is a store-degraded failure with a retry hint. It unwraps to
+// ErrStoreDegraded; the HTTP layer turns RetryAfter into a Retry-After
+// header on the 503.
+type DegradedError struct {
+	// RetryAfter is how long the caller should wait before retrying the
+	// write — the breaker's remaining cool-down, or one backoff step when the
+	// failure exhausted its retries without tripping the breaker.
+	RetryAfter time.Duration
+	// Err is the underlying transport failure; nil when the breaker refused
+	// the write without attempting it.
+	Err error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%v: %v", ErrStoreDegraded, e.Err)
+	}
+	return ErrStoreDegraded.Error()
+}
+
+// Unwrap makes errors.Is(err, ErrStoreDegraded) hold.
+func (e *DegradedError) Unwrap() error { return ErrStoreDegraded }
 
 // DefaultLogLimit is the per-home fired-action log cap applied unless
 // WithLogLimit overrides it. Long-running homes fire indefinitely, so an

@@ -131,6 +131,11 @@ func errorStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStoreDegraded):
+		// Fail-closed write path: the durable store is unreachable, the
+		// mutation was rolled back. writeError adds Retry-After from the
+		// breaker's cool-down.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, lang.ErrParse), errors.Is(err, core.ErrCompile):
 		return http.StatusBadRequest
 	case errors.Is(err, vocab.ErrDuplicate):
@@ -142,6 +147,11 @@ func errorStatus(err error) int {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	var de *DegradedError
+	if errors.As(err, &de) && de.RetryAfter > 0 {
+		secs := (de.RetryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	}
 	writeJSON(w, errorStatus(err), errorBody{Error: err.Error()})
 }
 
@@ -415,6 +425,15 @@ type statsBody struct {
 	Stats
 	Totals    obs.Totals             `json:"totals"`
 	Admission *ingest.AdmissionStats `json:"admission,omitempty"`
+	Store     *storeStatsBody        `json:"store,omitempty"`
+}
+
+// storeStatsBody is the store-backend block of /fleet/stats: the metric
+// registry's counters plus, for backends with a breaker (remote store), the
+// live health snapshot.
+type storeStatsBody struct {
+	obs.StoreTotals
+	Health *StoreHealth `json:"health,omitempty"`
 }
 
 func (h *HTTPHandler) getStats(w http.ResponseWriter, _ *http.Request) {
@@ -427,6 +446,14 @@ func (h *HTTPHandler) getStats(w http.ResponseWriter, _ *http.Request) {
 	if adm := h.admission(); adm != nil {
 		s := adm.Stats()
 		body.Admission = &s
+	}
+	if h.hub.store != nil {
+		store := &storeStatsBody{StoreTotals: h.hub.metrics.StoreTotals()}
+		if health, ok := h.hub.StoreHealth(); ok {
+			store.Health = &health
+			store.Degraded = health.Degraded // live truth beats the gauge
+		}
+		body.Store = store
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -212,6 +212,9 @@ func NewHub(opts ...HubOption) (*Hub, error) {
 		cfg.shards = 1
 	}
 	h := &Hub{cfg: cfg, store: cfg.store, metrics: obs.New(cfg.shards)}
+	if ms, ok := h.store.(interface{ SetStoreMetrics(*obs.StoreMetrics) }); ok {
+		ms.SetStoreMetrics(&h.metrics.Store)
+	}
 	for i := 0; i < cfg.shards; i++ {
 		h.shards = append(h.shards, &shard{
 			hub:     h,
@@ -255,6 +258,20 @@ func (h *Hub) replay() error {
 		}
 		return nil
 	})
+}
+
+// healthReporter is implemented by store backends with failure modes worth
+// surfacing (RemoteStore's breaker); local stores have none.
+type healthReporter interface{ StoreHealth() StoreHealth }
+
+// StoreHealth reports the attached store backend's health. ok is false when
+// no store is attached or the backend has no health to report (MemStore,
+// FileStore).
+func (h *Hub) StoreHealth() (StoreHealth, bool) {
+	if hr, ok := h.store.(healthReporter); ok {
+		return hr.StoreHealth(), true
+	}
+	return StoreHealth{}, false
 }
 
 func (h *Hub) shardFor(home string) *shard {

@@ -1,0 +1,524 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Remote record-log protocol (served by internal/logserver):
+//
+//	POST /log/append    one Record (Seq set)      → 200 {"applied","seq"}
+//	GET  /log/replay    → JSONL: records, then one seq-mark per home, then
+//	                      a replay-end record carrying the line count
+//	POST /log/snapshot  JSONL records             → 204
+//	GET  /healthz       → 200 {"homes","epoch","sync"}
+const (
+	remoteAppendPath   = "/log/append"
+	remoteReplayPath   = "/log/replay"
+	remoteSnapshotPath = "/log/snapshot"
+	remoteHealthPath   = "/healthz"
+)
+
+// AppendResponse is the log server's answer to one append. Applied is false
+// when the {home, seq} pair had already been applied — a retried or
+// duplicated delivery the server deduplicated; either way the record is
+// durable and the append succeeded.
+type AppendResponse struct {
+	Applied bool   `json:"applied"`
+	Seq     uint64 `json:"seq"`
+}
+
+// StoreHealth is a store backend's health snapshot for /fleet/stats.
+type StoreHealth struct {
+	// Degraded is true while the circuit breaker refuses writes.
+	Degraded bool `json:"degraded"`
+	// ConsecutiveFails counts append/snapshot calls that exhausted their
+	// retries since the last success.
+	ConsecutiveFails int `json:"consecutive_fails"`
+	// RetryAfterSeconds is the breaker's remaining cool-down (0 when closed).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// RemoteStore is the Store backed by a remote record-log service
+// (cmd/logserver): per-append durability and multi-node access, the backend
+// the distributed-fleet work migrates homes over.
+//
+// Every append carries a {home, seq} idempotency key — the client numbers
+// each home's appends monotonically (resuming the counters from Replay), and
+// the server applies each pair exactly once — so the client can retry
+// failed or timed-out requests freely: a request whose response was lost is
+// re-sent and deduplicated rather than double-applied. Requests run under a
+// per-attempt deadline with capped exponential backoff plus jitter between
+// attempts.
+//
+// Failure is fail-closed behind a health-gated circuit breaker: after
+// RemoteWithBreaker's threshold of consecutive exhausted-retry failures, the
+// breaker opens and writes fail immediately with a DegradedError (the hub
+// surfaces it as 503 + Retry-After and rolls the mutation back; reads keep
+// serving from memory). After the cool-down one trial write is let through:
+// success closes the breaker, failure re-opens it.
+//
+// An append that exhausts its retries is in doubt: the record may have
+// landed without its ack. The hub rolls the mutation back in memory, so a
+// restart's Replay is the reconciliation point — see the Store contract in
+// the package README.
+type RemoteStore struct {
+	base    string // http://host:port, no trailing slash
+	hc      *http.Client
+	timeout time.Duration // per attempt
+	retries int           // attempts per call
+	backoff time.Duration // first retry delay
+	cap     time.Duration // backoff ceiling
+
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // how long the breaker stays open
+
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	seq       map[string]uint64
+	fails     int
+	openUntil time.Time
+	degraded  bool
+	closed    bool
+
+	sm storeMetrics
+}
+
+// storeMetrics nil-safely wraps the hub's *obs.StoreMetrics block so an
+// unwired store (no hub, tests) costs nothing to instrument.
+type storeMetrics struct{ m *obs.StoreMetrics }
+
+func (w storeMetrics) errorInc() {
+	if w.m != nil {
+		w.m.AppendErrors.Inc()
+	}
+}
+func (w storeMetrics) retryInc() {
+	if w.m != nil {
+		w.m.AppendRetries.Inc()
+	}
+}
+func (w storeMetrics) tripInc() {
+	if w.m != nil {
+		w.m.BreakerTrips.Inc()
+	}
+}
+func (w storeMetrics) setDegraded(on bool) {
+	if w.m != nil {
+		var v int64
+		if on {
+			v = 1
+		}
+		w.m.Degraded.Set(v)
+	}
+}
+func (w storeMetrics) observeNs(ns uint64) {
+	if w.m != nil {
+		w.m.AppendNs.Observe(ns)
+	}
+}
+
+// RemoteOption configures OpenRemoteStore.
+type RemoteOption func(*RemoteStore)
+
+// RemoteWithTimeout sets the per-attempt request deadline.
+func RemoteWithTimeout(d time.Duration) RemoteOption {
+	return func(s *RemoteStore) { s.timeout = d }
+}
+
+// RemoteWithRetries sets how many attempts each call makes before giving up.
+func RemoteWithRetries(n int) RemoteOption {
+	return func(s *RemoteStore) { s.retries = n }
+}
+
+// RemoteWithBackoff sets the first retry delay and its exponential ceiling.
+func RemoteWithBackoff(first, ceil time.Duration) RemoteOption {
+	return func(s *RemoteStore) { s.backoff, s.cap = first, ceil }
+}
+
+// RemoteWithBreaker sets the circuit breaker: threshold consecutive
+// exhausted-retry failures open it for cooldown. threshold <= 0 disables the
+// breaker (every write runs its full retry budget).
+func RemoteWithBreaker(threshold int, cooldown time.Duration) RemoteOption {
+	return func(s *RemoteStore) { s.threshold, s.cooldown = threshold, cooldown }
+}
+
+// RemoteWithTransport sets the HTTP transport (fault injection, pooling).
+func RemoteWithTransport(rt http.RoundTripper) RemoteOption {
+	return func(s *RemoteStore) { s.hc.Transport = rt }
+}
+
+// RemoteWithSeed seeds the backoff jitter, making retry timing deterministic.
+func RemoteWithSeed(seed int64) RemoteOption {
+	return func(s *RemoteStore) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// RemoteWithClock injects the time source and sleeper (tests).
+func RemoteWithClock(now func() time.Time, sleep func(time.Duration)) RemoteOption {
+	return func(s *RemoteStore) { s.now, s.sleep = now, sleep }
+}
+
+// OpenRemoteStore builds a remote store client for a log server at base
+// (e.g. "http://127.0.0.1:9377"). No connection is made until the first
+// call; NewHub's replay is typically the first round trip.
+func OpenRemoteStore(base string, opts ...RemoteOption) *RemoteStore {
+	s := &RemoteStore{
+		base:      strings.TrimSuffix(base, "/"),
+		hc:        &http.Client{},
+		timeout:   2 * time.Second,
+		retries:   4,
+		backoff:   50 * time.Millisecond,
+		cap:       2 * time.Second,
+		threshold: 3,
+		cooldown:  5 * time.Second,
+		now:       time.Now,
+		sleep:     time.Sleep,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		seq:       make(map[string]uint64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Base returns the server URL the store was opened with.
+func (s *RemoteStore) Base() string { return s.base }
+
+// jitter returns d scaled by a uniform factor in [0.5, 1.0): backoff with
+// jitter so a fleet of clients does not hammer a recovering server in sync.
+func (s *RemoteStore) jitter(d time.Duration) time.Duration {
+	s.rngMu.Lock()
+	f := 0.5 + 0.5*s.rng.Float64()
+	s.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// backoffAt returns the capped exponential delay before retry attempt i.
+func (s *RemoteStore) backoffAt(i int) time.Duration {
+	d := s.backoff << uint(i)
+	if d > s.cap || d <= 0 {
+		d = s.cap
+	}
+	return s.jitter(d)
+}
+
+// admit gates a write on the breaker. It returns a DegradedError while the
+// breaker is open and inside its cool-down; once the cool-down elapses one
+// trial write proceeds (half-open).
+func (s *RemoteStore) admit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.degraded {
+		return nil
+	}
+	if wait := s.openUntil.Sub(s.now()); wait > 0 {
+		s.sm.errorInc()
+		return &DegradedError{RetryAfter: wait}
+	}
+	return nil // half-open: let one trial through
+}
+
+// success records a successful write: the breaker closes.
+func (s *RemoteStore) success() {
+	s.mu.Lock()
+	was := s.degraded
+	s.fails, s.degraded = 0, false
+	s.mu.Unlock()
+	if was {
+		s.sm.setDegraded(false)
+	}
+}
+
+// failure records a write that exhausted its retries and returns the
+// degraded error to surface: the breaker opens at the threshold (or re-opens
+// on a failed half-open trial).
+func (s *RemoteStore) failure(err error) error {
+	s.mu.Lock()
+	s.fails++
+	retryAfter := s.backoff
+	if s.threshold > 0 && (s.fails >= s.threshold || s.degraded) {
+		tripped := !s.degraded
+		s.degraded = true
+		s.openUntil = s.now().Add(s.cooldown)
+		retryAfter = s.cooldown
+		s.mu.Unlock()
+		if tripped {
+			s.sm.tripInc()
+		}
+		s.sm.setDegraded(true)
+		s.sm.errorInc()
+		return &DegradedError{RetryAfter: retryAfter, Err: err}
+	}
+	s.mu.Unlock()
+	s.sm.errorInc()
+	return &DegradedError{RetryAfter: retryAfter, Err: err}
+}
+
+// errPermanent marks a response that must not be retried (a 4xx: the request
+// itself is wrong, or the server rejected it deterministically).
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+
+// attempt runs one HTTP round trip under the per-attempt deadline and
+// returns the response body for a wantStatus response. Other statuses map to
+// retryable or permanent errors.
+func (s *RemoteStore) attempt(method, path string, body []byte, wantStatus int) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.base+path, rd)
+	if err != nil {
+		return nil, errPermanent{fmt.Errorf("fleet: remote store: %w", err)}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: remote store: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: remote store: read %s: %w", path, err)
+	}
+	if resp.StatusCode == wantStatus {
+		return data, nil
+	}
+	msg := strings.TrimSpace(string(data))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	herr := fmt.Errorf("fleet: remote store: %s %s: %s (%s)", method, path, resp.Status, msg)
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 &&
+		resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusTooManyRequests {
+		return nil, errPermanent{herr}
+	}
+	return nil, herr
+}
+
+// call runs attempt under the retry loop: capped exponential backoff with
+// jitter between attempts, permanent errors returned immediately.
+func (s *RemoteStore) call(method, path string, body []byte, wantStatus int) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < s.retries; i++ {
+		if i > 0 {
+			s.sm.retryInc()
+			s.sleep(s.backoffAt(i - 1))
+		}
+		data, err := s.attempt(method, path, body, wantStatus)
+		if err == nil {
+			return data, nil
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return nil, perm.err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// SetStoreMetrics wires the client's counters and histograms onto a hub's
+// metrics registry; NewHub calls it when the store is attached.
+func (s *RemoteStore) SetStoreMetrics(m *obs.StoreMetrics) {
+	s.sm = storeMetrics{m: m}
+}
+
+// Append implements Store: one POST per record, idempotent under retries via
+// the {home, seq} key, degraded-gated by the breaker.
+func (s *RemoteStore) Append(rec Record) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.seq[rec.Home]++
+	rec.Seq = s.seq[rec.Home]
+	s.mu.Unlock()
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: remote store: %w", err)
+	}
+	start := s.now()
+	data, err := s.call(http.MethodPost, remoteAppendPath, body, http.StatusOK)
+	if err != nil {
+		return s.failure(err)
+	}
+	var ar AppendResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		return s.failure(fmt.Errorf("fleet: remote store: append response: %w", err))
+	}
+	s.success()
+	s.sm.observeNs(uint64(s.now().Sub(start)))
+	return nil
+}
+
+// Replay implements Store. The whole stream is fetched and validated first —
+// the server terminates it with a replay-end record carrying the line count,
+// so a stream cut short by a dying server is retried instead of half
+// delivered — then handed to fn in order. Seq-marks in the stream resume the
+// per-home idempotency counters (they are consumed here, never passed on).
+func (s *RemoteStore) Replay(fn func(Record) error) error {
+	recs, err := s.fetchReplay()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *RemoteStore) fetchReplay() ([]Record, error) {
+	var lastErr error
+	for i := 0; i < s.retries; i++ {
+		if i > 0 {
+			s.sm.retryInc()
+			s.sleep(s.backoffAt(i - 1))
+		}
+		recs, err := s.attemptReplay()
+		if err == nil {
+			return recs, nil
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return nil, perm.err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fleet: remote store: replay: %w", lastErr)
+}
+
+func (s *RemoteStore) attemptReplay() ([]Record, error) {
+	// Replay streams the whole log: give it a generous multiple of the
+	// per-attempt deadline instead of the append-sized one.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*s.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+remoteReplayPath, nil)
+	if err != nil {
+		return nil, errPermanent{err}
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("replay: %s", resp.Status)
+	}
+	var recs []Record
+	var lines uint64
+	complete := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("replay: bad line: %w", err)
+		}
+		switch rec.Kind {
+		case RecordReplayEnd:
+			if rec.Epoch != lines {
+				return nil, fmt.Errorf("replay: stream claims %d lines, saw %d", rec.Epoch, lines)
+			}
+			complete = true
+		case RecordSeqMark:
+			lines++
+			s.mu.Lock()
+			if rec.Seq > s.seq[rec.Home] {
+				s.seq[rec.Home] = rec.Seq
+			}
+			s.mu.Unlock()
+		default:
+			lines++
+			s.mu.Lock()
+			if rec.Seq > s.seq[rec.Home] {
+				s.seq[rec.Home] = rec.Seq
+			}
+			s.mu.Unlock()
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if !complete {
+		return nil, errors.New("replay: stream ended without replay-end record")
+	}
+	return recs, nil
+}
+
+// WriteSnapshot implements Store: the records stream to the server as JSON
+// lines and atomically replace its state. Retried snapshots are naturally
+// idempotent (same records, same result).
+func (s *RemoteStore) WriteSnapshot(recs []Record) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("fleet: remote store: snapshot: %w", err)
+		}
+	}
+	if _, err := s.call(http.MethodPost, remoteSnapshotPath, buf.Bytes(), http.StatusNoContent); err != nil {
+		return s.failure(err)
+	}
+	s.success()
+	return nil
+}
+
+// Close implements Store. The server is a shared service; closing the client
+// only stops this hub's use of it.
+func (s *RemoteStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// StoreHealth reports the breaker state for /fleet/stats.
+func (s *RemoteStore) StoreHealth() StoreHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := StoreHealth{Degraded: s.degraded, ConsecutiveFails: s.fails}
+	if s.degraded {
+		if wait := s.openUntil.Sub(s.now()); wait > 0 {
+			h.RetryAfterSeconds = int((wait + time.Second - 1) / time.Second)
+		}
+	}
+	return h
+}

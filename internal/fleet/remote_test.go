@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock is a hand-advanced time source whose sleep only records.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// okAppendHandler acks every append, recording the records it saw.
+func okAppendHandler(mu *sync.Mutex, got *[]Record) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var rec Record
+		if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		*got = append(*got, rec)
+		mu.Unlock()
+		json.NewEncoder(w).Encode(AppendResponse{Applied: true, Seq: rec.Seq})
+	}
+}
+
+func testRemote(url string, clock *fakeClock, opts ...RemoteOption) *RemoteStore {
+	base := []RemoteOption{
+		RemoteWithSeed(1),
+		RemoteWithTimeout(2 * time.Second),
+		RemoteWithBackoff(time.Millisecond, 8*time.Millisecond),
+		RemoteWithClock(clock.Now, clock.Sleep),
+	}
+	return OpenRemoteStore(url, append(base, opts...)...)
+}
+
+func TestRemoteAppendAssignsMonotonicSeqPerHome(t *testing.T) {
+	var mu sync.Mutex
+	var got []Record
+	ts := httptest.NewServer(okAppendHandler(&mu, &got))
+	defer ts.Close()
+	s := testRemote(ts.URL, newFakeClock())
+	for _, home := range []string{"a", "a", "b", "a"} {
+		if err := s.Append(Record{Home: home, Kind: RecordRule, ID: "r"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{1, 2, 1, 3}
+	for i, rec := range got {
+		if rec.Seq != want[i] {
+			t.Fatalf("append %d (home %s) seq = %d, want %d", i, rec.Home, rec.Seq, want[i])
+		}
+	}
+}
+
+func TestRemoteAppendRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Uint64
+	var mu sync.Mutex
+	var got []Record
+	ok := okAppendHandler(&mu, &got)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		ok(w, r)
+	}))
+	defer ts.Close()
+	clock := newFakeClock()
+	s := testRemote(ts.URL, clock, RemoteWithRetries(4))
+	if err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r"}); err != nil {
+		t.Fatalf("append through transient 500s: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("requests = %d, want 3 (two 500s then success)", n)
+	}
+	if len(clock.sleeps) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2", clock.sleeps)
+	}
+	// Capped exponential with jitter in [0.5, 1.0): sleep i sits inside
+	// (0, base<<i].
+	for i, d := range clock.sleeps {
+		max := time.Millisecond << uint(i)
+		if d <= 0 || d > max {
+			t.Fatalf("sleep %d = %v, want in (0, %v]", i, d, max)
+		}
+	}
+}
+
+func TestRemoteBreakerOpensFailsFastAndRecovers(t *testing.T) {
+	var calls atomic.Uint64
+	var failing atomic.Bool
+	failing.Store(true)
+	var mu sync.Mutex
+	var got []Record
+	ok := okAppendHandler(&mu, &got)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if failing.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		ok(w, r)
+	}))
+	defer ts.Close()
+	clock := newFakeClock()
+	s := testRemote(ts.URL, clock,
+		RemoteWithRetries(2), RemoteWithBreaker(2, 10*time.Second))
+
+	// Failure 1: below the threshold — degraded error, breaker still closed.
+	err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r1"})
+	if !errors.Is(err, ErrStoreDegraded) {
+		t.Fatalf("append = %v, want ErrStoreDegraded", err)
+	}
+	if h := s.StoreHealth(); h.Degraded || h.ConsecutiveFails != 1 {
+		t.Fatalf("health after one failure = %+v", h)
+	}
+
+	// Failure 2: trips the breaker.
+	if err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r2"}); !errors.Is(err, ErrStoreDegraded) {
+		t.Fatalf("append = %v, want ErrStoreDegraded", err)
+	}
+	if h := s.StoreHealth(); !h.Degraded || h.RetryAfterSeconds != 10 {
+		t.Fatalf("health after trip = %+v, want degraded with 10s retry-after", h)
+	}
+
+	// Open breaker: writes fail fast without touching the network.
+	before := calls.Load()
+	err = s.Append(Record{Home: "a", Kind: RecordRule, ID: "r3"})
+	var de *DegradedError
+	if !errors.As(err, &de) || de.RetryAfter <= 0 {
+		t.Fatalf("fail-fast append = %v, want DegradedError with RetryAfter", err)
+	}
+	if calls.Load() != before {
+		t.Fatal("open breaker still sent a request")
+	}
+
+	// Cool-down elapses, server healthy again: the half-open trial closes it.
+	failing.Store(false)
+	clock.Advance(11 * time.Second)
+	if err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r4"}); err != nil {
+		t.Fatalf("half-open trial append = %v", err)
+	}
+	if h := s.StoreHealth(); h.Degraded || h.ConsecutiveFails != 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+func TestRemotePermanent4xxDoesNotRetry(t *testing.T) {
+	var calls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad record", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	s := testRemote(ts.URL, newFakeClock(), RemoteWithRetries(5))
+	if err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r"}); err == nil {
+		t.Fatal("append against a 400 endpoint succeeded")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("requests = %d, want 1 (4xx is permanent)", n)
+	}
+}
+
+// replayHandler streams lines verbatim.
+func replayHandler(lines ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+func TestRemoteReplayRejectsTruncatedStream(t *testing.T) {
+	// No replay-end trailer: the stream must be treated as incomplete.
+	ts := httptest.NewServer(replayHandler(
+		`{"home":"a","kind":"rule","id":"r1","seq":1}`,
+	))
+	defer ts.Close()
+	s := testRemote(ts.URL, newFakeClock(), RemoteWithRetries(2))
+	err := s.Replay(func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("replay of a truncated stream succeeded")
+	}
+}
+
+func TestRemoteReplayRejectsWrongLineCount(t *testing.T) {
+	ts := httptest.NewServer(replayHandler(
+		`{"home":"a","kind":"rule","id":"r1","seq":1}`,
+		`{"kind":"replay-end","epoch":5}`,
+	))
+	defer ts.Close()
+	s := testRemote(ts.URL, newFakeClock(), RemoteWithRetries(2))
+	if err := s.Replay(func(Record) error { return nil }); err == nil {
+		t.Fatal("replay with a wrong trailer count succeeded")
+	}
+}
+
+func TestRemoteReplayDeliversRecordsAndResumesSeq(t *testing.T) {
+	var mu sync.Mutex
+	var appended []Record
+	ok := okAppendHandler(&mu, &appended)
+	mux := http.NewServeMux()
+	mux.HandleFunc(remoteReplayPath, replayHandler(
+		`{"home":"a","kind":"rule","id":"r1","seq":4}`,
+		`{"home":"b","kind":"rule","id":"r2","seq":1}`,
+		`{"home":"a","kind":"seq-mark","seq":9}`,
+		`{"kind":"replay-end","epoch":3}`,
+	))
+	mux.HandleFunc(remoteAppendPath, ok)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	s := testRemote(ts.URL, newFakeClock())
+	var got []Record
+	if err := s.Replay(func(rec Record) error { got = append(got, rec); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Home: "a", Kind: RecordRule, ID: "r1", Seq: 4},
+		{Home: "b", Kind: RecordRule, ID: "r2", Seq: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay delivered %+v, want %+v (protocol records must be consumed)", got, want)
+	}
+
+	// Seq counters resume past the seq-mark (home a: 9) and the record seqs
+	// (home b: 1), so fresh appends cannot collide with applied history.
+	if err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Home: "b", Kind: RecordRule, ID: "r4"}); err != nil {
+		t.Fatal(err)
+	}
+	if appended[0].Seq != 10 || appended[1].Seq != 2 {
+		t.Fatalf("post-replay seqs = %d, %d; want 10, 2", appended[0].Seq, appended[1].Seq)
+	}
+}
+
+func TestRemoteWriteSnapshotRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var body []Record
+	mux := http.NewServeMux()
+	mux.HandleFunc(remoteSnapshotPath, func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(r.Body)
+		mu.Lock()
+		defer mu.Unlock()
+		for dec.More() {
+			var rec Record
+			if err := dec.Decode(&rec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			body = append(body, rec)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	s := testRemote(ts.URL, newFakeClock())
+	recs := []Record{
+		{Home: "a", Kind: RecordUser, User: "tom"},
+		{Home: "a", Kind: RecordRule, ID: "r1", Source: "src"},
+	}
+	if err := s.WriteSnapshot(recs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(body, recs) {
+		t.Fatalf("snapshot body = %+v, want %+v", body, recs)
+	}
+}
+
+func TestRemoteStoreMetricsWiring(t *testing.T) {
+	var calls atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(AppendResponse{Applied: true, Seq: 1})
+	}))
+	defer ts.Close()
+	clock := newFakeClock()
+	s := testRemote(ts.URL, clock, RemoteWithRetries(3), RemoteWithBreaker(1, time.Minute))
+	m := obs.New(1)
+	s.SetStoreMetrics(&m.Store)
+	if err := s.Append(Record{Home: "a", Kind: RecordRule, ID: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.StoreTotals()
+	if st.AppendRetries != 1 || st.AppendNs.Count != 1 || st.Degraded {
+		t.Fatalf("store totals after retried success = %+v", st)
+	}
+}

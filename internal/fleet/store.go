@@ -31,6 +31,17 @@ const (
 	// recordMeta is FileStore-internal: the snapshot's first line, carrying
 	// the WAL epoch the snapshot supersedes. Never surfaced through Replay.
 	recordMeta RecordKind = "meta"
+
+	// RecordSeqMark and RecordReplayEnd belong to the remote record-log
+	// protocol (internal/logserver + RemoteStore), never to a home's state.
+	// A seq-mark persists one home's last applied idempotency sequence across
+	// the server's snapshots and restarts; a replay-end record terminates the
+	// replay stream so the client can tell a complete stream from one cut
+	// short by a dying server. Neither ever reaches Hub replay: the server
+	// keeps seq-marks out of home records, and RemoteStore consumes both
+	// kinds before handing records to the hub.
+	RecordSeqMark   RecordKind = "seq-mark"
+	RecordReplayEnd RecordKind = "replay-end"
 )
 
 // Record is one persisted mutation of one home's durable state. Rules and
@@ -55,6 +66,12 @@ type Record struct {
 	Context string          `json:"context,omitempty"` // priority
 
 	Epoch uint64 `json:"epoch,omitempty"` // meta (FileStore-internal)
+
+	// Seq is the remote-store idempotency key: RemoteStore numbers each
+	// home's appends monotonically, and the log server applies a {home, seq}
+	// pair exactly once however often the transport retries or duplicates
+	// it. Zero for local stores; ignored by Hub replay.
+	Seq uint64 `json:"seq,omitempty"` // append (remote protocol), seq-mark
 }
 
 // Store persists the durable state of every home in a hub. Implementations
@@ -136,23 +153,106 @@ func walName(epoch uint64) string { return fmt.Sprintf("wal-%d.jsonl", epoch) }
 // (rename never landed) or the new snapshot + the new, empty WAL — never a
 // snapshot paired with a WAL whose records it already contains.
 //
-// Appends are buffered by the OS; the store does not fsync per record (a
-// crash can cost the torn tail of the log — see Replay). A remote KV backend
-// with real durability guarantees is a ROADMAP follow-up.
+// Durability is a per-store choice. By default appends are buffered by the
+// OS: a crash can cost the tail of the log (torn or unwritten final records
+// — see Replay), which is the right trade for a store that only shadows an
+// in-memory hub. WithSync closes that hole for stores that are themselves
+// the source of truth (the remote log server): every Append returns only
+// after its record is fsynced, with concurrent appends amortized into one
+// group-commit fsync — the first appender through syncs the file once for
+// every record written before it, and the rest return without syncing.
+//
+// Each record is marshalled to a buffer and written with a single write
+// call; a failed or short write truncates the file back to the pre-record
+// offset, so a torn line can only ever be the final one (a crash between
+// write and truncate), never followed by later successful appends.
 type FileStore struct {
-	mu    sync.Mutex
-	dir   string
-	epoch uint64
-	wal   *os.File
-	enc   *json.Encoder
+	// Lock order: syncMu before mu, everywhere both are held. Append writes
+	// under mu alone, then syncs under syncMu; WriteSnapshot and Close hold
+	// syncMu across the WAL swap so a group-commit fsync never races the old
+	// file's close.
+	mu     sync.Mutex
+	dir    string
+	epoch  uint64
+	wal    *os.File
+	size   int64        // current WAL length: the truncate-back point
+	buf    bytes.Buffer // reused per-record marshal buffer
+	enc    *json.Encoder
+	fsync  bool
+	hooks  FaultHooks
+	writes uint64 // records written to the current epoch chain (under mu)
+
+	syncMu sync.Mutex
+	synced uint64 // highest `writes` covered by a completed fsync (under syncMu)
+}
+
+// FileOption configures OpenFileStore.
+type FileOption func(*FileStore)
+
+// WithSync makes every Append durable before it returns: the record is
+// fsynced to the WAL, with concurrent appends batched into one group-commit
+// fsync so the sync cost amortizes across the burst. Without it appends ride
+// the OS page cache and a crash can lose the log's tail.
+func WithSync() FileOption {
+	return func(s *FileStore) { s.fsync = true }
+}
+
+// SnapshotStep names one failure point inside WriteSnapshot, in execution
+// order. FaultHooks.Snapshot is called with each before the corresponding
+// action runs.
+type SnapshotStep string
+
+// WriteSnapshot's failure points.
+const (
+	StepWALCreate SnapshotStep = "wal-create" // create the next epoch's empty WAL
+	StepTempWrite SnapshotStep = "temp-write" // write the snapshot temp file
+	StepTempSync  SnapshotStep = "temp-sync"  // fsync the temp file
+	StepRename    SnapshotStep = "rename"     // rename temp over the snapshot (commit point)
+	StepDirSync   SnapshotStep = "dir-sync"   // fsync the directory
+	StepCommit    SnapshotStep = "commit"     // committed; old WAL about to be removed
+)
+
+// FaultHooks are the fault-injection seams the crash tests and
+// internal/faultinject drive. Production code never sets them.
+type FaultHooks struct {
+	// AppendWrite, when set, performs Append's WAL write in place of
+	// w.Write(line) — it may write part of the line and fail, simulating a
+	// torn write the store must roll back.
+	AppendWrite func(w io.Writer, line []byte) (int, error)
+	// Snapshot runs before each step of WriteSnapshot; returning an error
+	// aborts the snapshot at that point (simulating a crash there), except at
+	// StepCommit, where the snapshot is already committed and the error is
+	// ignored. Hooks simulating a process kill call os.Exit instead of
+	// returning.
+	Snapshot func(step SnapshotStep) error
+}
+
+// SetFaultHooks installs fault-injection hooks. Test-only.
+func (s *FileStore) SetFaultHooks(h FaultHooks) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = h
+}
+
+func (s *FileStore) fault(step SnapshotStep) error {
+	if s.hooks.Snapshot == nil {
+		return nil
+	}
+	if err := s.hooks.Snapshot(step); err != nil {
+		return fmt.Errorf("fleet: snapshot: injected fault at %s: %w", step, err)
+	}
+	return nil
 }
 
 // OpenFileStore opens (creating if needed) a file store in dir.
-func OpenFileStore(dir string) (*FileStore, error) {
+func OpenFileStore(dir string, opts ...FileOption) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleet: open store: %w", err)
 	}
 	s := &FileStore{dir: dir}
+	for _, o := range opts {
+		o(s)
+	}
 	var err error
 	if s.epoch, err = snapshotEpoch(filepath.Join(dir, snapshotFile)); err != nil {
 		return nil, err
@@ -161,7 +261,28 @@ func OpenFileStore(dir string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: open store: %w", err)
 	}
-	s.enc = json.NewEncoder(s.wal)
+	st, err := s.wal.Stat()
+	if err != nil {
+		_ = s.wal.Close()
+		return nil, fmt.Errorf("fleet: open store: %w", err)
+	}
+	s.size = st.Size()
+	// A crash between a partial WAL write and its truncate-back leaves a torn
+	// final line. It must be cut off here, not merely tolerated at replay:
+	// the handle appends at EOF, so a new record written after the torn bytes
+	// would fuse with them into garbage in the MIDDLE of the log and brick
+	// the next restart.
+	if keep, err := completeWALPrefix(filepath.Join(dir, walName(s.epoch)), s.size); err != nil {
+		_ = s.wal.Close()
+		return nil, err
+	} else if keep < s.size {
+		if err := s.wal.Truncate(keep); err != nil {
+			_ = s.wal.Close()
+			return nil, fmt.Errorf("fleet: open store: truncate torn tail: %w", err)
+		}
+		s.size = keep
+	}
+	s.enc = json.NewEncoder(&s.buf)
 	s.removeStaleWALs()
 	return s, nil
 }
@@ -187,6 +308,37 @@ func snapshotEpoch(path string) (uint64, error) {
 	return meta.Epoch, nil
 }
 
+// completeWALPrefix returns the length of the WAL's complete-record prefix:
+// everything up to and including the last newline. Every record is one
+// newline-terminated line whose body cannot contain a raw newline (JSON
+// strings escape them), so any bytes after the last newline are a torn final
+// write.
+func completeWALPrefix(path string, size int64) (int64, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: open store: %w", err)
+	}
+	defer f.Close()
+	var keep, off int64
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			keep = off + int64(i) + 1
+		}
+		off += int64(n)
+		if err == io.EOF {
+			return keep, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("fleet: open store: %w", err)
+		}
+	}
+}
+
 // removeStaleWALs deletes WAL files from other epochs: either superseded by
 // a snapshot or created by a WriteSnapshot whose rename never landed.
 func (s *FileStore) removeStaleWALs() {
@@ -199,14 +351,81 @@ func (s *FileStore) removeStaleWALs() {
 	}
 }
 
-// Append implements Store.
+// Append implements Store. The record is marshalled off-file and written in
+// one call; on a failed or short write the WAL is truncated back to the
+// pre-record offset, so an append error never leaves a torn line for later
+// appends to bury (Replay tolerates a torn record only at EOF). With
+// WithSync, Append returns only after the record is fsynced (group-commit:
+// one fsync covers every record written before it).
 func (s *FileStore) Append(rec Record) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.wal == nil {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	return s.enc.Encode(rec)
+	s.buf.Reset()
+	if err := s.enc.Encode(rec); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: append: %w", err)
+	}
+	line := s.buf.Bytes()
+	var n int
+	var err error
+	if s.hooks.AppendWrite != nil {
+		n, err = s.hooks.AppendWrite(s.wal, line)
+	} else {
+		n, err = s.wal.Write(line)
+	}
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if n > 0 {
+			if terr := s.wal.Truncate(s.size); terr != nil {
+				// The WAL now ends in garbage that cannot be removed; close the
+				// store (fail-closed) rather than append after a torn line.
+				_ = s.wal.Close()
+				s.wal = nil
+				s.mu.Unlock()
+				return fmt.Errorf("fleet: append: %v; truncate failed, store closed: %w", err, terr)
+			}
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: append: %w", err)
+	}
+	s.size += int64(n)
+	s.writes++
+	mine := s.writes
+	s.mu.Unlock()
+	if s.fsync {
+		return s.syncTo(mine)
+	}
+	return nil
+}
+
+// syncTo makes the mine'th write durable. Group commit: the first appender
+// through syncMu fsyncs once for every write that landed before it; appenders
+// piled up behind it find their write already covered and return without
+// syncing. After a WAL rotation the superseded epoch's unsynced tail is dead
+// by contract (WriteSnapshot's recs replace it), so syncing the current file
+// is always sufficient.
+func (s *FileStore) syncTo(mine uint64) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.synced >= mine {
+		return nil
+	}
+	s.mu.Lock()
+	cur, wal := s.writes, s.wal
+	s.mu.Unlock()
+	if wal == nil {
+		return nil // Close fsynced on the way out
+	}
+	if err := wal.Sync(); err != nil {
+		return fmt.Errorf("fleet: append sync: %w", err)
+	}
+	s.synced = cur
+	return nil
 }
 
 // Replay implements Store. The snapshot is written atomically and must parse
@@ -265,21 +484,33 @@ func replayFile(path string, fn func(Record) error, tolerateTornTail bool) error
 
 // WriteSnapshot implements Store. The snapshot's first line names the NEW
 // (empty) WAL epoch; the rename is the commit point that atomically retires
-// the old epoch's log.
+// the old epoch's log. A failure after the rename (the commit may or may not
+// be durable) closes the store fail-closed: continuing to append to the old
+// epoch's WAL while the on-disk snapshot names the new one would silently
+// disown every later record on restart.
 func (s *FileStore) WriteSnapshot(recs []Record) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return ErrClosed
 	}
 	next := s.epoch + 1
+	if err := s.fault(StepWALCreate); err != nil {
+		return err
+	}
 	newWAL, err := os.OpenFile(filepath.Join(s.dir, walName(next)),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("fleet: snapshot: %w", err)
 	}
 	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
-	if err := writeSnapshotFile(tmp, next, recs); err != nil {
+	if err := s.writeSnapshotFile(tmp, next, recs); err != nil {
+		newWAL.Close()
+		return err
+	}
+	if err := s.fault(StepRename); err != nil {
 		newWAL.Close()
 		return err
 	}
@@ -291,13 +522,21 @@ func (s *FileStore) WriteSnapshot(recs []Record) error {
 	// the old epoch is abandoned: otherwise a power loss could revive the old
 	// snapshot, whose epoch would disown — and removeStaleWALs then delete —
 	// every record appended to the new WAL since.
-	if err := syncDir(s.dir); err != nil {
+	err = s.fault(StepDirSync)
+	if err == nil {
+		err = syncDir(s.dir)
+	}
+	if err != nil {
+		// Past the commit point with unknown durability: poison the store.
 		newWAL.Close()
+		_ = s.wal.Close()
+		s.wal = nil
 		return err
 	}
 	// Committed: appends now belong to the new epoch; the old log is dead.
+	_ = s.fault(StepCommit) // crash-only hook; the commit already happened
 	old, oldEpoch := s.wal, s.epoch
-	s.wal, s.enc, s.epoch = newWAL, json.NewEncoder(newWAL), next
+	s.wal, s.epoch, s.size = newWAL, next, 0
 	_ = old.Close()
 	_ = os.Remove(filepath.Join(s.dir, walName(oldEpoch)))
 	return nil
@@ -317,7 +556,10 @@ func syncDir(dir string) error {
 	return nil
 }
 
-func writeSnapshotFile(path string, epoch uint64, recs []Record) error {
+func (s *FileStore) writeSnapshotFile(path string, epoch uint64, recs []Record) error {
+	if err := s.fault(StepTempWrite); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("fleet: snapshot: %w", err)
@@ -338,6 +580,10 @@ func writeSnapshotFile(path string, epoch uint64, recs []Record) error {
 		f.Close()
 		return fmt.Errorf("fleet: snapshot: %w", err)
 	}
+	if err := s.fault(StepTempSync); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return fmt.Errorf("fleet: snapshot: %w", err)
@@ -348,14 +594,24 @@ func writeSnapshotFile(path string, epoch uint64, recs []Record) error {
 	return nil
 }
 
-// Close implements Store.
+// Close implements Store. With WithSync, the WAL is fsynced one last time so
+// no acknowledged append rides only the page cache past Close.
 func (s *FileStore) Close() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return nil
 	}
+	var serr error
+	if s.fsync {
+		serr = s.wal.Sync()
+	}
 	err := s.wal.Close()
 	s.wal = nil
+	if err == nil {
+		err = serr
+	}
 	return err
 }

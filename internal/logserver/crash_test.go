@@ -1,0 +1,337 @@
+package logserver_test
+
+// The crash-recovery harness: a logserver runs in a child process with a
+// fault plan that kills it (os.Exit mid-syscall, no defers, no flushes) at a
+// chosen point — half-way through a WAL write, after the write but before
+// the ack, or at a chosen step inside WriteSnapshot. A supervisor restarts
+// the dead server on the same address with the next plan while a
+// RemoteStore-driven workload retries every append until it is acked. At the
+// end, the log's replay must match a never-crashed FileStore twin fed the
+// same workload: no record lost, none doubly applied, per-home order intact.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fleet"
+	"repro/internal/logserver"
+)
+
+// TestHelperProcess is the child-process entry point: it runs a logserver
+// under the fault plan in LOGSERVER_PLAN until the plan kills it (exit 2) or
+// the supervisor does. It is a no-op under a normal `go test` run.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("LOGSERVER_HELPER") != "1" {
+		return
+	}
+	dir := os.Getenv("LOGSERVER_DIR")
+	addr := os.Getenv("LOGSERVER_ADDR")
+	plan := os.Getenv("LOGSERVER_PLAN")
+
+	srv, err := logserver.New(logserver.Config{Dir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+		os.Exit(3)
+	}
+	hooks, err := planHooks(plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+		os.Exit(3)
+	}
+	srv.Store().SetFaultHooks(hooks)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+		os.Exit(3)
+	}
+	fmt.Println("READY")
+	_ = http.Serve(ln, srv.Handler())
+	os.Exit(0)
+}
+
+// planHooks parses a fault plan:
+//
+//	none                  run clean
+//	append-kill:N         on the N'th WAL write, emit half the record and die
+//	append-kill-after:N   on the N'th WAL write, emit the whole record and die
+//	snap-kill:STEP        die when WriteSnapshot reaches STEP (fleet.SnapshotStep)
+func planHooks(plan string) (fleet.FaultHooks, error) {
+	die := func() { os.Exit(2) }
+	kind, arg, _ := strings.Cut(plan, ":")
+	switch kind {
+	case "", "none":
+		return fleet.FaultHooks{}, nil
+	case "append-kill", "append-kill-after":
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return fleet.FaultHooks{}, fmt.Errorf("plan %q: %w", plan, err)
+		}
+		return faultinject.CrashOnAppend(n, kind == "append-kill", die), nil
+	case "snap-kill":
+		return faultinject.CrashOnSnapshotStep(fleet.SnapshotStep(arg), die), nil
+	default:
+		return fleet.FaultHooks{}, fmt.Errorf("unknown plan %q", plan)
+	}
+}
+
+// supervisor runs the helper-process logserver on a fixed address, feeding it
+// one fault plan per incarnation and restarting it when a plan kills it.
+type supervisor struct {
+	t    *testing.T
+	dir  string
+	addr string
+
+	mu      sync.Mutex
+	plans   []string // remaining plans; empty means "none"
+	cmd     *exec.Cmd
+	stopped bool
+	starts  int
+}
+
+func newSupervisor(t *testing.T, dir string, plans []string) *supervisor {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	s := &supervisor{t: t, dir: dir, addr: addr, plans: plans}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.startLocked()
+	return s
+}
+
+func (s *supervisor) nextPlanLocked() string {
+	if len(s.plans) == 0 {
+		return "none"
+	}
+	plan := s.plans[0]
+	s.plans = s.plans[1:]
+	return plan
+}
+
+func (s *supervisor) startLocked() {
+	plan := s.nextPlanLocked()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperProcess$")
+	cmd.Env = append(os.Environ(),
+		"LOGSERVER_HELPER=1",
+		"LOGSERVER_DIR="+s.dir,
+		"LOGSERVER_ADDR="+s.addr,
+		"LOGSERVER_PLAN="+plan,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		s.t.Fatal(err)
+	}
+	s.cmd = cmd
+	s.starts++
+	s.t.Logf("logserver[%d] starting with plan %q on %s", s.starts, plan, s.addr)
+
+	ready := make(chan bool, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) == "READY" {
+				ready <- true
+				break
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(15 * time.Second):
+		s.t.Fatalf("logserver[%d] (plan %q) never became ready", s.starts, plan)
+	}
+
+	// Reap the incarnation; when the plan kills it, bring up the next one.
+	go func(cmd *exec.Cmd, n int) {
+		err := cmd.Wait()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.stopped {
+			return
+		}
+		s.t.Logf("logserver[%d] exited (%v); restarting", n, err)
+		s.startLocked()
+	}(cmd, s.starts)
+}
+
+func (s *supervisor) baseURL() string { return "http://" + s.addr }
+
+func (s *supervisor) stop() {
+	s.mu.Lock()
+	cmd := s.cmd
+	s.stopped = true
+	s.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+}
+
+// retryDegraded retries fn while the store reports itself degraded (the
+// window where the server is down and restarting); any other failure is
+// fatal. This is the supervised deployment mode the exactly-once claim
+// covers: the same logical record (same seq) is retried until acked.
+func retryDegraded(t *testing.T, what string, fn func() error) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		err := fn()
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, fleet.ErrStoreDegraded) {
+			t.Fatalf("%s: non-degraded failure: %v", what, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: still degraded after 60s: %v", what, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCrashRecoveryHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness forks helper processes")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runCrashScenario(t, seed)
+		})
+	}
+}
+
+func runCrashScenario(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	homes := []string{"alpha", "beta", "gamma"}
+	const total = 48
+
+	// One mid-append kill, one after-append (durable but unacked) kill, one
+	// kill inside WriteSnapshot at a seed-chosen step, then clean restarts.
+	snapSteps := []fleet.SnapshotStep{
+		fleet.StepWALCreate, fleet.StepTempWrite, fleet.StepTempSync,
+		fleet.StepRename, fleet.StepDirSync, fleet.StepCommit,
+	}
+	plans := []string{
+		fmt.Sprintf("append-kill:%d", 4+rng.Intn(8)),
+		fmt.Sprintf("append-kill-after:%d", 3+rng.Intn(8)),
+		fmt.Sprintf("snap-kill:%s", snapSteps[rng.Intn(len(snapSteps))]),
+	}
+	rng.Shuffle(len(plans), func(i, j int) { plans[i], plans[j] = plans[j], plans[i] })
+	t.Logf("plans: %v", plans)
+
+	sup := newSupervisor(t, t.TempDir(), plans)
+	defer sup.stop()
+
+	// The driver's transport is flaky on top of the crashes.
+	tr := faultinject.NewTransport(faultinject.Config{
+		Seed:        seed,
+		ResetAfterP: 0.05,
+		HTTP500P:    0.05,
+		DuplicateP:  0.10,
+	}, nil)
+	// Retries stay INSIDE one Append call: a retried call reuses the record's
+	// seq, so an append whose first delivery landed without its ack
+	// deduplicates instead of double-applying. (Calling Append again after a
+	// degraded failure would assign a fresh seq — the in-doubt window the
+	// Store contract documents.) The budget is sized to outlast a restart.
+	client := fleet.OpenRemoteStore(sup.baseURL(),
+		fleet.RemoteWithSeed(seed),
+		fleet.RemoteWithTransport(tr),
+		fleet.RemoteWithTimeout(2*time.Second),
+		fleet.RemoteWithRetries(400),
+		fleet.RemoteWithBackoff(5*time.Millisecond, 100*time.Millisecond),
+		fleet.RemoteWithBreaker(0, 0), // the supervisor is the recovery path
+	)
+
+	// The oracle: a local FileStore fed the exact same workload, no crashes.
+	oracle, err := fleet.OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+
+	var expected []fleet.Record
+	snapshotAt := map[int]bool{total / 3: true, 2 * total / 3: true}
+	for i := 0; i < total; i++ {
+		rec := fleet.Record{
+			Home: homes[rng.Intn(len(homes))], Kind: fleet.RecordRule,
+			ID: fmt.Sprintf("rec-%d", i), Owner: "tom",
+			Source: fmt.Sprintf("when temp > %d then turn off heater", rng.Intn(40)),
+		}
+		if err := client.Append(rec); err != nil {
+			t.Fatalf("append %s never acked: %v", rec.ID, err)
+		}
+		if err := oracle.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		expected = append(expected, rec)
+
+		if snapshotAt[i] {
+			recs := append([]fleet.Record(nil), expected...)
+			retryDegraded(t, "snapshot", func() error { return client.WriteSnapshot(recs) })
+			if err := oracle.WriteSnapshot(recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Logf("transport faults injected: %+v", tr.Stats())
+
+	// Verify through a clean client against the (possibly restarted) server.
+	verifier := fleet.OpenRemoteStore(sup.baseURL(),
+		fleet.RemoteWithSeed(seed+100),
+		fleet.RemoteWithTimeout(2*time.Second),
+		fleet.RemoteWithRetries(20),
+		fleet.RemoteWithBackoff(5*time.Millisecond, 100*time.Millisecond),
+		fleet.RemoteWithBreaker(0, 0),
+	)
+	var got []fleet.Record
+	retryDegraded(t, "final replay", func() error {
+		got = got[:0]
+		return verifier.Replay(func(rec fleet.Record) error { got = append(got, rec); return nil })
+	})
+
+	var want []fleet.Record
+	if err := oracle.Replay(func(rec fleet.Record) error { want = append(want, rec); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripSeq(got), stripSeq(want)) {
+		t.Fatalf("crashed server's log diverged from the never-crashed twin:\n got %d records: %+v\nwant %d records: %+v",
+			len(got), stripSeq(got), len(want), stripSeq(want))
+	}
+
+	// Exactly once: every workload record present, none twice.
+	count := map[string]int{}
+	for _, rec := range got {
+		count[rec.Home+"/"+rec.ID]++
+	}
+	if len(count) != total {
+		t.Fatalf("replay has %d distinct records, want %d", len(count), total)
+	}
+	for key, n := range count {
+		if n != 1 {
+			t.Fatalf("record %s applied %d times", key, n)
+		}
+	}
+}

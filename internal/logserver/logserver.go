@@ -1,0 +1,349 @@
+// Package logserver is the remote record-log service behind fleet.RemoteStore:
+// a small HTTP front on fleet.FileStore that makes one node's crash-atomic
+// journal a durable store for a fleet of hubs. The FileStore's snapshot/WAL
+// semantics are the correctness oracle — the server adds exactly three
+// things on top:
+//
+//   - Idempotent appends. Every append carries a {home, seq} key; the server
+//     applies each pair at most once and answers retried or duplicated
+//     deliveries with {"applied": false} instead of appending twice. Per-home
+//     sequences are monotonic with gaps allowed (a hub that rolls a mutation
+//     back burns its seq).
+//
+//   - Seq durability. The last applied seq per home must survive snapshots
+//     and restarts — otherwise a restarted server would silently deduplicate
+//     a fresh client's first writes. Appended records carry their seq in the
+//     WAL; WriteSnapshot injects one seq-mark record per home into the
+//     snapshot; boot replays both to rebuild the table.
+//
+//   - Complete replay streams. GET /log/replay ends with a replay-end record
+//     carrying the stream's line count, so a client can tell a complete
+//     stream from one cut short by a dying server and retry instead of
+//     rehydrating half a fleet.
+//
+// Endpoints:
+//
+//	POST /log/append    body: one Record (JSON, Seq > 0)   → 200 {"applied","seq"}
+//	GET  /log/replay    → JSONL: records, seq-marks, replay-end
+//	POST /log/snapshot  body: JSONL records                → 204
+//	GET  /healthz       → 200 {"records","homes","sync"}
+//
+// Appends from different homes run concurrently (and group-commit their
+// fsyncs, see fleet.WithSync); appends for one home serialize on a per-home
+// lock so a duplicated delivery racing its original blocks until the
+// original's outcome is known, rather than acking a record that never lands.
+package logserver
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fleet"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Dir is the FileStore directory.
+	Dir string
+	// NoSync opens the store without per-append fsync. The default (false)
+	// is durable appends: the server is a source of truth, not a shadow.
+	NoSync bool
+	// MaxBodyBytes caps request bodies; 0 means the default (8 MiB).
+	MaxBodyBytes int64
+}
+
+const defaultMaxBody = 8 << 20
+
+// Server is the record-log service. Create with New, mount Handler on an
+// http.Server, Close when done.
+type Server struct {
+	cfg   Config
+	store *fleet.FileStore
+
+	// global serializes whole-log operations (replay, snapshot) against
+	// appends: appends hold it shared, so they still run concurrently with
+	// each other.
+	global sync.RWMutex
+
+	mu    sync.Mutex // guards homes
+	homes map[string]*homeSeq
+
+	records atomic.Uint64 // live records (boot replay + appends since)
+}
+
+// homeSeq serializes one home's appends and tracks its idempotency highwater.
+type homeSeq struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// New opens the store in cfg.Dir and rebuilds the per-home seq table from a
+// boot replay (record seqs plus snapshot seq-marks).
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBody
+	}
+	var opts []fleet.FileOption
+	if !cfg.NoSync {
+		opts = append(opts, fleet.WithSync())
+	}
+	store, err := fleet.OpenFileStore(cfg.Dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, store: store, homes: make(map[string]*homeSeq)}
+	var n uint64
+	err = store.Replay(func(rec fleet.Record) error {
+		if rec.Seq > 0 {
+			h := s.home(rec.Home)
+			if rec.Seq > h.lastSeq {
+				h.lastSeq = rec.Seq
+			}
+		}
+		if rec.Kind != fleet.RecordSeqMark {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("logserver: boot replay: %w", err)
+	}
+	s.records.Store(n)
+	return s, nil
+}
+
+// Store exposes the underlying FileStore (fault-injection hooks in the crash
+// harness).
+func (s *Server) Store() *fleet.FileStore { return s.store }
+
+// Close closes the underlying store.
+func (s *Server) Close() error { return s.store.Close() }
+
+func (s *Server) home(name string) *homeSeq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.homes[name]
+	if h == nil {
+		h = &homeSeq{}
+		s.homes[name] = h
+	}
+	return h
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /log/append", s.handleAppend)
+	mux.HandleFunc("GET /log/replay", s.handleReplay)
+	mux.HandleFunc("POST /log/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var rec fleet.Record
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&rec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad record: %v", err)
+		return
+	}
+	if rec.Home == "" {
+		httpError(w, http.StatusBadRequest, "append requires a home")
+		return
+	}
+	if rec.Seq == 0 {
+		httpError(w, http.StatusBadRequest, "append requires a seq (idempotency key)")
+		return
+	}
+	if rec.Kind == fleet.RecordSeqMark || rec.Kind == fleet.RecordReplayEnd {
+		httpError(w, http.StatusBadRequest, "kind %q is reserved for the log protocol", rec.Kind)
+		return
+	}
+
+	s.global.RLock()
+	defer s.global.RUnlock()
+	h := s.home(rec.Home)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	applied := false
+	if rec.Seq > h.lastSeq {
+		if err := s.store.Append(rec); err != nil {
+			// FileStore.Append rolls a failed write back (or closes the store),
+			// so the record is not in the log: leave lastSeq untouched and let
+			// the client retry the same seq.
+			httpError(w, http.StatusInternalServerError, "append: %v", err)
+			return
+		}
+		h.lastSeq = rec.Seq
+		s.records.Add(1)
+		applied = true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(fleet.AppendResponse{Applied: applied, Seq: rec.Seq})
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	s.global.Lock()
+	defer s.global.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var lines uint64
+	var streamErr error
+	err := s.store.Replay(func(rec fleet.Record) error {
+		if rec.Kind == fleet.RecordSeqMark {
+			// Folded into the seq table at boot; fresh marks follow below.
+			return nil
+		}
+		if err := enc.Encode(rec); err != nil {
+			streamErr = err
+			return err
+		}
+		lines++
+		return nil
+	})
+	if err != nil && streamErr == nil {
+		// The log itself failed to replay and nothing is on the wire yet in
+		// the common case; report it. If bytes already went out, the missing
+		// replay-end record tells the client the stream is incomplete.
+		httpError(w, http.StatusInternalServerError, "replay: %v", err)
+		return
+	}
+	if err == nil {
+		for _, mark := range s.seqMarks() {
+			if err := enc.Encode(mark); err != nil {
+				return // cut stream: no replay-end, client retries
+			}
+			lines++
+		}
+		// The trailer carries the line count in Epoch so the client can verify
+		// it saw the whole stream.
+		if err := enc.Encode(fleet.Record{Kind: fleet.RecordReplayEnd, Epoch: lines}); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+}
+
+// seqMarks snapshots the seq table as seq-mark records in stable order.
+func (s *Server) seqMarks() []fleet.Record {
+	s.mu.Lock()
+	marks := make([]fleet.Record, 0, len(s.homes))
+	for name, h := range s.homes {
+		if h.lastSeq > 0 {
+			marks = append(marks, fleet.Record{Home: name, Kind: fleet.RecordSeqMark, Seq: h.lastSeq})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(marks, func(i, j int) bool { return marks[i].Home < marks[j].Home })
+	return marks
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var recs []fleet.Record
+	dec := json.NewDecoder(bufio.NewReader(body))
+	for {
+		var rec fleet.Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			httpError(w, http.StatusBadRequest, "bad snapshot record: %v", err)
+			return
+		}
+		if rec.Kind == fleet.RecordSeqMark || rec.Kind == fleet.RecordReplayEnd {
+			continue // protocol kinds are server-owned; never client state
+		}
+		recs = append(recs, rec)
+	}
+
+	s.global.Lock()
+	defer s.global.Unlock()
+	// The snapshot replaces the whole log, so it must also carry the seq
+	// table: one seq-mark per home, or a restart would forget the highwaters
+	// and deduplicate fresh writes.
+	recs = append(recs, s.seqMarks()...)
+	if err := s.store.WriteSnapshot(recs); err != nil {
+		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	var n uint64
+	for _, rec := range recs {
+		if rec.Kind != fleet.RecordSeqMark {
+			n++
+		}
+	}
+	s.records.Store(n)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	homes := len(s.homes)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"records": s.records.Load(),
+		"homes":   homes,
+		"sync":    !s.cfg.NoSync,
+	})
+}
+
+// ReadReplayStream is the client-side replay-stream parser shared by
+// fleet.RemoteStore's tests and the crash harness: it decodes a JSONL replay
+// stream, verifies the replay-end trailer, and returns the records and
+// seq-marks separately. It errors on a stream with no (or inconsistent)
+// trailer.
+func ReadReplayStream(r io.Reader) (recs, marks []fleet.Record, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var lines uint64
+	complete := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec fleet.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("logserver: replay stream: %w", err)
+		}
+		switch rec.Kind {
+		case fleet.RecordReplayEnd:
+			if rec.Epoch != lines {
+				return nil, nil, fmt.Errorf("logserver: replay stream claims %d lines, saw %d", rec.Epoch, lines)
+			}
+			complete = true
+		case fleet.RecordSeqMark:
+			lines++
+			marks = append(marks, rec)
+		default:
+			lines++
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("logserver: replay stream: %w", err)
+	}
+	if !complete {
+		return nil, nil, errors.New("logserver: replay stream ended without replay-end record")
+	}
+	return recs, marks, nil
+}

@@ -1,0 +1,263 @@
+package logserver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fleet"
+	"repro/internal/logserver"
+)
+
+func newServer(t *testing.T, dir string) (*logserver.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := logserver.New(logserver.Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func fastRemote(url string, opts ...fleet.RemoteOption) *fleet.RemoteStore {
+	base := []fleet.RemoteOption{
+		fleet.RemoteWithSeed(7),
+		fleet.RemoteWithTimeout(2 * time.Second),
+		fleet.RemoteWithBackoff(time.Millisecond, 10*time.Millisecond),
+	}
+	return fleet.OpenRemoteStore(url, append(base, opts...)...)
+}
+
+func stripSeq(recs []fleet.Record) []fleet.Record {
+	out := make([]fleet.Record, len(recs))
+	for i, rec := range recs {
+		rec.Seq = 0
+		out[i] = rec
+	}
+	return out
+}
+
+func remoteReplay(t *testing.T, s *fleet.RemoteStore) []fleet.Record {
+	t.Helper()
+	var out []fleet.Record
+	if err := s.Replay(func(rec fleet.Record) error { out = append(out, rec); return nil }); err != nil {
+		t.Fatalf("remote replay: %v", err)
+	}
+	return out
+}
+
+func postAppend(t *testing.T, url string, rec fleet.Record) fleet.AppendResponse {
+	t.Helper()
+	body, _ := json.Marshal(rec)
+	resp, err := http.Post(url+"/log/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status = %s", resp.Status)
+	}
+	var ar fleet.AppendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	return ar
+}
+
+func TestLogServerAppendDeduplicates(t *testing.T) {
+	_, ts := newServer(t, t.TempDir())
+	rec := fleet.Record{Home: "a", Kind: fleet.RecordRule, ID: "r1", Source: "src", Seq: 1}
+	if ar := postAppend(t, ts.URL, rec); !ar.Applied {
+		t.Fatalf("first delivery applied = false")
+	}
+	// The retried/duplicated delivery of the same {home, seq} must not apply.
+	if ar := postAppend(t, ts.URL, rec); ar.Applied {
+		t.Fatalf("duplicate delivery applied = true")
+	}
+	// A stale seq (lower than the highwater) is also a duplicate.
+	if ar := postAppend(t, ts.URL, fleet.Record{Home: "a", Kind: fleet.RecordRule, ID: "r0", Seq: 1}); ar.Applied {
+		t.Fatalf("stale seq applied = true")
+	}
+	s := fastRemote(ts.URL)
+	got := remoteReplay(t, s)
+	if len(got) != 1 || got[0].ID != "r1" {
+		t.Fatalf("replay = %+v, want exactly the one applied record", got)
+	}
+}
+
+func TestLogServerRejectsBadAppends(t *testing.T) {
+	_, ts := newServer(t, t.TempDir())
+	cases := []fleet.Record{
+		{Kind: fleet.RecordRule, ID: "r", Seq: 1},        // no home
+		{Home: "a", Kind: fleet.RecordRule, ID: "r"},     // no seq
+		{Home: "a", Kind: fleet.RecordSeqMark, Seq: 2},   // reserved kind
+		{Home: "a", Kind: fleet.RecordReplayEnd, Seq: 2}, // reserved kind
+	}
+	for _, rec := range cases {
+		body, _ := json.Marshal(rec)
+		resp, err := http.Post(ts.URL+"/log/append", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("append %+v status = %s, want 400", rec, resp.Status)
+		}
+	}
+}
+
+func TestLogServerRoundTripThroughRemoteStore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServer(t, dir)
+	s := fastRemote(ts.URL)
+
+	var want []fleet.Record
+	for i := 0; i < 10; i++ {
+		rec := fleet.Record{
+			Home: fmt.Sprintf("home-%d", i%3), Kind: fleet.RecordRule,
+			ID: fmt.Sprintf("r%d", i), Owner: "tom", Source: fmt.Sprintf("src-%d", i),
+		}
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	if got := stripSeq(remoteReplay(t, fastRemote(ts.URL))); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay = %+v, want %+v", got, want)
+	}
+}
+
+func TestLogServerSeqSurvivesRestartAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := logserver.New(logserver.Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	s := fastRemote(ts.URL)
+	var want []fleet.Record
+	for i := 0; i < 6; i++ {
+		rec := fleet.Record{Home: "a", Kind: fleet.RecordRule, ID: fmt.Sprintf("r%d", i), Source: "s"}
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	// Snapshot compacts the log; the seq table must ride along as seq-marks.
+	if err := s.WriteSnapshot(want); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory: a fresh client must resume at seq 7,
+	// not restart at 1 (which the server would silently deduplicate).
+	srv2, err := logserver.New(logserver.Config{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() { ts2.Close(); srv2.Close() }()
+	s2 := fastRemote(ts2.URL)
+	got := remoteReplay(t, s2)
+	if !reflect.DeepEqual(stripSeq(got), stripSeq(want)) {
+		t.Fatalf("replay after restart = %+v, want %+v", got, want)
+	}
+	extra := fleet.Record{Home: "a", Kind: fleet.RecordRule, ID: "r-extra", Source: "s"}
+	if err := s2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if ar := postAppend(t, ts2.URL, fleet.Record{Home: "a", Kind: fleet.RecordRule, ID: "dup", Seq: 6}); ar.Applied {
+		t.Fatal("pre-snapshot seq applied after restart: seq table was lost")
+	}
+	final := remoteReplay(t, fastRemote(ts2.URL))
+	if n := len(final); n != 7 {
+		t.Fatalf("final replay has %d records, want 7: %+v", n, final)
+	}
+	if last := final[len(final)-1]; last.ID != "r-extra" || last.Seq != 7 {
+		t.Fatalf("post-restart append = %+v, want r-extra with seq 7", last)
+	}
+}
+
+func TestLogServerReplayStreamHasValidTrailer(t *testing.T) {
+	_, ts := newServer(t, t.TempDir())
+	s := fastRemote(ts.URL)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(fleet.Record{Home: "a", Kind: fleet.RecordRule, ID: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/log/replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	recs, marks, err := logserver.ReadReplayStream(resp.Body)
+	if err != nil {
+		t.Fatalf("replay stream invalid: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("stream carries %d records, want 3", len(recs))
+	}
+	if len(marks) != 1 || marks[0].Home != "a" || marks[0].Seq != 3 {
+		t.Fatalf("stream seq-marks = %+v, want one mark for home a at 3", marks)
+	}
+}
+
+// TestLogServerExactlyOnceUnderFlakyTransport drives appends through a
+// fault-injecting transport — timeouts, resets before and after delivery,
+// injected 500s, duplicated deliveries — and asserts the log applied every
+// record exactly once, in per-home order.
+func TestLogServerExactlyOnceUnderFlakyTransport(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			_, ts := newServer(t, t.TempDir())
+			tr := faultinject.NewTransport(faultinject.Config{
+				Seed:         seed,
+				TimeoutP:     0.05,
+				ResetBeforeP: 0.10,
+				ResetAfterP:  0.15,
+				HTTP500P:     0.10,
+				DuplicateP:   0.15,
+			}, ts.Client().Transport)
+			s := fastRemote(ts.URL,
+				fleet.RemoteWithTransport(tr),
+				fleet.RemoteWithRetries(50),
+				fleet.RemoteWithBreaker(0, 0), // patience, not fail-fast: every append must land
+				fleet.RemoteWithTimeout(time.Second),
+			)
+			var want []fleet.Record
+			for i := 0; i < 60; i++ {
+				rec := fleet.Record{
+					Home: fmt.Sprintf("home-%d", i%4), Kind: fleet.RecordRule,
+					ID: fmt.Sprintf("r%d", i), Source: strings.Repeat("x", 1+i%5),
+				}
+				if err := s.Append(rec); err != nil {
+					t.Fatalf("append %d under faults: %v", i, err)
+				}
+				want = append(want, rec)
+			}
+			st := tr.Stats()
+			if st == (faultinject.Stats{}) {
+				t.Fatal("fault transport injected nothing; test is vacuous")
+			}
+			t.Logf("injected faults: %+v", st)
+
+			// Exactly once, in order, through a clean client.
+			got := stripSeq(remoteReplay(t, fastRemote(ts.URL)))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("replay after faulty run:\n got %d records %+v\nwant %d records", len(got), got, len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package logserver_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestLogserverSmoke is the CI round-trip smoke against a real cmd/logserver
+// process: populate a hub through the remote store, restart the hub, and
+// verify the rehydrated state matches a hub rebuilt over a local FileStore
+// fed the server's replay — the FileStore is the correctness oracle the
+// remote log must be indistinguishable from. Skipped unless
+// LOGSERVER_SMOKE_ADDR points at a running server with an empty store.
+func TestLogserverSmoke(t *testing.T) {
+	addr := os.Getenv("LOGSERVER_SMOKE_ADDR")
+	if addr == "" {
+		t.Skip("LOGSERVER_SMOKE_ADDR not set; run cmd/logserver and point it here")
+	}
+	url := "http://" + addr
+
+	hub, err := fleet.NewHub(fleet.WithShards(2), fleet.WithStore(fastRemote(url)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.RegisterUser("alpha", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Submit("alpha", "Let's call the condition that humidity is higher than 65 % "+
+		"and temperature is higher than 28 degrees hot and stuffy", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Submit("alpha", "If hot and stuffy, turn on the air conditioner "+
+		"with 25 degrees of temperature setting.", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Submit("alpha", "Turn on the light at the hall.", "tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rehydrate a fresh hub through the remote store.
+	hub2, err := fleet.NewHub(fleet.WithShards(2), fleet.WithStore(fastRemote(url)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub2.Close()
+
+	// Oracle: pour the server's replay into a local FileStore and build a hub
+	// over it; both hubs must see identical durable state.
+	recs := remoteReplay(t, fastRemote(url))
+	oracle, err := fleet.OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		rec.Seq = 0
+		if err := oracle.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub3, err := fleet.NewHub(fleet.WithShards(2), fleet.WithStore(oracle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub3.Close()
+
+	for _, h := range []*fleet.Hub{hub2, hub3} {
+		users, err := h.Users("alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(users) != 1 || users[0] != "tom" {
+			t.Fatalf("users = %v, want [tom]", users)
+		}
+	}
+	remote, err := hub2.Rules("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := hub3.Rules("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != 2 {
+		t.Fatalf("remote-backed hub has %d rules, want 2", len(remote))
+	}
+	var remoteIDs, localIDs []string
+	for _, r := range remote {
+		remoteIDs = append(remoteIDs, r.ID)
+	}
+	for _, r := range local {
+		localIDs = append(localIDs, r.ID)
+	}
+	if !reflect.DeepEqual(remoteIDs, localIDs) {
+		t.Fatalf("remote-backed rules %v != oracle-backed rules %v", remoteIDs, localIDs)
+	}
+}

@@ -105,6 +105,13 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all recorded samples.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 
+// Stats summarizes the histogram for JSON stats endpoints (scrape-side).
+func (h *Histogram) Stats() HistStats {
+	var s histSnap
+	h.addTo(&s)
+	return histStats(&s)
+}
+
 // histSnap is a scrape-time merge of one or more histograms.
 type histSnap struct {
 	buckets [histBuckets]uint64
@@ -166,6 +173,19 @@ type IngestMetrics struct {
 	DecodeNs      Histogram
 }
 
+// StoreMetrics is the hub-level block the store backend writes — the remote
+// record-log client's retry/backoff/breaker instrumentation. Store traffic is
+// mutation-scale (one append per rule/user/priority change), not event-scale,
+// so a single unsharded block is contention-free in practice; every write is
+// still one wait-free atomic op.
+type StoreMetrics struct {
+	AppendErrors  Counter   // appends that failed after exhausting retries
+	AppendRetries Counter   // individual retried append attempts
+	BreakerTrips  Counter   // circuit-breaker open transitions
+	Degraded      Gauge     // 1 while the breaker holds the store degraded
+	AppendNs      Histogram // wall duration of successful appends (incl. retries)
+}
+
 // ShardMetrics groups one hub shard's blocks. The shard's mailbox goroutine
 // owns the Engine block; transport goroutines hash each home onto its owning
 // shard's Ingest stripe (Metrics.IngestShard), so cross-shard traffic never
@@ -181,6 +201,7 @@ type ShardMetrics struct {
 type Metrics struct {
 	Homes        Gauge   // homes resident in the hub
 	StoreAppends Counter // journal records appended to the store
+	Store        StoreMetrics
 	shards       []*ShardMetrics
 }
 
@@ -242,6 +263,30 @@ type Totals struct {
 	DecodeNs        HistStats `json:"decode_ns"`
 }
 
+// StoreTotals is the store-backend aggregate for JSON stats endpoints: the
+// health signal operators read to see a flapping backend before homes start
+// shedding writes.
+type StoreTotals struct {
+	Appends       uint64    `json:"appends"`
+	AppendErrors  uint64    `json:"append_errors"`
+	AppendRetries uint64    `json:"append_retries"`
+	BreakerTrips  uint64    `json:"breaker_trips"`
+	Degraded      bool      `json:"degraded"`
+	AppendNs      HistStats `json:"append_ns"`
+}
+
+// StoreTotals summarizes the store block.
+func (m *Metrics) StoreTotals() StoreTotals {
+	return StoreTotals{
+		Appends:       m.StoreAppends.Load(),
+		AppendErrors:  m.Store.AppendErrors.Load(),
+		AppendRetries: m.Store.AppendRetries.Load(),
+		BreakerTrips:  m.Store.BreakerTrips.Load(),
+		Degraded:      m.Store.Degraded.Load() != 0,
+		AppendNs:      m.Store.AppendNs.Stats(),
+	}
+}
+
 func histStats(s *histSnap) HistStats {
 	return HistStats{
 		Count: s.count,
@@ -281,6 +326,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	t := m.Totals()
 	writeGauge(w, "cadel_homes", "Homes resident in the hub.", m.Homes.Load())
 	writeCounter(w, "cadel_store_appends_total", "Journal records appended to the fleet store.", t.StoreAppends)
+	writeCounter(w, "cadel_store_append_errors_total", "Store appends that failed after exhausting retries.", m.Store.AppendErrors.Load())
+	writeCounter(w, "cadel_store_append_retries_total", "Retried store append attempts.", m.Store.AppendRetries.Load())
+	writeCounter(w, "cadel_store_breaker_trips_total", "Store circuit-breaker open transitions.", m.Store.BreakerTrips.Load())
+	writeGauge(w, "cadel_store_degraded", "1 while the store circuit breaker holds writes degraded.", m.Store.Degraded.Load())
 	writeCounter(w, "cadel_engine_passes_total", "Evaluation passes run across all homes.", t.Passes)
 	writeCounter(w, "cadel_engine_rules_checked_total", "Candidate rules re-evaluated.", t.RulesChecked)
 	writeCounter(w, "cadel_engine_rules_fired_total", "Rule actions dispatched (arbitration winners).", t.RulesFired)
@@ -299,6 +348,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeHist(w, "cadel_engine_pass_duration_ns", "Wall duration of the locked evaluation pass (sampled every 32nd pass).", &passNs)
 	writeHist(w, "cadel_engine_dirty_keys", "Dirty dependency ids per pass (sampled every 32nd pass).", &dirty)
 	writeHist(w, "cadel_ingest_decode_duration_ns", "Wire decode duration per event.", &decodeNs)
+
+	var appendNs histSnap
+	m.Store.AppendNs.addTo(&appendNs)
+	writeHist(w, "cadel_store_append_duration_ns", "Wall duration of successful store appends, retries included.", &appendNs)
 }
 
 func writeCounter(w io.Writer, name, help string, v uint64) {
