@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +31,9 @@ import (
 
 	"repro/internal/benchwork"
 	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/ring"
+	"repro/internal/vocab"
 )
 
 type shardResult struct {
@@ -36,13 +43,25 @@ type shardResult struct {
 	CoalesceFactor float64 `json:"coalesce_factor"`
 }
 
+type migrationResult struct {
+	Homes       int     `json:"homes"`
+	Shards      int     `json:"shards"`
+	Seconds     float64 `json:"seconds"`
+	HomesPerSec float64 `json:"homes_per_sec"`
+	// Gap is the per-home availability gap: the seal-to-release window in
+	// which external posts answer 503 + Retry-After.
+	GapAvgMs float64 `json:"gap_avg_ms"`
+	GapP99Ms float64 `json:"gap_p99_ms"`
+}
+
 type report struct {
-	Name      string        `json:"name"`
-	Homes     int           `json:"homes"`
-	Events    int           `json:"events"`
-	Producers int           `json:"producers"`
-	MaxProcs  int           `json:"maxprocs"`
-	Results   []shardResult `json:"results"`
+	Name      string           `json:"name"`
+	Homes     int              `json:"homes"`
+	Events    int              `json:"events"`
+	Producers int              `json:"producers"`
+	MaxProcs  int              `json:"maxprocs"`
+	Results   []shardResult    `json:"results"`
+	Migration *migrationResult `json:"migration,omitempty"`
 }
 
 func main() {
@@ -50,6 +69,7 @@ func main() {
 	events := flag.Int("events", 200000, "number of events to ingest per shard count")
 	shardList := flag.String("shards", "1,4,16", "comma-separated shard counts")
 	producers := flag.Int("producers", 4, "event producer goroutines")
+	migrate := flag.Int("migrate", 64, "homes to migrate in the ring-migration sweep (0 = skip)")
 	out := flag.String("out", "BENCH_fleet.json", "output file")
 	flag.Parse()
 
@@ -73,6 +93,15 @@ func main() {
 		fmt.Printf("shards=%-3d %9.0f events/sec  (%.2fs, coalesce %.1f)\n",
 			n, res.EventsPerSec, res.Seconds, res.CoalesceFactor)
 	}
+	if *migrate > 0 {
+		mres, err := runMigration(*migrate, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Migration = &mres
+		fmt.Printf("migrate    %9.0f homes/sec  (gap avg %.2fms, p99 %.2fms)\n",
+			mres.HomesPerSec, mres.GapAvgMs, mres.GapP99Ms)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -81,6 +110,83 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runMigration measures ring migration: two in-process nodes on loopback
+// listeners, the source seeded with the standard fleet workload, every home
+// migrated to the target over the real transfer protocol. The availability
+// gap per home is the seal-to-release window (posts answer 503 inside it).
+func runMigration(homes, shards int) (migrationResult, error) {
+	srcHub, ids, err := benchwork.BuildHub(homes, shards)
+	if err != nil {
+		return migrationResult{}, err
+	}
+	defer func() { _ = srcHub.Close() }()
+	lex := vocab.Default()
+	dstHub, err := fleet.NewHub(
+		fleet.WithShards(shards),
+		fleet.WithClock(func() time.Time { return benchwork.Epoch }),
+		fleet.WithLexiconFactory(func(string) *vocab.Lexicon { return lex }),
+		fleet.WithLogLimit(64),
+	)
+	if err != nil {
+		return migrationResult{}, err
+	}
+	defer func() { _ = dstHub.Close() }()
+
+	srcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return migrationResult{}, err
+	}
+	defer srcLn.Close()
+	dstLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return migrationResult{}, err
+	}
+	defer dstLn.Close()
+	peers := []string{srcLn.Addr().String(), dstLn.Addr().String()}
+
+	srcNode, err := ring.NewNode(ring.NodeConfig{
+		Self: peers[0], Hub: srcHub, Handler: fleet.NewHTTPHandler(srcHub), Peers: peers})
+	if err != nil {
+		return migrationResult{}, err
+	}
+	dstNode, err := ring.NewNode(ring.NodeConfig{
+		Self: peers[1], Hub: dstHub, Handler: fleet.NewHTTPHandler(dstHub), Peers: peers})
+	if err != nil {
+		return migrationResult{}, err
+	}
+	go func() { _ = http.Serve(srcLn, srcNode) }()
+	go func() { _ = http.Serve(dstLn, dstNode) }()
+
+	gaps := make([]time.Duration, 0, homes)
+	start := time.Now()
+	for _, home := range ids {
+		t0 := time.Now()
+		if err := srcNode.Migrate(context.Background(), home, peers[1]); err != nil {
+			return migrationResult{}, fmt.Errorf("fleetbench: migrate %s: %w", home, err)
+		}
+		gaps = append(gaps, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	var sum time.Duration
+	for _, g := range gaps {
+		sum += g
+	}
+	p99 := gaps[(len(gaps)*99)/100]
+	if (len(gaps)*99)/100 >= len(gaps) {
+		p99 = gaps[len(gaps)-1]
+	}
+	return migrationResult{
+		Homes:       homes,
+		Shards:      shards,
+		Seconds:     elapsed.Seconds(),
+		HomesPerSec: float64(homes) / elapsed.Seconds(),
+		GapAvgMs:    float64(sum.Milliseconds()) / float64(len(gaps)),
+		GapP99Ms:    float64(p99.Nanoseconds()) / 1e6,
+	}, nil
 }
 
 func run(homes, events, shards, producers int) (shardResult, error) {

@@ -68,6 +68,7 @@ import (
 	"repro/internal/home"
 	"repro/internal/httpapi"
 	"repro/internal/ingest"
+	"repro/internal/ring"
 )
 
 func main() {
@@ -86,6 +87,8 @@ func run() error {
 	ingestBurst := flag.Float64("ingest-burst", 0, "fleet mode: per-home admission burst (0 = max(rate, 1))")
 	ingestBacklog := flag.Int("ingest-backlog", 0, "fleet mode: shed events once a home's shard queue exceeds this depth (0 = never)")
 	adminAddr := flag.String("admin", "", "serve net/http/pprof diagnostics on this address (e.g. localhost:6060); off by default")
+	nodeAddr := flag.String("node", "", "fleet mode: this node's advertised ring address (host:port); defaults to the -fleet address")
+	peersFlag := flag.String("peers", "", "fleet mode: comma-separated ring membership (host:port,...), or @FILE to read one address per line; empty = single-node ring")
 	flag.Parse()
 	if *adminAddr != "" {
 		// pprof registers its handlers on http.DefaultServeMux at import.
@@ -105,7 +108,11 @@ func run() error {
 	}
 	if *fleetAddr != "" {
 		limits := ingest.Limits{Rate: *ingestRate, Burst: *ingestBurst, MaxBacklog: *ingestBacklog}
-		return runFleet(*fleetAddr, *shards, *storeDir, *workers, limits)
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		return runFleet(*fleetAddr, *shards, *storeDir, *workers, limits, *nodeAddr, peers)
 	}
 
 	network := cadel.NewNetwork()
@@ -195,7 +202,38 @@ func run() error {
 // listener drains in-flight requests first, then the hub quiesces its shards
 // and flushes the store, so an orderly stop never loses accepted events or
 // journal appends.
-func runFleet(addr string, shards int, storeDir string, workers int, limits ingest.Limits) error {
+// parsePeers decodes -peers: a comma-separated list, or @FILE with one
+// address per line (blank lines and #-comments ignored) — static membership
+// for fleets managed by config file.
+func parsePeers(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if file, ok := strings.CutPrefix(spec, "@"); ok {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("read -peers file: %w", err)
+		}
+		var peers []string
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			peers = append(peers, line)
+		}
+		return peers, nil
+	}
+	var peers []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers, nil
+}
+
+func runFleet(addr string, shards int, storeDir string, workers int, limits ingest.Limits, nodeAddr string, peers []string) error {
 	opts := []fleet.HubOption{
 		fleet.WithDispatchWorkers(workers),
 		fleet.WithLogLimit(1024),
@@ -225,9 +263,36 @@ func runFleet(addr string, shards int, storeDir string, workers int, limits inge
 	}
 
 	sink := fleet.NewEventSink(hub, limits)
+	inner := fleet.NewHTTPHandler(hub, fleet.WithEventSink(sink))
+
+	// Every fleet process is a ring node, even alone: the node layer adds
+	// /healthz, /readyz and /ring, and a single-node ring grows into a fleet
+	// by POSTing a bigger membership to /ring/members.
+	self := nodeAddr
+	if self == "" {
+		self = addr
+	}
+	if strings.HasPrefix(self, ":") {
+		self = "localhost" + self
+	}
+	found := false
+	for _, p := range peers {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		peers = append(peers, self)
+	}
+	node, err := ring.NewNode(ring.NodeConfig{Self: self, Hub: hub, Handler: inner, Peers: peers})
+	if err != nil {
+		return err
+	}
+
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           fleet.NewHTTPHandler(hub, fleet.WithEventSink(sink)),
+		Handler:           node,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -245,6 +310,8 @@ func runFleet(addr string, shards int, storeDir string, workers int, limits inge
 	}
 	fmt.Printf("cadel fleet hub — %d shards, %d homes rehydrated, API at http://%s/fleet/\n",
 		st.Shards, st.Homes, display)
+	fmt.Printf("ring: node %s, members %s (probes at /healthz /readyz, status at /ring)\n",
+		node.Self(), strings.Join(node.Ring().Members(), ","))
 	if limits.Rate > 0 || limits.MaxBacklog > 0 {
 		fmt.Printf("admission: rate %g ev/s, burst %g, max backlog %d\n",
 			limits.Rate, limits.Burst, limits.MaxBacklog)
@@ -257,6 +324,9 @@ func runFleet(addr string, shards int, storeDir string, workers int, limits inge
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 	fmt.Println("\nshutting down...")
+	// Flip readiness first so supervisors and load balancers stop routing
+	// here while the listener drains in-flight requests.
+	node.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -158,6 +158,7 @@ type Engine struct {
 
 	fullScan   bool // evaluate every rule on every pass (oracle mode)
 	stringKeys bool // string-keyed context + unbound conditions (oracle mode)
+	quiet      bool // migration import: reconcile ownership, observe nothing (see SetQuiet)
 
 	passes  uint64 // evaluation passes run
 	batches uint64 // dispatch batches handed out (≤ one per pass)
@@ -731,6 +732,27 @@ func (e *Engine) Tick() {
 // the per-action Dispatcher) followed by one lock re-acquisition to append
 // the whole batch to the log — never a lock round-trip per action.
 func (e *Engine) evaluateLocked() {
+	if e.quiet {
+		// Migration import: run the pass for its state transitions (readiness
+		// cache, holds, device ownership) but keep it invisible — nothing
+		// dispatched, logged, traced or counted. The fired set the pass
+		// computes is exactly the set of rules being ADOPTED as current
+		// owners (they already fired once on the migration source).
+		e.ctx.Now = e.now()
+		em, tr := e.em, e.tr
+		e.em, e.tr = nil, nil
+		switch {
+		case e.fullScan:
+			e.fullScanPassLocked()
+		case e.stringKeys:
+			e.incrementalPassLocked()
+		default:
+			e.internedPassLocked()
+		}
+		e.em, e.tr = em, tr
+		e.mu.Unlock()
+		return
+	}
 	e.ctx.Now = e.now()
 	e.passes++
 	// Metrics: histograms are sampled every 32nd pass (two extra clock

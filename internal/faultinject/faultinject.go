@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fleet"
 )
@@ -53,15 +54,24 @@ type Config struct {
 	// DuplicateP performs the request twice (a retransmitted delivery) and
 	// returns the second response.
 	DuplicateP float64
+
+	// DelayP sleeps before delivering the request — injected network
+	// latency. The sleep is a seeded-uniform draw in (0, Delay], so a run's
+	// latency pattern replays exactly from its seed.
+	DelayP float64
+	// Delay is the maximum injected latency; zero disables DelayP.
+	Delay time.Duration
 }
 
 // Stats counts the faults a Transport actually injected.
 type Stats struct {
-	Timeouts     uint64
-	ResetsBefore uint64
-	ResetsAfter  uint64
-	HTTP500s     uint64
-	Duplicates   uint64
+	Timeouts       uint64
+	ResetsBefore   uint64
+	ResetsAfter    uint64
+	HTTP500s       uint64
+	Duplicates     uint64
+	Delays         uint64
+	PartitionDrops uint64
 }
 
 // timeoutError satisfies net.Error with Timeout() true, like a real dial or
@@ -75,6 +85,10 @@ func (timeoutError) Temporary() bool { return true }
 // ErrReset is the injected connection-reset error.
 var ErrReset = errors.New("faultinject: connection reset")
 
+// ErrPartitioned is the error a one-way-partitioned Transport returns: the
+// request was delivered and applied, the response never came back.
+var ErrPartitioned = errors.New("faultinject: response lost to one-way partition")
+
 // Transport is a fault-injecting http.RoundTripper.
 type Transport struct {
 	base http.RoundTripper
@@ -83,7 +97,13 @@ type Transport struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	timeouts, resetsBefore, resetsAfter, http500s, duplicates atomic.Uint64
+	// partitioned, while set, turns the link one-way: requests deliver (the
+	// server applies them) but every response is dropped. The asymmetric
+	// half of a network partition — the half that forces servers to
+	// deduplicate, because the client must retry what already happened.
+	partitioned atomic.Bool
+
+	timeouts, resetsBefore, resetsAfter, http500s, duplicates, delays, partitionDrops atomic.Uint64
 }
 
 // NewTransport wraps base (nil means http.DefaultTransport) with the faults
@@ -98,13 +118,23 @@ func NewTransport(cfg Config, base http.RoundTripper) *Transport {
 // Stats reports the faults injected so far.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		Timeouts:     t.timeouts.Load(),
-		ResetsBefore: t.resetsBefore.Load(),
-		ResetsAfter:  t.resetsAfter.Load(),
-		HTTP500s:     t.http500s.Load(),
-		Duplicates:   t.duplicates.Load(),
+		Timeouts:       t.timeouts.Load(),
+		ResetsBefore:   t.resetsBefore.Load(),
+		ResetsAfter:    t.resetsAfter.Load(),
+		HTTP500s:       t.http500s.Load(),
+		Duplicates:     t.duplicates.Load(),
+		Delays:         t.delays.Load(),
+		PartitionDrops: t.partitionDrops.Load(),
 	}
 }
+
+// SetPartition toggles the one-way partition: while on, every request is
+// delivered but its response is dropped with ErrPartitioned. Heal with
+// SetPartition(false).
+func (t *Transport) SetPartition(on bool) { t.partitioned.Store(on) }
+
+// Partitioned reports whether the one-way partition is active.
+func (t *Transport) Partitioned() bool { return t.partitioned.Load() }
 
 func (t *Transport) hit(p float64) bool {
 	if p <= 0 {
@@ -137,8 +167,32 @@ func drain(resp *http.Response) {
 	}
 }
 
+// sleepFor draws a seeded-uniform latency in (0, max].
+func (t *Transport) sleepFor(max time.Duration) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.rng.Int63n(int64(max))) + 1
+}
+
 // RoundTrip implements http.RoundTripper.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.cfg.Delay > 0 && t.hit(t.cfg.DelayP) {
+		t.delays.Add(1)
+		select {
+		case <-time.After(t.sleepFor(t.cfg.Delay)):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if t.partitioned.Load() {
+		resp, err := t.perform(req)
+		if err != nil {
+			return nil, err
+		}
+		drain(resp)
+		t.partitionDrops.Add(1)
+		return nil, ErrPartitioned
+	}
 	if t.hit(t.cfg.TimeoutP) {
 		t.timeouts.Add(1)
 		return nil, timeoutError{}

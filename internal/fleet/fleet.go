@@ -51,6 +51,12 @@ var (
 	// Retry-After — while reads keep serving from memory. Wrap it in a
 	// DegradedError to carry the retry hint.
 	ErrStoreDegraded = errors.New("fleet: store degraded")
+	// ErrHomeSealed marks a mutation or event on a home sealed for live
+	// migration (Hub.SealHome): the home is mid-move and accepts no new
+	// writes until the target takes over. The HTTP layer answers 503 with a
+	// Retry-After; by the time the client retries, the ring answers with a
+	// 307 to the new owner. Wrap it in a SealedError to carry the hint.
+	ErrHomeSealed = errors.New("fleet: home sealed for migration")
 )
 
 // DegradedError is a store-degraded failure with a retry hint. It unwraps to
@@ -76,6 +82,27 @@ func (e *DegradedError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrStoreDegraded) hold.
 func (e *DegradedError) Unwrap() error { return ErrStoreDegraded }
+
+// DefaultSealRetryAfter is the Retry-After hint handed to clients that hit a
+// sealed home. Migrations are sub-second in practice; one second keeps dumb
+// retry loops from hammering the source while it snapshots.
+const DefaultSealRetryAfter = time.Second
+
+// SealedError is a write refused because the home is sealed for migration.
+// It unwraps to ErrHomeSealed; the HTTP layer turns RetryAfter into a
+// Retry-After header on the 503.
+type SealedError struct {
+	Home       string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *SealedError) Error() string {
+	return fmt.Sprintf("%v: %q", ErrHomeSealed, e.Home)
+}
+
+// Unwrap makes errors.Is(err, ErrHomeSealed) hold.
+func (e *SealedError) Unwrap() error { return ErrHomeSealed }
 
 // DefaultLogLimit is the per-home fired-action log cap applied unless
 // WithLogLimit overrides it. Long-running homes fire indefinitely, so an

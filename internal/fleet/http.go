@@ -71,6 +71,7 @@ func NewEventSink(hub *Hub, limits ingest.Limits, opts ...ingest.SinkOption) *in
 		ingest.WithAdmission(ingest.NewAdmission(limits, hub.Backlog)),
 		ingest.WithSinkMetrics(hub.metrics),
 		ingest.WithStatusMapper(errorStatus),
+		ingest.WithRetryHinter(errorRetrySeconds),
 	}
 	return ingest.NewSink(hub, append(base, opts...)...)
 }
@@ -136,6 +137,10 @@ func errorStatus(err error) int {
 		// mutation was rolled back. writeError adds Retry-After from the
 		// breaker's cool-down.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrHomeSealed):
+		// The home is mid-migration; by the time the Retry-After elapses the
+		// ring answers with a 307 to the new owner.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, lang.ErrParse), errors.Is(err, core.ErrCompile):
 		return http.StatusBadRequest
 	case errors.Is(err, vocab.ErrDuplicate):
@@ -146,11 +151,28 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// errorRetrySeconds maps an error to the Retry-After hint in whole seconds
+// (0 = no hint). Shared by the stock handler and the fast event sink, so a
+// sealed or degraded home answers with the same cool-down on both paths.
+func errorRetrySeconds(err error) int {
+	var retryAfter time.Duration
 	var de *DegradedError
-	if errors.As(err, &de) && de.RetryAfter > 0 {
-		secs := (de.RetryAfter + time.Second - 1) / time.Second
-		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	var se *SealedError
+	switch {
+	case errors.As(err, &de):
+		retryAfter = de.RetryAfter
+	case errors.As(err, &se):
+		retryAfter = se.RetryAfter
+	}
+	if retryAfter <= 0 {
+		return 0
+	}
+	return int((retryAfter + time.Second - 1) / time.Second)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	if secs := errorRetrySeconds(err); secs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, errorStatus(err), errorBody{Error: err.Error()})
 }

@@ -190,6 +190,13 @@ type Hub struct {
 	closed    bool
 	compactMu sync.Mutex // serializes Compact's stop-the-world pause
 
+	// Migration seals (see migrate.go). sealedN is the hot-path fast gate:
+	// the ingest path pays one atomic load while nothing in the fleet is
+	// sealed, keeping steady-state posts allocation- and lock-free.
+	sealMu      sync.RWMutex
+	sealedHomes map[string]struct{}
+	sealedN     atomic.Int32
+
 	events atomic.Uint64 // events accepted by PostEvent[Sync]
 }
 
@@ -211,7 +218,8 @@ func NewHub(opts ...HubOption) (*Hub, error) {
 	if cfg.shards < 1 {
 		cfg.shards = 1
 	}
-	h := &Hub{cfg: cfg, store: cfg.store, metrics: obs.New(cfg.shards)}
+	h := &Hub{cfg: cfg, store: cfg.store, metrics: obs.New(cfg.shards),
+		sealedHomes: make(map[string]struct{})}
 	if ms, ok := h.store.(interface{ SetStoreMetrics(*obs.StoreMetrics) }); ok {
 		ms.SetStoreMetrics(&h.metrics.Store)
 	}
@@ -246,13 +254,36 @@ func NewHub(opts ...HubOption) (*Hub, error) {
 }
 
 // replay rehydrates every home from the store. It runs before the shard
-// goroutines start, so it touches shard state directly.
+// goroutines start, so it touches shard state directly. Rehydration runs the
+// engines in quiet mode: replayed rules whose conditions hold on the rebuilt
+// context are adopted as device owners without dispatching — the actions
+// fired in the process's previous life, and a restart must not fire them
+// again (the same exactly-once argument migration import relies on).
 func (h *Hub) replay() error {
+	defer func() {
+		for _, s := range h.shards {
+			for _, hm := range s.homes {
+				hm.engine.SetQuiet(false)
+			}
+		}
+	}()
 	return h.store.Replay(func(rec Record) error {
 		if rec.Home == "" {
 			return errors.New("fleet: record without home")
 		}
-		hm := h.shardFor(rec.Home).home(rec.Home)
+		s := h.shardFor(rec.Home)
+		if rec.Kind == RecordHomeReset {
+			// Migration tombstone: discard everything replayed for this home
+			// so far. A released home stays gone; an interrupted import's
+			// partial records are superseded by the retry that follows.
+			if _, ok := s.homes[rec.Home]; ok {
+				delete(s.homes, rec.Home)
+				h.metrics.Homes.Add(-1)
+			}
+			return nil
+		}
+		hm := s.home(rec.Home)
+		hm.engine.SetQuiet(true) // idempotent; lifted when replay finishes
 		if err := hm.applyRecord(rec); err != nil {
 			return fmt.Errorf("fleet: replay home %q: %w", rec.Home, err)
 		}
@@ -443,6 +474,9 @@ func (h *Hub) EventsAccepted() uint64 { return h.events.Load() }
 
 // RegisterUser adds a user to a home, creating the home on first touch.
 func (h *Hub) RegisterUser(home, name string, favorites ...string) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	return h.doCreate(home, func(hm *Home) error {
 		if err := hm.RegisterUser(name, favorites...); err != nil {
 			return err
@@ -469,6 +503,9 @@ func (h *Hub) Users(home string) ([]string, error) {
 
 // SetFavorites replaces a user's favourite keywords.
 func (h *Hub) SetFavorites(home, user string, keywords []string) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	return h.doCreate(home, func(hm *Home) error {
 		old, had := hm.favorites[vocab.Normalize(user)]
 		hm.SetFavorites(user, keywords)
@@ -487,6 +524,9 @@ func (h *Hub) SetFavorites(home, user string, keywords []string) error {
 
 // Submit parses and registers one CADEL command for a home (see Home.Submit).
 func (h *Hub) Submit(home, source, owner string) (*Result, error) {
+	if err := h.sealedErr(home); err != nil {
+		return nil, err
+	}
 	var res *Result
 	err := h.doCreate(home, func(hm *Home) error {
 		var err error
@@ -524,6 +564,9 @@ func (h *Hub) Submit(home, source, owner string) (*Result, error) {
 
 // RemoveRule deletes a home's rule by id.
 func (h *Hub) RemoveRule(home, id string) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	return h.do(home, func(hm *Home) error {
 		if hm == nil {
 			return fmt.Errorf("%w: %q", registry.ErrNotFound, id)
@@ -586,6 +629,9 @@ func (h *Hub) ExportRules(home string) ([]byte, error) {
 // store append fails are rolled back, so the reported count matches what a
 // restart would rehydrate.
 func (h *Hub) ImportRules(home string, data []byte) (int, error) {
+	if err := h.sealedErr(home); err != nil {
+		return 0, err
+	}
 	var n int
 	err := h.doCreate(home, func(hm *Home) error {
 		var recs []registry.Record
@@ -609,6 +655,9 @@ func (h *Hub) ImportRules(home string, data []byte) (int, error) {
 // store append is reported but not rolled back (the previous order is
 // overwritten in place); the caller should retry.
 func (h *Hub) SetPriority(home string, ref core.DeviceRef, users []string, contextSource string) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	return h.doCreate(home, func(hm *Home) error {
 		if err := hm.SetPriority(ref, users, contextSource); err != nil {
 			return err
@@ -637,6 +686,18 @@ func (h *Hub) PriorityOrders(home string, ref core.DeviceRef) ([]conflict.Order,
 // home are applied in posting order; a backlog coalesces into a single
 // evaluation pass. The hub takes ownership of vars.
 func (h *Hub) PostEvent(home, deviceType, friendlyName, location string, vars map[string]string) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
+	return h.PostEventFeedback(home, deviceType, friendlyName, location, vars)
+}
+
+// PostEventFeedback is PostEvent without the migration-seal check: the entry
+// point for dispatch-feedback chains (an actuated appliance notifying its own
+// property change from a Dispatcher or OnFire callback). A sealed home's
+// in-flight chains keep draining through here — the coordinator's quiesce
+// loop waits for them — while new external posts bounce with 503.
+func (h *Hub) PostEventFeedback(home, deviceType, friendlyName, location string, vars map[string]string) error {
 	err := h.send(home, task{home: home, create: true, event: &eventMsg{
 		deviceType: deviceType, friendlyName: friendlyName, location: location, vars: vars,
 	}})
@@ -649,6 +710,9 @@ func (h *Hub) PostEvent(home, deviceType, friendlyName, location string, vars ma
 // PostEventSync ingests a device event and waits until the home has
 // evaluated it.
 func (h *Hub) PostEventSync(home, deviceType, friendlyName, location string, vars map[string]string) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	done := make(chan struct{})
 	err := h.send(home, task{home: home, create: true, event: &eventMsg{
 		deviceType: deviceType, friendlyName: friendlyName, location: location, vars: vars,
@@ -666,6 +730,9 @@ func (h *Hub) PostEventSync(home, deviceType, friendlyName, location string, var
 // releases it to the pool after the home applies it; on error the caller
 // still owns ev. This is the ingest.Poster surface the fast sink posts into.
 func (h *Hub) PostEventFast(home string, ev *ingest.Event) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	err := h.send(home, task{home: home, create: true, event: &eventMsg{fast: ev}})
 	if err == nil {
 		h.events.Add(1)
@@ -677,6 +744,9 @@ func (h *Hub) PostEventFast(home string, ev *ingest.Event) error {
 // the event. Ownership transfers as in PostEventFast; ev is already released
 // by the time this returns.
 func (h *Hub) PostEventFastSync(home string, ev *ingest.Event) error {
+	if err := h.sealedErr(home); err != nil {
+		return err
+	}
 	done := make(chan struct{})
 	err := h.send(home, task{home: home, create: true, event: &eventMsg{fast: ev}, done: done})
 	if err != nil {

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// This file is the hub's half of live home migration (see internal/ring for
+// the coordinator): sealing a home against new writes, exporting its full
+// state (durable records + volatile engine state), importing that state on a
+// target hub without re-firing anything, and releasing ownership on the
+// source once the target has acked.
+//
+// Protocol order on the source: SealHome → Quiesce (drain, repeated until
+// the home's backlog is empty — dispatch-feedback chains keep draining
+// through PostEventFeedback while the seal holds) → ExportHome → transfer →
+// ReleaseHome after the target acks. On any failure before the ack:
+// UnsealHome and the home keeps serving where it is.
+
+// HomeExport is one home's complete migratable state: the durable store
+// records (users, words, rules, priorities — rule ids preserved) plus the
+// engine's volatile state (context values with original timestamps, the
+// fired-action log).
+type HomeExport struct {
+	Home    string
+	Records []Record
+	State   *engine.StateExport
+}
+
+// sealedErr reports a SealedError when home is sealed for migration. The
+// fast path is one atomic load (zero when nothing in the fleet is sealed),
+// so the steady-state ingest path stays allocation-free.
+func (h *Hub) sealedErr(home string) error {
+	if h.sealedN.Load() == 0 {
+		return nil
+	}
+	h.sealMu.RLock()
+	_, sealed := h.sealedHomes[home]
+	h.sealMu.RUnlock()
+	if sealed {
+		return &SealedError{Home: home, RetryAfter: DefaultSealRetryAfter}
+	}
+	return nil
+}
+
+// SealHome marks a home as migrating: every later mutation and external
+// event post fails with a SealedError (HTTP: 503 + Retry-After) until
+// UnsealHome or ReleaseHome. Events already enqueued still evaluate, and
+// dispatch-feedback chains keep draining via PostEventFeedback. Sealing is
+// idempotent; sealing a home that does not exist fails with ErrNoHome.
+func (h *Hub) SealHome(home string) error {
+	return h.do(home, func(hm *Home) error {
+		if hm == nil {
+			return ErrNoHome
+		}
+		h.sealMu.Lock()
+		if _, ok := h.sealedHomes[home]; !ok {
+			h.sealedHomes[home] = struct{}{}
+			h.sealedN.Add(1)
+		}
+		h.sealMu.Unlock()
+		return nil
+	})
+}
+
+// UnsealHome lifts a migration seal (the abort path: transfer failed, the
+// home keeps serving on this hub). Idempotent.
+func (h *Hub) UnsealHome(home string) {
+	h.sealMu.Lock()
+	if _, ok := h.sealedHomes[home]; ok {
+		delete(h.sealedHomes, home)
+		h.sealedN.Add(-1)
+	}
+	h.sealMu.Unlock()
+}
+
+// SealedHomes reports how many homes are currently sealed for migration —
+// a readiness signal (a draining node is not ready) and a /metrics gauge.
+func (h *Hub) SealedHomes() int { return int(h.sealedN.Load()) }
+
+// MetricsRegistry returns the hub's metrics registry without the flush
+// barrier Metrics() runs. It is the write-side accessor migration and ring
+// code record counters through; scrapers should keep using Metrics().
+func (h *Hub) MetricsRegistry() *obs.Metrics { return h.metrics }
+
+// ExportHome snapshots one home's durable records and volatile engine state
+// on its shard goroutine. The caller is expected to have sealed the home and
+// drained its backlog first (Quiesce until Backlog(home) == 0), so the
+// export observes a settled home.
+func (h *Hub) ExportHome(home string) (*HomeExport, error) {
+	var (
+		exp *HomeExport
+		err error
+	)
+	done := make(chan struct{})
+	if sendErr := h.send(home, task{home: home, shardFn: func(s *shard) {
+		hm := s.homes[home]
+		if hm == nil {
+			err = ErrNoHome
+			return
+		}
+		exp = &HomeExport{Home: home, Records: hm.snapshotRecords(), State: hm.engine.ExportState()}
+	}, done: done}); sendErr != nil {
+		return nil, sendErr
+	}
+	<-done
+	return exp, err
+}
+
+// ImportHome materializes a migrated home on this hub from an export,
+// wholesale-replacing any resident copy — a retried transfer (or one that
+// raced a duplicate delivery) converges on exactly the exported state, never
+// a hybrid. The durable records are replayed and persisted to this hub's own
+// store; the volatile state is restored with its original timestamps; the
+// whole import runs with the engine in quiet mode, so rules whose conditions
+// already hold are adopted as current device owners without firing again
+// (they fired on the source — the imported log proves it).
+func (h *Hub) ImportHome(exp *HomeExport) error {
+	if exp == nil || exp.Home == "" {
+		return errors.New("fleet: import without home")
+	}
+	var err error
+	done := make(chan struct{})
+	if sendErr := h.send(exp.Home, task{home: exp.Home, shardFn: func(s *shard) {
+		err = s.importHome(exp)
+	}, done: done}); sendErr != nil {
+		return sendErr
+	}
+	<-done
+	return err
+}
+
+func (s *shard) importHome(exp *HomeExport) error {
+	h := s.hub
+	// Drop any resident copy: a stale pre-migration home, or the partial
+	// result of an earlier interrupted import.
+	if _, ok := s.homes[exp.Home]; ok {
+		delete(s.homes, exp.Home)
+		delete(s.pending, exp.Home)
+		h.metrics.Homes.Add(-1)
+	}
+	// Tombstone before the records: if this process dies mid-import, replay
+	// sees <reset, partial records> and the next transfer retry prepends a
+	// fresh reset — the store can never rehydrate a duplicate or a hybrid.
+	if err := h.append(Record{Home: exp.Home, Kind: RecordHomeReset}); err != nil {
+		return err
+	}
+	hm := s.home(exp.Home)
+	hm.engine.SetQuiet(true)
+	defer hm.engine.SetQuiet(false)
+	for _, rec := range exp.Records {
+		rec.Seq = 0 // transfer-stream numbering; this hub's store renumbers
+		if err := hm.applyRecord(rec); err != nil {
+			s.dropHome(exp.Home)
+			return err
+		}
+		if err := h.append(rec); err != nil {
+			s.dropHome(exp.Home)
+			return err
+		}
+	}
+	if exp.State != nil {
+		hm.engine.ImportState(exp.State)
+	}
+	return nil
+}
+
+// dropHome removes a home mid-import and tombstones its partial records.
+func (s *shard) dropHome(id string) {
+	if _, ok := s.homes[id]; ok {
+		delete(s.homes, id)
+		delete(s.pending, id)
+		s.hub.metrics.Homes.Add(-1)
+	}
+	// Best effort: if this append fails too, the partial records stay ahead
+	// of no reset, but the next import attempt writes one before its own
+	// records, restoring the invariant.
+	_ = s.hub.append(Record{Home: id, Kind: RecordHomeReset})
+}
+
+// ReleaseHome forgets a home after the migration target acked the transfer:
+// a tombstone is appended (a restarted source must not resurrect a home it
+// handed away), the home leaves memory, and the seal lifts. Releasing a home
+// that is already gone is a no-op, so coordinator retries are safe.
+func (h *Hub) ReleaseHome(home string) error {
+	var err error
+	done := make(chan struct{})
+	if sendErr := h.send(home, task{home: home, shardFn: func(s *shard) {
+		if _, ok := s.homes[home]; !ok {
+			return
+		}
+		if err = h.append(Record{Home: home, Kind: RecordHomeReset}); err != nil {
+			return
+		}
+		delete(s.homes, home)
+		delete(s.pending, home)
+		h.metrics.Homes.Add(-1)
+	}, done: done}); sendErr != nil {
+		return sendErr
+	}
+	<-done
+	if err == nil {
+		h.UnsealHome(home)
+	}
+	return err
+}

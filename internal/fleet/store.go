@@ -42,6 +42,20 @@ const (
 	// kinds before handing records to the hub.
 	RecordSeqMark   RecordKind = "seq-mark"
 	RecordReplayEnd RecordKind = "replay-end"
+
+	// RecordHomeReset is a tombstone: on replay, every record the home
+	// accumulated so far is discarded. The migration protocol appends it in
+	// two places — on the source when ownership is released (so a restarted
+	// source does not resurrect a home it no longer owns) and on the target
+	// before importing (so a retried transfer wholesale-replaces any partial
+	// state an earlier interrupted import left in the WAL).
+	RecordHomeReset RecordKind = "home-reset"
+
+	// RecordMigrationState carries a home's volatile engine state
+	// (engine.StateExport as raw JSON in the State field) inside a migration
+	// transfer stream. It never reaches a store: the target applies it to the
+	// imported home's engine and persists only the durable records.
+	RecordMigrationState RecordKind = "migration-state"
 )
 
 // Record is one persisted mutation of one home's durable state. Rules and
@@ -66,6 +80,10 @@ type Record struct {
 	Context string          `json:"context,omitempty"` // priority
 
 	Epoch uint64 `json:"epoch,omitempty"` // meta (FileStore-internal)
+
+	// State is the opaque engine.StateExport payload of a migration-state
+	// record (raw JSON so the store layer stays decoupled from the engine).
+	State json.RawMessage `json:"state,omitempty"` // migration-state
 
 	// Seq is the remote-store idempotency key: RemoteStore numbers each
 	// home's appends monotonically, and the log server applies a {home, seq}

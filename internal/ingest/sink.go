@@ -36,6 +36,7 @@ type Sink struct {
 	metrics   *obs.Metrics // nil = unobserved; stripes chosen by home hash
 	maxBody   int64
 	status    func(error) int // maps poster errors to HTTP statuses
+	retry     func(error) int // maps poster errors to Retry-After seconds (0 = none)
 }
 
 // SinkOption configures NewSink.
@@ -67,6 +68,13 @@ func WithSinkMetrics(m *obs.Metrics) SinkOption {
 // answer identically).
 func WithStatusMapper(f func(error) int) SinkOption {
 	return sinkOptionFunc(func(s *Sink) { s.status = f })
+}
+
+// WithRetryHinter adds a Retry-After header (f's result, whole seconds; 0
+// suppresses the header) to poster-error responses — how a sealed-for-
+// migration or store-degraded home tells clients when to come back.
+func WithRetryHinter(f func(error) int) SinkOption {
+	return sinkOptionFunc(func(s *Sink) { s.retry = f })
 }
 
 // NewSink builds the fast event handler in front of p.
@@ -143,6 +151,11 @@ func (s *Sink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		ev.Release()
+		if s.retry != nil {
+			if secs := s.retry(err); secs > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+		}
 		writeJSONError(w, s.status(err), err.Error())
 		return
 	}

@@ -186,6 +186,19 @@ type StoreMetrics struct {
 	AppendNs      Histogram // wall duration of successful appends (incl. retries)
 }
 
+// MigrationMetrics is the hub-level block live home migration writes (see
+// internal/ring). Migration is operator-scale — a handful per rebalance, not
+// per event — so a single unsharded block suffices; writes are still
+// wait-free atomic ops.
+type MigrationMetrics struct {
+	Started         Counter   // migrations begun on this node as the source
+	Completed       Counter   // migrations fully released (target acked)
+	Failed          Counter   // migrations aborted and unsealed (home stayed)
+	Imported        Counter   // homes imported on this node as the target
+	TransferRetries Counter   // retried transfer POST attempts
+	DurationNs      Histogram // seal-to-release wall time of completed migrations
+}
+
 // ShardMetrics groups one hub shard's blocks. The shard's mailbox goroutine
 // owns the Engine block; transport goroutines hash each home onto its owning
 // shard's Ingest stripe (Metrics.IngestShard), so cross-shard traffic never
@@ -202,6 +215,7 @@ type Metrics struct {
 	Homes        Gauge   // homes resident in the hub
 	StoreAppends Counter // journal records appended to the store
 	Store        StoreMetrics
+	Migration    MigrationMetrics
 	shards       []*ShardMetrics
 }
 
@@ -352,6 +366,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	var appendNs histSnap
 	m.Store.AppendNs.addTo(&appendNs)
 	writeHist(w, "cadel_store_append_duration_ns", "Wall duration of successful store appends, retries included.", &appendNs)
+
+	writeCounter(w, "cadel_migrations_started_total", "Home migrations begun with this node as the source.", m.Migration.Started.Load())
+	writeCounter(w, "cadel_migrations_completed_total", "Home migrations released after the target acked.", m.Migration.Completed.Load())
+	writeCounter(w, "cadel_migrations_failed_total", "Home migrations aborted and unsealed.", m.Migration.Failed.Load())
+	writeCounter(w, "cadel_migrations_imported_total", "Homes imported with this node as the target.", m.Migration.Imported.Load())
+	writeCounter(w, "cadel_migration_transfer_retries_total", "Retried migration transfer attempts.", m.Migration.TransferRetries.Load())
+	var migNs histSnap
+	m.Migration.DurationNs.addTo(&migNs)
+	writeHist(w, "cadel_migration_duration_ns", "Seal-to-release wall time of completed migrations.", &migNs)
 }
 
 func writeCounter(w io.Writer, name, help string, v uint64) {

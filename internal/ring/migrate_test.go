@@ -1,0 +1,263 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fleet"
+)
+
+// TestMigrationConvergesUnderFaults is the acceptance matrix: migrations run
+// under a fault-injecting transport (timeouts, resets before and after
+// delivery, injected 500s, duplicated deliveries, injected latency) while
+// the target is killed and restarted at each protocol step, across three
+// seeds. Whatever happens mid-protocol, the fleet must converge to exactly
+// the state of a never-migrated single-hub twin: every admitted event
+// evaluated once, every fired action dispatched once, record-for-record.
+func TestMigrationConvergesUnderFaults(t *testing.T) {
+	steps := []string{"", "received", "pre-import", "post-import", "pre-ack"}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, step := range steps {
+			label := step
+			if label == "" {
+				label = "no-kill"
+			}
+			seed, step := seed, step
+			t.Run(fmt.Sprintf("seed%d/%s", seed, label), func(t *testing.T) {
+				runMigrationFaultCase(t, seed, step)
+			})
+		}
+	}
+}
+
+func runMigrationFaultCase(t *testing.T, seed int64, killStep string) {
+	homes := []string{"h-alpha", "h-beta", "h-gamma", "h-delta"}
+	migrated := map[string]bool{"h-alpha": true, "h-beta": true}
+
+	// The twin: one hub, no ring, no store, same clock — the ground truth
+	// every fault case must land on.
+	twinTap := &tap{}
+	twin, err := fleet.NewHub(
+		fleet.WithShards(1),
+		fleet.WithClock(testClock()),
+		fleet.WithDispatcher(twinTap.dispatch),
+		fleet.WithLogLimit(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = twin.Close() }()
+
+	fleetTap := &tap{}
+	a, b := newTestNode(t, fleetTap), newTestNode(t, fleetTap)
+	ft := faultinject.NewTransport(faultinject.Config{
+		Seed:         seed,
+		TimeoutP:     0.10,
+		ResetBeforeP: 0.10,
+		ResetAfterP:  0.15,
+		HTTP500P:     0.20,
+		DuplicateP:   0.30,
+		DelayP:       0.50,
+		Delay:        2 * time.Millisecond,
+	}, nil)
+	a.client = &http.Client{Transport: ft, Timeout: 10 * time.Second}
+	peers := []string{a.addr, b.addr}
+	a.start(peers)
+	b.start(peers)
+
+	// Phase 1: all homes live on A; twin sees the identical stream.
+	for _, home := range homes {
+		seedHome(t, a.hub(), home)
+		seedHome(t, twin, home)
+		for _, temp := range []string{"31", "20", "31"} {
+			postTemp(t, a.hub(), home, temp)
+			postTemp(t, twin, home, temp)
+		}
+	}
+
+	// Arm the kill: the first time the target reaches killStep, its process
+	// dies (hub and node replaced, volatile maps lost) and the in-flight
+	// transfer answers 500.
+	var killed atomic.Bool
+	if killStep != "" {
+		fn := func(step string) error {
+			if step == killStep && killed.CompareAndSwap(false, true) {
+				b.restart()
+				return errors.New("faultinject: killed at " + step)
+			}
+			return nil
+		}
+		b.hook.Store(&fn)
+	}
+
+	// Migrate under fire. A Migrate that exhausts its transport retries
+	// aborts cleanly (home unsealed, still serving on A) — the coordinator
+	// simply tries again, as a supervisor would.
+	for home := range migrated {
+		var err error
+		for attempt := 0; attempt < 5; attempt++ {
+			if err = a.node().Migrate(context.Background(), home, b.addr); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("migrate %s never converged: %v", home, err)
+		}
+	}
+	if killStep != "" && !killed.Load() {
+		t.Fatal("kill step never reached — the matrix case tested nothing")
+	}
+	if killStep == "" {
+		// Non-vacuous fault check: the transport must actually have injected
+		// something, or the no-kill rows of the matrix test a clean network.
+		st := ft.Stats()
+		if st.Timeouts+st.ResetsBefore+st.ResetsAfter+st.HTTP500s+st.Duplicates+st.Delays == 0 {
+			t.Fatalf("seed %d injected no faults: %+v — raise probabilities", seed, st)
+		}
+	}
+
+	// Phase 2: migrated homes take events on B, the rest stay on A; the twin
+	// sees everything.
+	for _, home := range homes {
+		owner := a
+		if migrated[home] {
+			owner = b
+		}
+		for _, temp := range []string{"20", "31"} {
+			postTemp(t, owner.hub(), home, temp)
+			postTemp(t, twin, home, temp)
+		}
+	}
+
+	// Exactly-once, fleet-wide: the merged dispatch stream of both nodes
+	// (across kills and retries) equals the twin's.
+	if got, want := fleetTap.sorted(), twinTap.sorted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("dispatch streams diverged:\n fleet: %v\n twin:  %v", got, want)
+	}
+
+	// Record-for-record: each home's fired log on its current owner matches
+	// the twin's — order, timestamps, suppressions and all.
+	for _, home := range homes {
+		owner := a
+		if migrated[home] {
+			owner = b
+		}
+		if got, want := firedStrings(t, owner.hub(), home), firedStrings(t, twin, home); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s log diverged:\n owner: %v\n twin:  %v", home, got, want)
+		}
+	}
+
+	// Residency: migrated homes left A and live on B.
+	for _, home := range homes {
+		if migrated[home] {
+			if hasHome(t, a.hub(), home) {
+				t.Errorf("%s still resident on source", home)
+			}
+			if !hasHome(t, b.hub(), home) {
+				t.Errorf("%s not resident on target", home)
+			}
+			// The source redirects for the home it handed away (override —
+			// the hash may still say A, but A knows better).
+			resp, err := noRedirect.Get(a.srv.URL + "/fleet/homes/" + home + "/log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusTemporaryRedirect {
+				t.Errorf("source answered %d for migrated %s, want 307", resp.StatusCode, home)
+			}
+		} else if !hasHome(t, a.hub(), home) {
+			t.Errorf("%s missing from source", home)
+		}
+	}
+
+	// No sealed leftovers on either side, whatever path the protocol took.
+	if n := a.hub().SealedHomes(); n != 0 {
+		t.Errorf("source holds %d sealed homes after convergence", n)
+	}
+	if n := b.hub().SealedHomes(); n != 0 {
+		t.Errorf("target holds %d sealed homes after convergence", n)
+	}
+}
+
+// TestSourceRestartAfterRelease: a source killed after a completed migration
+// must not resurrect the home it handed away (the release tombstone), must
+// rehydrate its remaining homes without re-dispatching anything (quiet boot
+// replay), and must keep serving them.
+func TestSourceRestartAfterRelease(t *testing.T) {
+	fleetTap := &tap{}
+	a, b := newTestNode(t, fleetTap), newTestNode(t, fleetTap)
+	peers := []string{a.addr, b.addr}
+	a.start(peers)
+	b.start(peers)
+
+	for _, home := range []string{"h-move", "h-stay"} {
+		seedHome(t, a.hub(), home)
+		postTemp(t, a.hub(), home, "31")
+	}
+	if err := a.node().Migrate(context.Background(), "h-move", b.addr); err != nil {
+		t.Fatal(err)
+	}
+
+	before := len(fleetTap.sorted())
+	a.restart()
+	if got := len(fleetTap.sorted()); got != before {
+		t.Errorf("boot replay dispatched %d extra actions — replay must be quiet", got-before)
+	}
+	if hasHome(t, a.hub(), "h-move") {
+		t.Error("released home resurrected after source restart")
+	}
+	if !hasHome(t, a.hub(), "h-stay") {
+		t.Fatal("resident home lost in restart")
+	}
+	// The rehydrated home still evaluates and fires on fresh events.
+	postTemp(t, a.hub(), "h-stay", "20")
+	postTemp(t, a.hub(), "h-stay", "31")
+	if got := len(fleetTap.sorted()); got != before+1 {
+		t.Errorf("rehydrated home fired %d times on a fresh flip, want 1", got-before)
+	}
+}
+
+// TestTransferStreamCutShort: a transfer stream missing its replay-end
+// trailer (the source died mid-send) is rejected wholesale — the target
+// applies none of it.
+func TestTransferStreamCutShort(t *testing.T) {
+	tp := &tap{}
+	b := newTestNode(t, tp)
+	b.start([]string{b.addr})
+
+	// A real export, truncated before the trailer.
+	src := newTestNode(t, tp)
+	src.start([]string{src.addr})
+	seedHome(t, src.hub(), "h1")
+	exp, err := src.hub().ExportHome("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _, err := encodeTransfer(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := body[:len(body)/2]
+
+	resp, err := http.Post(b.srv.URL+"/ring/transfer/h1?migration=m1", "application/x-ndjson",
+		bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated stream: %d, want 400", resp.StatusCode)
+	}
+	if hasHome(t, b.hub(), "h1") {
+		t.Error("target materialized a home from a truncated stream")
+	}
+}

@@ -1,0 +1,225 @@
+package ring
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// noRedirect returns the 307 itself instead of following it.
+var noRedirect = &http.Client{
+	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := noRedirect.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func post(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := noRedirect.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+// TestNodeRouting: requests for an owned home pass through; requests for a
+// peer's home answer 307 with the owner's address; the probes answer on both.
+func TestNodeRouting(t *testing.T) {
+	tp := &tap{}
+	a, b := newTestNode(t, tp), newTestNode(t, tp)
+	peers := []string{a.addr, b.addr}
+	a.start(peers)
+	b.start(peers)
+
+	// Find one home each way on the shared ring.
+	var ownedByA, ownedByB string
+	for i := 0; ownedByA == "" || ownedByB == ""; i++ {
+		if i > 10000 {
+			t.Fatal("no home split found")
+		}
+		home := fmt.Sprintf("home-%d", i)
+		switch a.node().Owner(home) {
+		case a.addr:
+			ownedByA = home
+		case b.addr:
+			ownedByB = home
+		}
+	}
+
+	// Owned home: request passes through to the fleet handler (404 — the
+	// home does not exist yet, which proves the hub answered, not the ring;
+	// the trace route is the one that 404s instead of materializing).
+	resp, _ := get(t, a.srv.URL+"/fleet/homes/"+ownedByA+"/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("owned home: %d, want 404 from the hub", resp.StatusCode)
+	}
+
+	// Peer's home: 307 with the owner's address.
+	resp, _ = get(t, a.srv.URL+"/fleet/homes/"+ownedByB+"/trace")
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("peer home: %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.Contains(loc, b.addr) {
+		t.Errorf("Location = %q, want owner %s", loc, b.addr)
+	}
+	if owner := resp.Header.Get("X-Ring-Owner"); owner != b.addr {
+		t.Errorf("X-Ring-Owner = %q, want %s", owner, b.addr)
+	}
+
+	// Following the redirect lands on the owner's hub.
+	resp, err := http.Get(a.srv.URL + "/fleet/homes/" + ownedByB + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("followed redirect: %d, want 404 from owner's hub", resp.StatusCode)
+	}
+
+	// Non-home fleet routes are served locally, never redirected.
+	resp, _ = get(t, a.srv.URL+"/fleet/homes")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /fleet/homes: %d", resp.StatusCode)
+	}
+}
+
+// TestNodeProbes: /healthz is pure liveness; /readyz flips on draining and
+// reports ring facts.
+func TestNodeProbes(t *testing.T) {
+	tp := &tap{}
+	a := newTestNode(t, tp)
+	a.start([]string{a.addr})
+
+	resp, body := get(t, a.srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, body = get(t, a.srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz: %d %s", resp.StatusCode, body)
+	}
+	var rb readyBody
+	if err := json.Unmarshal([]byte(body), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if !rb.Ready || rb.Members != 1 {
+		t.Errorf("ready body = %+v", rb)
+	}
+
+	a.node().SetDraining(true)
+	resp, body = get(t, a.srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz: %d, want 503", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Ready || rb.Reason != "draining" {
+		t.Errorf("draining body = %+v", rb)
+	}
+	a.node().SetDraining(false)
+	if resp, _ = get(t, a.srv.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("undrained readyz: %d", resp.StatusCode)
+	}
+}
+
+// TestSealedHomeAnswers503: while a home is sealed for migration, external
+// posts answer 503 with a Retry-After hint, through the full HTTP stack.
+func TestSealedHomeAnswers503(t *testing.T) {
+	tp := &tap{}
+	a := newTestNode(t, tp)
+	a.start([]string{a.addr})
+	seedHome(t, a.hub(), "h1")
+
+	if err := a.hub().SealHome("h1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, a.srv.URL+"/fleet/homes/h1/events",
+		`{"deviceType":"thermometer","name":"thermometer","location":"living room","vars":{"temperature":"31"},"sync":true}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sealed post: %d %s, want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive hint", ra)
+	}
+	if !strings.Contains(body, "sealed") {
+		t.Errorf("error body %q does not mention the seal", body)
+	}
+
+	// Mutations are refused too.
+	resp, _ = post(t, a.srv.URL+"/fleet/homes/h1/rules", `{"source":"`+hotRule+`","owner":"tom"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("sealed submit: %d, want 503", resp.StatusCode)
+	}
+
+	a.hub().UnsealHome("h1")
+	resp, _ = post(t, a.srv.URL+"/fleet/homes/h1/events",
+		`{"deviceType":"thermometer","name":"thermometer","location":"living room","vars":{"temperature":"31"},"sync":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("unsealed post: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsCarriesRingGauges: /metrics keeps the hub exposition and gains
+// the per-node ring gauges.
+func TestMetricsCarriesRingGauges(t *testing.T) {
+	tp := &tap{}
+	a := newTestNode(t, tp)
+	a.start([]string{a.addr})
+	seedHome(t, a.hub(), "h1")
+
+	_, body := get(t, a.srv.URL+"/metrics")
+	for _, want := range []string{
+		"cadel_homes 1",
+		"cadel_ring_members 1",
+		"cadel_ring_homes_owned 1",
+		"cadel_ring_homes_sealed 0",
+		"cadel_ring_ownership_overrides 0",
+		"# TYPE cadel_engine_passes_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRingStatusEndpoint: GET /ring reports membership and residency.
+func TestRingStatusEndpoint(t *testing.T) {
+	tp := &tap{}
+	a := newTestNode(t, tp)
+	a.start([]string{a.addr})
+	seedHome(t, a.hub(), "h1")
+
+	resp, body := get(t, a.srv.URL+"/ring")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /ring: %d", resp.StatusCode)
+	}
+	var st ringStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != a.addr || st.Homes != 1 || len(st.Members) != 1 {
+		t.Errorf("ring status = %+v", st)
+	}
+}

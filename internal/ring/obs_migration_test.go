@@ -1,0 +1,175 @@
+package ring
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+)
+
+// engineStripe is the engine-counter slice of the obs totals that migration
+// must preserve: quiet import and quiet boot replay contribute zero, so the
+// sum across source and target equals a never-migrated twin exactly.
+// StoreAppends is deliberately excluded — the target re-appends the imported
+// records to its own store, so the fleet legitimately writes more journal
+// records than the twin.
+type engineStripe struct {
+	Passes, RulesChecked, RulesFired, RulesSuppressed, DispatchBatches uint64
+}
+
+func stripeOf(t obs.Totals) engineStripe {
+	return engineStripe{t.Passes, t.RulesChecked, t.RulesFired, t.RulesSuppressed, t.DispatchBatches}
+}
+
+func addStripes(a, b engineStripe) engineStripe {
+	return engineStripe{
+		a.Passes + b.Passes,
+		a.RulesChecked + b.RulesChecked,
+		a.RulesFired + b.RulesFired,
+		a.RulesSuppressed + b.RulesSuppressed,
+		a.DispatchBatches + b.DispatchBatches,
+	}
+}
+
+// setupHandoffHome seeds the paper's Fig. 1 stereo scenario on a hub: two
+// users, two competing stereo rules, a contextual priority favoring emily
+// while she is in the living room.
+func setupHandoffHome(t *testing.T, h *fleet.Hub, home string) {
+	t.Helper()
+	for _, u := range []string{"alan", "emily"} {
+		if err := h.RegisterUser(home, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Submit(home, "If alan is in the living room, turn on the stereo.", "alan"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Submit(home, "If emily is in the living room, turn on the stereo.", "emily"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetPriority(home, core.DeviceRef{Name: "stereo"}, []string{"emily", "alan"},
+		"emily is in the living room"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postPresence(t *testing.T, h *fleet.Hub, home string, vars map[string]string) {
+	t.Helper()
+	if err := h.PostEventSync(home, device.TypePresenceSensor, "presence sensor", "home", vars); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationObsParityAndHandoffTrace: after a home moves mid-scenario,
+// (a) the engine stripe totals summed over source and target equal the
+// single-hub twin's — the observability proof that migration neither lost
+// nor double-counted an evaluation — and (b) the trace endpoint on the NEW
+// owner still explains the Fig. 1 stereo hand-off, because the migrated
+// context (alan already present) fed the arbitration that ran after the
+// move.
+func TestMigrationObsParityAndHandoffTrace(t *testing.T) {
+	home := "h1"
+
+	twinTap := &tap{}
+	twin, err := fleet.NewHub(
+		fleet.WithShards(1),
+		fleet.WithClock(testClock()),
+		fleet.WithDispatcher(twinTap.dispatch),
+		fleet.WithLogLimit(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = twin.Close() }()
+
+	fleetTap := &tap{}
+	a, b := newTestNode(t, fleetTap), newTestNode(t, fleetTap)
+	a.shards, b.shards = 1, 1
+	peers := []string{a.addr, b.addr}
+	a.start(peers)
+	b.start(peers)
+
+	// Act one on A (and the twin): alan alone takes the stereo.
+	setupHandoffHome(t, a.hub(), home)
+	setupHandoffHome(t, twin, home)
+	postPresence(t, a.hub(), home, map[string]string{"presence-alan": "living room"})
+	postPresence(t, twin, home, map[string]string{"presence-alan": "living room"})
+
+	// The home moves mid-scenario.
+	if err := a.node().Migrate(context.Background(), home, b.addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Act two on B: emily walks in; the contextual order hands the stereo to
+	// her — an arbitration that only works if alan's presence migrated.
+	postPresence(t, b.hub(), home, map[string]string{"presence-emily": "living room"})
+	postPresence(t, twin, home, map[string]string{"presence-emily": "living room"})
+
+	// (a) Stripe parity: source + target == twin.
+	got := addStripes(stripeOf(a.hub().Metrics().Totals()), stripeOf(b.hub().Metrics().Totals()))
+	want := stripeOf(twin.Metrics().Totals())
+	if got != want {
+		t.Errorf("engine stripes diverged:\n fleet: %+v\n twin:  %+v", got, want)
+	}
+	if want.RulesFired == 0 || want.RulesSuppressed == 0 {
+		t.Fatalf("vacuous scenario: twin stripes %+v", want)
+	}
+
+	// (b) The new owner's trace endpoint explains the hand-off.
+	resp, err := http.Get(b.srv.URL + "/fleet/homes/" + home + "/trace?device=stereo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace on new owner: %d", resp.StatusCode)
+	}
+	var traces []engine.PassTrace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	var handoff *engine.TraceDecision
+	for i := range traces {
+		for j := range traces[i].Decisions {
+			d := &traces[i].Decisions[j]
+			if d.Winner == "emily-2" && len(d.Losers) > 0 {
+				handoff = d
+			}
+		}
+	}
+	if handoff == nil {
+		t.Fatalf("no hand-off decision on new owner: %+v", traces)
+	}
+	if handoff.Device != "stereo" || !handoff.Fired || handoff.Owner != "emily" {
+		t.Errorf("hand-off = %+v", handoff)
+	}
+	if handoff.Losers[0].Rule != "alan-1" || handoff.Losers[0].Owner != "alan" {
+		t.Errorf("losers = %+v, want alan-1", handoff.Losers)
+	}
+	if !strings.Contains(handoff.Reason, `"emily"`) ||
+		!strings.Contains(handoff.Reason, "#1") ||
+		!strings.Contains(handoff.Reason, "emily is in the living room") {
+		t.Errorf("reason = %q, want emily ranked #1 under the contextual order", handoff.Reason)
+	}
+
+	// Migration surfaced in the migration counters on both sides.
+	srcM := &a.hub().MetricsRegistry().Migration
+	dstM := &b.hub().MetricsRegistry().Migration
+	if srcM.Started.Load() != 1 || srcM.Completed.Load() != 1 || srcM.Failed.Load() != 0 {
+		t.Errorf("source migration counters: started=%d completed=%d failed=%d",
+			srcM.Started.Load(), srcM.Completed.Load(), srcM.Failed.Load())
+	}
+	if dstM.Imported.Load() != 1 {
+		t.Errorf("target imported = %d, want 1", dstM.Imported.Load())
+	}
+	if srcM.DurationNs.Count() != 1 {
+		t.Errorf("migration duration observations = %d, want 1", srcM.DurationNs.Count())
+	}
+}

@@ -1,0 +1,80 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: every member computes the identical ring regardless
+// of input order or duplicates — the property that lets nodes route without
+// consensus.
+func TestRingDeterminism(t *testing.T) {
+	a := New("n1:1", "n2:2", "n3:3")
+	b := New("n3:3", "n1:1", "n2:2", "n2:2", "")
+	for i := 0; i < 1000; i++ {
+		home := fmt.Sprintf("home-%04d", i)
+		if a.Owner(home) != b.Owner(home) {
+			t.Fatalf("owner(%s) differs: %q vs %q", home, a.Owner(home), b.Owner(home))
+		}
+	}
+	if got, want := fmt.Sprint(a.Members()), fmt.Sprint(b.Members()); got != want {
+		t.Errorf("members %s vs %s", got, want)
+	}
+}
+
+// TestRingDistribution: 64 vnodes/member keep ownership within a loose but
+// meaningful band of uniform for a small fleet.
+func TestRingDistribution(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := New(members...)
+	counts := map[string]int{}
+	const homes = 8000
+	for i := 0; i < homes; i++ {
+		counts[r.Owner(fmt.Sprintf("home-%05d", i))]++
+	}
+	want := homes / len(members)
+	for _, m := range members {
+		if counts[m] < want/2 || counts[m] > want*2 {
+			t.Errorf("member %s owns %d homes, want within [%d, %d]", m, counts[m], want/2, want*2)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one member moves only that member's
+// homes; everyone else's stay put.
+func TestRingMinimalMovement(t *testing.T) {
+	before := New("a:1", "b:2", "c:3", "d:4")
+	after := New("a:1", "b:2", "c:3")
+	moved, kept := 0, 0
+	for i := 0; i < 4000; i++ {
+		home := fmt.Sprintf("home-%05d", i)
+		was, is := before.Owner(home), after.Owner(home)
+		if was == "d:4" {
+			if is == "d:4" {
+				t.Fatalf("%s still owned by removed member", home)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Errorf("%s moved %s -> %s without its owner leaving", home, was, is)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingEmptyAndSingle: edge memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := New().Owner("h"); got != "" {
+		t.Errorf("empty ring owner = %q", got)
+	}
+	solo := New("only:1")
+	for i := 0; i < 100; i++ {
+		if got := solo.Owner(fmt.Sprintf("h%d", i)); got != "only:1" {
+			t.Fatalf("single-member ring routed %q elsewhere: %q", fmt.Sprintf("h%d", i), got)
+		}
+	}
+}
