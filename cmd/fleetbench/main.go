@@ -175,10 +175,11 @@ func runMigration(homes, shards int) (migrationResult, error) {
 	for _, g := range gaps {
 		sum += g
 	}
-	p99 := gaps[(len(gaps)*99)/100]
-	if (len(gaps)*99)/100 >= len(gaps) {
-		p99 = gaps[len(gaps)-1]
+	p99i := (len(gaps) * 99) / 100
+	if p99i >= len(gaps) {
+		p99i = len(gaps) - 1
 	}
+	p99 := gaps[p99i]
 	return migrationResult{
 		Homes:       homes,
 		Shards:      shards,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,16 +36,34 @@ const (
 	transferBackoff = 25 * time.Millisecond
 )
 
+// ErrMigrationInFlight reports a migration rejected because another
+// migration of the same home is already running on this node (HTTP: 409).
+var ErrMigrationInFlight = errors.New("ring: migration already in flight")
+
 // Migrate moves one resident home to the target node and releases it here.
 // On any error the home is unsealed and keeps serving on this node; the only
 // non-retryable window is after the target's ack, where release failures
 // leave the home sealed (served by the target via the ownership override,
-// never by both).
+// never by both). At most one migration per home runs at a time: a manual
+// /ring/migrate racing a background rebalance gets ErrMigrationInFlight
+// instead of a second concurrent transfer to a possibly different target.
 func (n *Node) Migrate(ctx context.Context, home, target string) error {
 	m := &n.hub.MetricsRegistry().Migration
 	if target == "" || target == n.self {
 		return fmt.Errorf("ring: cannot migrate %q to %q", home, target)
 	}
+	n.mu.Lock()
+	if _, busy := n.migrating[home]; busy {
+		n.mu.Unlock()
+		return fmt.Errorf("ring: %q: %w", home, ErrMigrationInFlight)
+	}
+	n.migrating[home] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.migrating, home)
+		n.mu.Unlock()
+	}()
 	m.Started.Inc()
 	start := time.Now()
 	if err := n.hub.SealHome(home); err != nil {
@@ -95,15 +114,20 @@ func (n *Node) Migrate(ctx context.Context, home, target string) error {
 		return abort(fmt.Errorf("ring: target acked %d lines, sent %d", ack.Lines, lines))
 	}
 
-	// Commit point: the target holds the complete home. Release must not
-	// unseal on failure — the home now lives on the target, and a sealed
-	// zombie copy here only bounces requests until a retry or restart
-	// finishes the forget.
+	// Commit point: the target holds the complete home. The ownership
+	// override goes in FIRST: ReleaseHome deletes the home and lifts the
+	// seal, and if this node is still the hash owner, a post landing in that
+	// window would otherwise pass the lifted seal, fall through Owner() to
+	// the ring (self) and resurrect an empty home after the release
+	// tombstone. With the override installed, routing redirects to the
+	// target throughout the release. Release must not unseal on failure —
+	// the home now lives on the target, and a sealed zombie copy here only
+	// bounces requests until a retry or restart finishes the forget.
+	n.setOverride(home, target)
 	if err := n.hub.ReleaseHome(home); err != nil {
 		m.Failed.Inc()
 		return fmt.Errorf("ring: target holds %q but source release failed: %w", home, err)
 	}
-	n.setOverride(home, target)
 	m.Completed.Inc()
 	m.DurationNs.Observe(uint64(time.Since(start)))
 	return nil

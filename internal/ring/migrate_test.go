@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -223,6 +224,108 @@ func TestSourceRestartAfterRelease(t *testing.T) {
 	postTemp(t, a.hub(), "h-stay", "31")
 	if got := len(fleetTap.sorted()); got != before+1 {
 		t.Errorf("rehydrated home fired %d times on a fresh flip, want 1", got-before)
+	}
+}
+
+// TestSetMembersRebalanceOutlivesRequest: the rebalance triggered by POST
+// /ring/members runs in the background after the handler returns — net/http
+// cancels the request context at that point, and a rebalance bound to it
+// would fail every transfer with "context canceled" while the new membership
+// (already applied) redirects the home to an owner that never received it.
+func TestSetMembersRebalanceOutlivesRequest(t *testing.T) {
+	tp := &tap{}
+	a, b := newTestNode(t, tp), newTestNode(t, tp)
+	a.start([]string{a.addr})
+	b.start([]string{a.addr, b.addr})
+
+	// Pick a home the two-member ring places on b.
+	two := New(a.addr, b.addr)
+	home := ""
+	for i := 0; i < 100000 && home == ""; i++ {
+		h := fmt.Sprintf("home-%d", i)
+		if two.Owner(h) == b.addr {
+			home = h
+		}
+	}
+	if home == "" {
+		t.Fatal("no home hashing to b found")
+	}
+	seedHome(t, a.hub(), home)
+	postTemp(t, a.hub(), home, "31")
+
+	resp, body := post(t, a.srv.URL+"/ring/members", `{"members":["`+a.addr+`","`+b.addr+`"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ring/members: %d %s", resp.StatusCode, body)
+	}
+
+	// The home must land on its new hash owner and leave the old one.
+	deadline := time.Now().Add(10 * time.Second)
+	for !hasHome(t, b.hub(), home) || hasHome(t, a.hub(), home) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never rebalanced to its new hash owner", home)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// And the migrated home still fires on fresh events where it now lives.
+	before := len(tp.sorted())
+	postTemp(t, b.hub(), home, "20")
+	postTemp(t, b.hub(), home, "31")
+	if got := len(tp.sorted()); got != before+1 {
+		t.Errorf("rebalanced home fired %d times on a fresh flip, want 1", got-before)
+	}
+}
+
+// TestConcurrentMigrationRejected: a second migration of a home whose
+// migration is already in flight is rejected (409 through HTTP) instead of
+// running a second full seal/export/transfer to a possibly different target.
+func TestConcurrentMigrationRejected(t *testing.T) {
+	tp := &tap{}
+	a, b := newTestNode(t, tp), newTestNode(t, tp)
+	peers := []string{a.addr, b.addr}
+	a.start(peers)
+	b.start(peers)
+	seedHome(t, a.hub(), "h1")
+	postTemp(t, a.hub(), "h1", "31")
+
+	// Stall the first migration inside the target's transfer handler so the
+	// racing calls below deterministically overlap it.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	fn := func(step string) error {
+		if step == "received" {
+			once.Do(func() {
+				close(entered)
+				<-release
+			})
+		}
+		return nil
+	}
+	b.hook.Store(&fn)
+
+	done := make(chan error, 1)
+	go func() { done <- a.node().Migrate(context.Background(), "h1", b.addr) }()
+	<-entered
+
+	if err := a.node().Migrate(context.Background(), "h1", b.addr); !errors.Is(err, ErrMigrationInFlight) {
+		t.Errorf("concurrent Migrate = %v, want ErrMigrationInFlight", err)
+	}
+	resp, body := post(t, a.srv.URL+"/ring/migrate", `{"home":"h1","target":"`+b.addr+`"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("concurrent POST /ring/migrate: %d %s, want 409", resp.StatusCode, body)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("stalled migration failed: %v", err)
+	}
+	if !hasHome(t, b.hub(), "h1") || hasHome(t, a.hub(), "h1") {
+		t.Error("home did not end up solely on the target")
+	}
+	// The guard clears once the migration finishes: a later migrate of the
+	// (now absent) home fails with ErrNoHome, not ErrMigrationInFlight.
+	if err := a.node().Migrate(context.Background(), "h1", b.addr); !errors.Is(err, fleet.ErrNoHome) {
+		t.Errorf("post-completion Migrate = %v, want ErrNoHome", err)
 	}
 }
 

@@ -1,9 +1,11 @@
 package ring
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -36,6 +38,12 @@ type Node struct {
 	// retried delivery of an already-applied transfer is acked idempotently
 	// instead of re-imported.
 	imports map[string]importMark
+	// migrating holds homes with a source-side migration in flight on this
+	// node. SealHome alone is idempotent, so without this a manual
+	// /ring/migrate racing a background rebalance could run two full
+	// migrations of the same home to different targets; the second caller is
+	// rejected with ErrMigrationInFlight instead.
+	migrating map[string]struct{}
 
 	// transferMu serializes imports so a duplicated delivery racing the
 	// original cannot interleave two wholesale-replaces of the same home.
@@ -120,6 +128,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ring:         New(peers...),
 		overrides:    make(map[string]string),
 		imports:      make(map[string]importMark),
+		migrating:    make(map[string]struct{}),
 		transferHook: cfg.TransferHook,
 		client:       client,
 		nonce:        time.Now().UnixNano(),
@@ -300,8 +309,15 @@ func (n *Node) handleSetMembers(w http.ResponseWriter, r *http.Request) {
 	n.ring.SetMembers(req.Members)
 	// Membership changed: migrate every resident home whose hash owner is no
 	// longer this node. Runs in the background — the rebalance is a sequence
-	// of individually-converging migrations, not a transaction.
-	go func() { _ = n.Rebalance(r.Context()) }()
+	// of individually-converging migrations, not a transaction. The context
+	// must outlive this request: net/http cancels r.Context() when the
+	// handler returns, which would cancel every transfer mid-rebalance.
+	ctx := context.WithoutCancel(r.Context())
+	go func() {
+		if err := n.Rebalance(ctx); err != nil {
+			log.Printf("ring: rebalance after membership change on %s: %v", n.self, err)
+		}
+	}()
 	writeJSON(w, http.StatusOK, membersRequest{Members: n.ring.Members()})
 }
 
@@ -467,6 +483,8 @@ func statusOf(err error) int {
 		errors.Is(err, fleet.ErrStoreDegraded),
 		errors.Is(err, fleet.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrMigrationInFlight):
+		return http.StatusConflict
 	}
 	return http.StatusInternalServerError
 }
