@@ -68,6 +68,7 @@ import (
 	"repro/internal/home"
 	"repro/internal/httpapi"
 	"repro/internal/ingest"
+	"repro/internal/rawhttp"
 	"repro/internal/ring"
 )
 
@@ -89,6 +90,7 @@ func run() error {
 	adminAddr := flag.String("admin", "", "serve net/http/pprof diagnostics on this address (e.g. localhost:6060); off by default")
 	nodeAddr := flag.String("node", "", "fleet mode: this node's advertised ring address (host:port); defaults to the -fleet address")
 	peersFlag := flag.String("peers", "", "fleet mode: comma-separated ring membership (host:port,...), or @FILE to read one address per line; empty = single-node ring")
+	rawIngest := flag.String("raw-ingest", "", "fleet mode: also serve POST /fleet/homes/{home}/events on this address via the raw-socket HTTP/1.1 front end (e.g. :8091); admin/API routes stay on -fleet")
 	flag.Parse()
 	if *adminAddr != "" {
 		// pprof registers its handlers on http.DefaultServeMux at import.
@@ -112,7 +114,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runFleet(*fleetAddr, *shards, *storeDir, *workers, limits, *nodeAddr, peers)
+		return runFleet(*fleetAddr, *shards, *storeDir, *workers, limits, *nodeAddr, peers, *rawIngest)
 	}
 
 	network := cadel.NewNetwork()
@@ -233,7 +235,7 @@ func parsePeers(spec string) ([]string, error) {
 	return peers, nil
 }
 
-func runFleet(addr string, shards int, storeDir string, workers int, limits ingest.Limits, nodeAddr string, peers []string) error {
+func runFleet(addr string, shards int, storeDir string, workers int, limits ingest.Limits, nodeAddr string, peers []string, rawAddr string) error {
 	opts := []fleet.HubOption{
 		fleet.WithDispatchWorkers(workers),
 		fleet.WithLogLimit(1024),
@@ -304,6 +306,20 @@ func runFleet(addr string, shards int, storeDir string, workers int, limits inge
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	// The raw-socket event front end shares the net/http handler's sink, so
+	// both transports draw on one admission budget and answer identically.
+	var raw *rawhttp.Server
+	rawErrc := make(chan error, 1)
+	if rawAddr != "" {
+		raw = fleet.NewRawIngest(hub, sink)
+		go func() { rawErrc <- raw.ListenAndServe(rawAddr) }()
+		rawDisplay := rawAddr
+		if strings.HasPrefix(rawDisplay, ":") {
+			rawDisplay = "localhost" + rawDisplay
+		}
+		fmt.Printf("raw ingest: POST http://%s/fleet/homes/{home}/events\n", rawDisplay)
+	}
+
 	display := addr
 	if strings.HasPrefix(display, ":") {
 		display = "localhost" + display
@@ -320,18 +336,33 @@ func runFleet(addr string, shards int, storeDir string, workers int, limits inge
 	select {
 	case err := <-errc:
 		return err // listener failed before any signal
+	case err := <-rawErrc:
+		return err // raw listener failed before any signal
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 	fmt.Println("\nshutting down...")
 	// Flip readiness first so supervisors and load balancers stop routing
-	// here while the listener drains in-flight requests.
+	// here while the listeners drain in-flight requests. The raw listener
+	// drains through the same window: its keep-alive loops observe the
+	// shutdown flag, answer the in-flight request with Connection: close,
+	// and idle connections are poked awake — all before the hub quiesces,
+	// so every accepted event still reaches its shard.
 	node.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		_ = srv.Close()
 		log.Printf("http shutdown: %v", err)
+	}
+	if raw != nil {
+		if err := raw.Shutdown(shutCtx); err != nil {
+			_ = raw.Close()
+			log.Printf("raw ingest shutdown: %v", err)
+		}
+		if err := <-rawErrc; err != nil && !errors.Is(err, rawhttp.ErrServerClosed) {
+			return err
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -51,15 +51,15 @@ type wordDef struct {
 	owner  string
 }
 
-// eventMsg is one ingested device event, pre-coalescing. Exactly one shape
-// is set: the string/map fields (stock handler, API surface) or fast (the
-// wire decoder's pooled event, released by the shard after application).
+// eventMsg is one ingested device event in the string/map shape used by the
+// stock handler and API surface. Wire-decoded events skip this struct
+// entirely: they ride the task's inline fast field (a pooled *ingest.Event)
+// so the hot post path performs no per-event allocation.
 type eventMsg struct {
 	deviceType   string
 	friendlyName string
 	location     string
 	vars         map[string]string
-	fast         *ingest.Event
 }
 
 func newHome(id string, c *config, batch engine.BatchDispatcher, sm *obs.ShardMetrics) *Home {
@@ -332,17 +332,16 @@ func (h *Home) PriorityOrders(ref core.DeviceRef) []conflict.Order {
 }
 
 // ApplyEvent ingests one device event's context writes without evaluating;
-// the shard flushes the accumulated dirty set in one pass afterwards. A
-// wire-decoded event is released back to its pool here — application is the
-// end of its ownership chain.
+// the shard flushes the accumulated dirty set in one pass afterwards.
 func (h *Home) ApplyEvent(ev *eventMsg) {
-	if ev.fast != nil {
-		h.engine.IngestEvent(ev.fast)
-		ev.fast.Release()
-		ev.fast = nil
-		return
-	}
 	h.engine.Ingest(ev.deviceType, ev.friendlyName, ev.location, ev.vars)
+}
+
+// ApplyFast ingests a wire-decoded event and releases it back to its pool —
+// application is the end of its ownership chain.
+func (h *Home) ApplyFast(ev *ingest.Event) {
+	h.engine.IngestEvent(ev)
+	ev.Release()
 }
 
 // Flush runs one evaluation pass over everything ingested since the last.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/lang"
 	"repro/internal/obs"
+	"repro/internal/rawhttp"
 	"repro/internal/registry"
 	"repro/internal/vocab"
 )
@@ -74,6 +75,18 @@ func NewEventSink(hub *Hub, limits ingest.Limits, opts ...ingest.SinkOption) *in
 		ingest.WithRetryHinter(errorRetrySeconds),
 	}
 	return ingest.NewSink(hub, append(base, opts...)...)
+}
+
+// NewRawIngest builds the raw-socket HTTP/1.1 front end for the event fast
+// route in front of sink — the SAME *ingest.Sink the net/http handler
+// serves, so both transports draw on one admission budget, one body cap,
+// and one error→status table, and the two cannot drift apart or let a home
+// double its rate limit by splitting traffic. The hub's sharded metrics
+// carry the connection counters. Extra rawhttp options (timeouts, header
+// cap) append after the defaults.
+func NewRawIngest(hub *Hub, sink *ingest.Sink, opts ...rawhttp.Option) *rawhttp.Server {
+	base := []rawhttp.Option{rawhttp.WithMetrics(hub.metrics)}
+	return rawhttp.NewServer(sink, append(base, opts...)...)
 }
 
 // NewHTTPHandler builds the fleet API for a hub.

@@ -22,11 +22,13 @@ import (
 // per-home operation, or a shard-level operation.
 type task struct {
 	home    string
-	event   *eventMsg    // coalescable ingestion
-	fn      func(*Home)  // per-home operation; receives nil if the home does not exist and create is unset
-	shardFn func(*shard) // shard-level operation (stats, barriers)
-	create  bool         // materialize the home on first touch (mutations, ingestion)
-	done    chan struct{}
+	event   *eventMsg       // coalescable ingestion (string/map shape)
+	fast    *ingest.Event   // wire-decoded ingestion; inline so PostEventFast allocates nothing
+	fn      func(*Home)     // per-home operation; receives nil if the home does not exist and create is unset
+	shardFn func(*shard)    // shard-level operation (stats, barriers)
+	create  bool            // materialize the home on first touch (mutations, ingestion)
+	done    chan struct{}   // close-once ack (API operations, barriers)
+	wg      *sync.WaitGroup // reusable ack for sync fast posts; pooled, so the hot sync path allocates nothing
 }
 
 // mailbox is an unbounded MPSC queue. Unboundedness is deliberate: a dispatch
@@ -129,13 +131,22 @@ func (s *shard) exec(t task) {
 	if hm == nil && t.create {
 		hm = s.home(t.home)
 	}
-	if t.event != nil {
-		hm.ApplyEvent(t.event)
+	if t.event != nil || t.fast != nil {
+		if t.fast != nil {
+			hm.ApplyFast(t.fast)
+		} else {
+			hm.ApplyEvent(t.event)
+		}
 		s.pending[t.home] = hm
 		s.events++
-		if t.done != nil { // synchronous event: evaluate before acking
+		if t.done != nil || t.wg != nil { // synchronous event: evaluate before acking
 			s.flush()
-			close(t.done)
+			if t.done != nil {
+				close(t.done)
+			}
+			if t.wg != nil {
+				t.wg.Done()
+			}
 		}
 		return
 	}
@@ -733,12 +744,18 @@ func (h *Hub) PostEventFast(home string, ev *ingest.Event) error {
 	if err := h.sealedErr(home); err != nil {
 		return err
 	}
-	err := h.send(home, task{home: home, create: true, event: &eventMsg{fast: ev}})
+	err := h.send(home, task{home: home, create: true, fast: ev})
 	if err == nil {
 		h.events.Add(1)
 	}
 	return err
 }
+
+// syncWaiters pools the WaitGroups that ack synchronous fast posts: a
+// one-shot channel per event would be the last allocation left on the sync
+// hot path. Reuse is safe because each waiter's Wait has returned before
+// the pool sees it again.
+var syncWaiters = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 
 // PostEventFastSync is PostEventFast waiting until the home has evaluated
 // the event. Ownership transfers as in PostEventFast; ev is already released
@@ -747,13 +764,17 @@ func (h *Hub) PostEventFastSync(home string, ev *ingest.Event) error {
 	if err := h.sealedErr(home); err != nil {
 		return err
 	}
-	done := make(chan struct{})
-	err := h.send(home, task{home: home, create: true, event: &eventMsg{fast: ev}, done: done})
+	wg := syncWaiters.Get().(*sync.WaitGroup)
+	wg.Add(1)
+	err := h.send(home, task{home: home, create: true, fast: ev, wg: wg})
 	if err != nil {
+		wg.Done()
+		syncWaiters.Put(wg)
 		return err
 	}
 	h.events.Add(1)
-	<-done
+	wg.Wait()
+	syncWaiters.Put(wg)
 	return nil
 }
 

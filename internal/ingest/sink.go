@@ -93,6 +93,86 @@ func defaultStatus(error) int { return http.StatusInternalServerError }
 // parallel plumbing path.
 func (s *Sink) Admission() *Admission { return s.admission }
 
+// MaxBody returns the sink's per-event body cap, so a transport reading the
+// body itself (the raw-socket front end) enforces the same limit the
+// net/http path does.
+func (s *Sink) MaxBody() int64 { return s.maxBody }
+
+// Disposition is the transport-neutral outcome of one event post: the HTTP
+// status to answer, the Retry-After hint in whole seconds (0 = no header),
+// and the error whose message becomes the response body (nil on success).
+// Both the net/http handler below and the raw-socket front end
+// (internal/rawhttp) render dispositions, so the two transports answer the
+// same bytes with the same statuses, hints and error shapes.
+type Disposition struct {
+	Status     int
+	RetryAfter int
+	Err        error
+}
+
+// Admit charges one event against home's admission budget. ok reports
+// whether the event may proceed; on false the disposition carries the 429
+// and its Retry-After hint. A sink without admission control admits
+// everything.
+func (s *Sink) Admit(home string) (d Disposition, ok bool) {
+	if s.admission == nil {
+		return Disposition{}, true
+	}
+	retry, err := s.admission.Admit(home)
+	if err != nil {
+		return Disposition{
+			Status:     http.StatusTooManyRequests,
+			RetryAfter: RetrySeconds(retry),
+			Err:        err,
+		}, false
+	}
+	return Disposition{}, true
+}
+
+// Deliver decodes ev's body (the caller has filled ev.Body from its own
+// transport buffer or ReadBody) and posts it into the sink's poster. It
+// takes ownership of ev unconditionally: on success the poster releases it
+// after the home applies it, on failure Deliver releases it before
+// returning. The steady-state success path does not allocate.
+func (s *Sink) Deliver(home string, ev *Event) Disposition {
+	var im *obs.IngestMetrics
+	var t0 time.Time
+	if s.metrics != nil {
+		im = s.metrics.IngestShard(home)
+		t0 = time.Now()
+	}
+	if err := ev.Decode(ev.Body); err != nil {
+		ev.Release()
+		if im != nil {
+			im.DecodeErrors.Inc()
+		}
+		return Disposition{Status: http.StatusBadRequest, Err: err}
+	}
+	if im != nil {
+		im.DecodeNs.Observe(uint64(time.Since(t0)))
+		im.EventsDecoded.Inc()
+	}
+	var err error
+	sync := ev.Sync
+	if sync {
+		err = s.poster.PostEventFastSync(home, ev)
+	} else {
+		err = s.poster.PostEventFast(home, ev)
+	}
+	if err != nil {
+		ev.Release()
+		d := Disposition{Status: s.status(err), Err: err}
+		if s.retry != nil {
+			d.RetryAfter = s.retry(err)
+		}
+		return d
+	}
+	if sync {
+		return Disposition{Status: http.StatusOK}
+	}
+	return Disposition{Status: http.StatusAccepted}
+}
+
 // ServeHTTP handles one event post. Status contract (kept in lockstep with
 // the oracle handler): 200 for sync posts (evaluation completed before the
 // response), 202 for async (queued), 400 malformed body, 413 oversized,
@@ -103,12 +183,9 @@ func (s *Sink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusNotFound, "missing home")
 		return
 	}
-	if s.admission != nil {
-		if retry, err := s.admission.Admit(home); err != nil {
-			w.Header().Set("Retry-After", strconv.Itoa(RetrySeconds(retry)))
-			writeJSONError(w, http.StatusTooManyRequests, err.Error())
-			return
-		}
+	if d, ok := s.Admit(home); !ok {
+		s.respond(w, d)
+		return
 	}
 	if r.ContentLength > s.maxBody {
 		writeJSONError(w, http.StatusRequestEntityTooLarge, ErrBodyTooLarge.Error())
@@ -124,55 +201,34 @@ func (s *Sink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	var im *obs.IngestMetrics
-	var t0 time.Time
-	if s.metrics != nil {
-		im = s.metrics.IngestShard(home)
-		t0 = time.Now()
+	s.respond(w, s.Deliver(home, ev))
+}
+
+// respond renders a disposition onto a net/http response.
+func (s *Sink) respond(w http.ResponseWriter, d Disposition) {
+	if d.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(d.RetryAfter))
 	}
-	if err := ev.Decode(ev.Body); err != nil {
-		ev.Release()
-		if im != nil {
-			im.DecodeErrors.Inc()
-		}
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+	if d.Err != nil {
+		writeJSONError(w, d.Status, d.Err.Error())
 		return
 	}
-	if im != nil {
-		im.DecodeNs.Observe(uint64(time.Since(t0)))
-		im.EventsDecoded.Inc()
-	}
-	var err error
-	sync := ev.Sync
-	if sync {
-		err = s.poster.PostEventFastSync(home, ev)
-	} else {
-		err = s.poster.PostEventFast(home, ev)
-	}
-	if err != nil {
-		ev.Release()
-		if s.retry != nil {
-			if secs := s.retry(err); secs > 0 {
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
-			}
-		}
-		writeJSONError(w, s.status(err), err.Error())
-		return
-	}
-	if sync {
-		w.WriteHeader(http.StatusOK)
-	} else {
-		w.WriteHeader(http.StatusAccepted)
-	}
+	w.WriteHeader(d.Status)
 }
 
 // writeJSONError emits the same {"error": "..."} shape as the stock fleet
-// handler, without encoding/json: messages here are sentinel errors and
-// decoder offsets, so only quote and backslash need escaping.
+// handler, without encoding/json.
 func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	buf := make([]byte, 0, len(msg)+16)
+	w.Write(AppendJSONError(make([]byte, 0, len(msg)+16), msg))
+}
+
+// AppendJSONError appends the {"error":"..."}\n body shape shared by every
+// event transport to buf and returns it. Messages are sentinel errors and
+// decoder offsets, so only quotes, backslashes and control bytes need
+// escaping.
+func AppendJSONError(buf []byte, msg string) []byte {
 	buf = append(buf, `{"error":"`...)
 	for i := 0; i < len(msg); i++ {
 		switch c := msg[i]; {
@@ -186,7 +242,6 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 			buf = append(buf, c)
 		}
 	}
-	buf = append(buf, `"}`...)
-	buf = append(buf, '\n')
-	w.Write(buf)
+	buf = append(buf, '"', '}', '\n')
+	return buf
 }

@@ -199,13 +199,28 @@ type MigrationMetrics struct {
 	DurationNs      Histogram // seal-to-release wall time of completed migrations
 }
 
+// ConnMetrics is the per-stripe connection block the raw-socket HTTP front
+// end writes (see internal/rawhttp). Connections are assigned a stripe
+// round-robin at accept (Metrics.ConnShard), so concurrent connection
+// goroutines spread over the shard stripes instead of hammering one cache
+// line; every write is a single wait-free atomic op, nothing allocates.
+type ConnMetrics struct {
+	ConnsAccepted  Counter // connections accepted by the raw listener
+	ConnsActive    Gauge   // connections currently open
+	KeepaliveReuse Counter // requests served on an already-used connection
+	ParseErrors    Counter // request heads the parser rejected
+	ReadTimeouts   Counter // reads that hit a deadline (slowloris, stalls)
+}
+
 // ShardMetrics groups one hub shard's blocks. The shard's mailbox goroutine
 // owns the Engine block; transport goroutines hash each home onto its owning
 // shard's Ingest stripe (Metrics.IngestShard), so cross-shard traffic never
-// shares a write-hot cache line.
+// shares a write-hot cache line. Conn stripes are claimed round-robin by the
+// raw front end's connections.
 type ShardMetrics struct {
 	Engine EngineMetrics
 	Ingest IngestMetrics
+	Conn   ConnMetrics
 }
 
 // Metrics is a hub's full metric surface: hub-level series plus one
@@ -242,6 +257,12 @@ func (m *Metrics) Shard(i int) *ShardMetrics { return m.shards[i] }
 // on its owning shard's block.
 func (m *Metrics) IngestShard(home string) *IngestMetrics {
 	return &m.shards[fnv32(home)%uint32(len(m.shards))].Ingest
+}
+
+// ConnShard returns the connection stripe for the i-th accepted connection;
+// the raw front end assigns stripes round-robin from its accept counter.
+func (m *Metrics) ConnShard(i uint64) *ConnMetrics {
+	return &m.shards[i%uint64(len(m.shards))].Conn
 }
 
 func fnv32(s string) uint32 {
@@ -352,6 +373,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeCounter(w, "cadel_engine_compact_epochs_total", "Symbol-compaction epochs run.", t.CompactEpochs)
 	writeCounter(w, "cadel_ingest_events_decoded_total", "Events decoded by the wire fast path.", t.EventsDecoded)
 	writeCounter(w, "cadel_ingest_decode_errors_total", "Event bodies the wire decoder rejected.", t.DecodeErrors)
+
+	var accepted, reuse, parseErrs, timeouts uint64
+	var active int64
+	for _, sh := range m.shards {
+		accepted += sh.Conn.ConnsAccepted.Load()
+		active += sh.Conn.ConnsActive.Load()
+		reuse += sh.Conn.KeepaliveReuse.Load()
+		parseErrs += sh.Conn.ParseErrors.Load()
+		timeouts += sh.Conn.ReadTimeouts.Load()
+	}
+	writeCounter(w, "cadel_http_conns_accepted_total", "Connections accepted by the raw-socket ingest listener.", accepted)
+	writeGauge(w, "cadel_http_conns_active", "Raw-socket ingest connections currently open.", active)
+	writeCounter(w, "cadel_http_keepalive_reuse_total", "Requests served on an already-used raw connection.", reuse)
+	writeCounter(w, "cadel_http_parse_errors_total", "Request heads the raw parser rejected.", parseErrs)
+	writeCounter(w, "cadel_http_read_timeouts_total", "Raw connection reads that hit a deadline.", timeouts)
 
 	var passNs, dirty, decodeNs histSnap
 	for _, sh := range m.shards {

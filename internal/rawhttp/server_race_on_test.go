@@ -1,0 +1,7 @@
+//go:build race
+
+package rawhttp_test
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under it (instrumentation allocates).
+const raceEnabled = true
